@@ -1,0 +1,42 @@
+"""Ablation D: direct streaming vs the Kafka-like broker transfer (§8).
+
+Shape: identical data delivered; the broker pays its decoupled consume
+phase against direct streaming; a replay of the retained topic costs a
+fraction of the full pipeline (it skips SQL + transform entirely).
+"""
+
+from repro.bench.ablation_broker import report, run_broker_ablation
+
+
+def test_broker_ablation(benchmark, small_bench_setup):
+    rows = benchmark.pedantic(
+        lambda: run_broker_ablation(small_bench_setup), rounds=1, iterations=1
+    )
+    by_variant = {r.variant: r for r in rows}
+
+    # Identical row counts everywhere.
+    assert len({r.rows_delivered for r in rows}) == 1
+    assert rows[0].rows_delivered > 0
+
+    # The broker's non-overlapped consume phase costs real time.
+    assert (
+        by_variant["broker (no cache)"].total_sim_seconds
+        > by_variant["stream (no cache)"].total_sim_seconds
+    )
+    assert (
+        by_variant["broker (full cache)"].total_sim_seconds
+        > by_variant["stream (full cache)"].total_sim_seconds
+    )
+
+    # Replay skips SQL+transform: cheaper than any no-cache pipeline.
+    assert (
+        by_variant["replay retained topic"].total_sim_seconds
+        < by_variant["stream (no cache)"].total_sim_seconds
+    )
+
+    # Broker byte accounting is live on broker variants only.
+    assert by_variant["broker (no cache)"].broker_bytes > 0
+    assert by_variant["stream (no cache)"].broker_bytes == 0
+
+    print()
+    print(report(rows))

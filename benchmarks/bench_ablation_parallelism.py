@@ -1,0 +1,26 @@
+"""Ablation B: degree of parallelism k (m = n*k) and locality placement.
+
+Shape: the split count scales as n*k, every split is local under the
+paper's colocated SQL/ML deployment, the round-robin fan-out keeps
+partitions balanced, and the row count is invariant in k.
+"""
+
+from repro.bench.ablation_parallelism import report, run_parallelism_ablation
+
+NUM_SQL_WORKERS = 4  # the paper's testbed: 4 worker servers
+
+
+def test_parallelism_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_parallelism_ablation(ks=(1, 2, 6)), rounds=1, iterations=1
+    )
+    for row in rows:
+        assert row.num_splits == NUM_SQL_WORKERS * row.k
+        assert row.local_splits == row.num_splits  # colocated deployment
+        assert row.min_partition > 0
+        # Round-robin keeps partitions balanced (the residual imbalance is
+        # workload skew in how many qualifying rows each SQL worker holds).
+        assert row.max_partition <= 1.5 * row.min_partition
+    assert len({r.rows for r in rows}) == 1
+    print()
+    print(report(rows))

@@ -1,0 +1,27 @@
+"""Ablation C: cache-reuse decisions across a family of follow-up queries.
+
+Shape: the rewriter classifies every query in the family — including the
+paper's own §5.1 and §5.2 examples — into the expected reuse tier, and the
+tiers order by cost: full_cache <= recode_map_cache <= no_cache.
+"""
+
+from repro.bench.ablation_rewriter import report, run_rewriter_ablation
+
+
+def test_rewriter_ablation(benchmark, small_bench_setup):
+    rows = benchmark.pedantic(
+        lambda: run_rewriter_ablation(small_bench_setup), rounds=1, iterations=1
+    )
+    for row in rows:
+        assert row.actual == row.expected, (
+            f"{row.description}: expected {row.expected}, got {row.actual}"
+        )
+    # Reuse tiers must order by cost for the *same* query (first vs third
+    # rows are the identical-query full-cache hit and the §5.2 partial hit).
+    identical = rows[0]
+    no_reuse = next(r for r in rows if r.actual == "no_cache")
+    partial = next(r for r in rows if r.actual == "recode_map_cache")
+    assert identical.total_sim_seconds < partial.total_sim_seconds
+    assert partial.total_sim_seconds < no_reuse.total_sim_seconds
+    print()
+    print(report(rows))

@@ -1,0 +1,75 @@
+"""Figure 4 benchmark: caching effect under insql+stream.
+
+Paper shape: cache recode maps ~1.5x, cache fully transformed result ~2.2x,
+both versus the no-cache run; and the cache variants deliver the ML system
+the identical dataset.
+"""
+
+from repro.bench.figure4 import report, run_figure4
+
+
+def test_figure4(benchmark, bench_setup):
+    rows = benchmark.pedantic(
+        lambda: run_figure4(bench_setup, iterations=2), rounds=1, iterations=1
+    )
+    by_variant = {r.variant: r for r in rows}
+    no_cache = by_variant["no cache"].total_sim_seconds
+    with_maps = by_variant["cache recode maps"].total_sim_seconds
+    with_view = by_variant["cache transformed result"].total_sim_seconds
+
+    # Win order: full cache < recode-map cache < no cache.
+    assert with_view < with_maps < no_cache
+
+    # The rewriter must actually have taken the cached paths.
+    assert by_variant["cache recode maps"].rewrite_kind == "recode_map_cache"
+    assert by_variant["cache transformed result"].rewrite_kind == "full_cache"
+
+    # Paper: 1.5x and 2.2x.
+    maps_speedup = no_cache / with_maps
+    view_speedup = no_cache / with_view
+    assert 1.25 <= maps_speedup <= 1.85, f"recode-map speedup {maps_speedup:.2f}x"
+    assert 1.8 <= view_speedup <= 2.8, f"full-cache speedup {view_speedup:.2f}x"
+
+    # All variants must hand the ML system identical data.
+    datasets = [
+        sorted(
+            (lp.label, tuple(lp.features))
+            for lp in r.result.ml_result.dataset.collect()
+        )
+        for r in rows
+    ]
+    assert datasets[0] == datasets[1] == datasets[2]
+    assert len(datasets[0]) > 0
+
+    print()
+    print(report(rows))
+
+
+def test_recode_map_cache_only(benchmark, small_bench_setup):
+    wl = small_bench_setup.workload
+    small_bench_setup.pipeline.populate_caches(
+        wl.prep_sql, wl.spec, cache_recode_map=True, cache_transformed=False
+    )
+    result = benchmark.pedantic(
+        lambda: small_bench_setup.pipeline.run_insql_stream(
+            wl.prep_sql, wl.spec, "noop", use_cache=True
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.rewrite_kind == "recode_map_cache"
+
+
+def test_full_cache_only(benchmark, small_bench_setup):
+    wl = small_bench_setup.workload
+    small_bench_setup.pipeline.populate_caches(
+        wl.prep_sql, wl.spec, cache_recode_map=True, cache_transformed=True
+    )
+    result = benchmark.pedantic(
+        lambda: small_bench_setup.pipeline.run_insql_stream(
+            wl.prep_sql, wl.spec, "noop", use_cache=True
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.rewrite_kind == "full_cache"

@@ -1,0 +1,45 @@
+"""Methodology check: the reproduced *ratios* must not depend on the scale
+of the generated workload.
+
+The cost model converts observed bytes at any scale to paper-scale seconds;
+if the methodology is sound, running the Figure-3 comparison on a 2x larger
+generated workload must produce (nearly) the same speedup ratios — the
+absolute byte counts double, the byte_scale halves, and the simulated times
+meet in the middle.
+"""
+
+from repro.bench.common import make_bench_setup
+from repro.bench.figure3 import run_figure3
+
+
+def ratios(rows):
+    by_approach = {r.approach: r.total_sim_seconds for r in rows}
+    return (
+        by_approach["naive"] / by_approach["insql"],
+        by_approach["insql"] - by_approach["insql+stream"],
+    )
+
+
+def test_ratios_invariant_under_workload_scale(benchmark):
+    def run():
+        small = run_figure3(
+            make_bench_setup(num_users=500, num_carts=5_000), iterations=1
+        )
+        large = run_figure3(
+            make_bench_setup(num_users=1_000, num_carts=10_000), iterations=1
+        )
+        return ratios(small), ratios(large)
+
+    (small_speedup, small_savings), (large_speedup, large_savings) = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    # The In-SQL speedup ratio moves by < 5% across a 2x scale change...
+    assert abs(small_speedup - large_speedup) / large_speedup < 0.05
+    # ...and the absolute streaming savings (paper-scale seconds) by < 15%
+    # (they depend on the transformed-size fraction, which drifts slightly
+    # with the random join selectivity at different sizes).
+    assert abs(small_savings - large_savings) / large_savings < 0.15
+    print(
+        f"\nspeedup {small_speedup:.2f}x vs {large_speedup:.2f}x; "
+        f"savings {small_savings:.1f}s vs {large_savings:.1f}s across 2x scale"
+    )

@@ -1,0 +1,22 @@
+"""In-text §7 number: DFS read + 10 SVM-SGD iterations ~= 774 s.
+
+Shape assertions: the simulated ingest lands near the paper's 46 s, training
+dominates ingest (the paper's point that "if the ML algorithm takes a long
+time ... whether using HDFS or streaming makes little difference"), and the
+total lands in the paper's ballpark.
+"""
+
+from repro.bench.svm_end2end import report, run_svm_end2end
+
+
+def test_svm_end2end(benchmark, bench_setup):
+    row = benchmark.pedantic(
+        lambda: run_svm_end2end(bench_setup, iterations=10), rounds=1, iterations=1
+    )
+    assert 35.0 <= row.ingest_sim_seconds <= 60.0
+    assert row.train_sim_seconds > 5 * row.ingest_sim_seconds
+    assert 550.0 <= row.total_sim_seconds <= 1000.0, (
+        f"total {row.total_sim_seconds:.0f}s vs paper 774s"
+    )
+    print()
+    print(report(row))

@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+from repro.bench.common import make_bench_setup
+
+
+@pytest.fixture()
+def bench_setup():
+    """A fresh paper-topology deployment with the retail workload."""
+    return make_bench_setup()
+
+
+@pytest.fixture()
+def small_bench_setup():
+    """A smaller workload for per-stage micro benchmarks."""
+    return make_bench_setup(num_users=600, num_carts=6_000)

@@ -1,0 +1,76 @@
+"""Cart abandonment: comparing classifiers on one cached transformation.
+
+This is the workflow §5.1 motivates: "an analyst wants to run a number of
+classification algorithms, such as SVM, logistic regression, naive Bayes
+and decision trees, to compare the quality of different classifiers on a
+particular dataset."  The data preparation + transformation runs once; the
+fully transformed result is cached; every subsequent classifier streams the
+cached view without re-running the query or the recoding passes.
+
+Run:  python examples/cart_abandonment.py
+"""
+
+import numpy as np
+
+from repro import make_deployment
+from repro.ml.validation import evaluate_classifier, train_test_split
+from repro.workloads import generate_retail
+
+CLASSIFIERS = [
+    ("svm_with_sgd", {"iterations": 300, "step": 1.0, "reg_param": 0.001}),
+    ("logistic_regression", {"iterations": 400, "step": 1.5}),
+    ("naive_bayes", {"smoothing": 1.0}),
+    ("decision_tree", {"max_depth": 5}),
+]
+
+# The preparation query scales age and amount into a solver-friendly range —
+# data preparation in SQL, exactly where the paper wants it.
+PREP_SQL = (
+    "SELECT U.age / 25.0 AS age, U.gender, C.amount / 100.0 AS amount, C.abandoned "
+    "FROM carts C, users U "
+    "WHERE C.userid = U.userid AND U.country = 'USA'"
+)
+
+
+def main() -> None:
+    dep = make_deployment(block_size=256 * 1024)
+    wl = generate_retail(dep.engine, dep.dfs, num_users=2_000, num_carts=20_000)
+    dep.pipeline.byte_scale = wl.byte_scale
+
+    # Build both §5 cache artifacts once: the recode maps and the fully
+    # transformed (recoded) result as a materialized view.
+    dep.pipeline.populate_caches(
+        PREP_SQL, wl.spec, cache_recode_map=True, cache_transformed=True
+    )
+
+    print(f"{'classifier':<22} {'rewrite':<18} {'sim total':>9}  "
+          f"{'accuracy':>8} {'precision':>9} {'recall':>7} {'f1':>6}   (held-out)")
+    for command, args in CLASSIFIERS:
+        result = dep.pipeline.run_insql_stream(
+            PREP_SQL, wl.spec, command, args, use_cache=True
+        )
+        # The pipeline delivered the full dataset; evaluate on a held-out
+        # split (retrain on the training part so scores are honest).
+        train, test = train_test_split(result.ml_result.dataset, 0.3, seed=17)
+        model = dep.ml.trainer(command)(train, args)
+        scores = evaluate_classifier(model, test)
+        print(
+            f"{command:<22} {result.rewrite_kind:<18} "
+            f"{result.total_sim_seconds:8.1f}s  "
+            f"{scores.accuracy:8.3f} {scores.precision:9.3f} "
+            f"{scores.recall:7.3f} {scores.f1:6.3f}"
+        )
+
+    hits = dep.pipeline.cache.stats
+    print()
+    print(
+        f"cache: {hits.transformed_hits} full hits, "
+        f"{hits.recode_map_hits} recode-map hits, "
+        f"{hits.transformed_misses} misses"
+    )
+    print("every classifier after the first reused the cached transformed "
+          "result — the query, recoding, and dummy coding ran exactly once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (the offline environment cannot PEP-660-build editable wheels)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Generic Solution to Integrate SQL and Analytics "
+        "for Big Data' (EDBT 2015)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

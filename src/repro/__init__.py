@@ -1,0 +1,119 @@
+"""repro — a full reproduction of *"A Generic Solution to Integrate SQL and
+Analytics for Big Data"* (Katsipoulakis et al., EDBT 2015).
+
+The paper connects big SQL systems with big ML systems through three
+techniques: In-SQL data transformation via parallel table UDFs (§2),
+coordinator-brokered parallel streaming data transfer (§3, with a query
+rewriter, §4), and caching of transformation results (§5).  This package
+implements those techniques **and every substrate they run on** — a
+partition-parallel SQL engine, a replicated distributed file system, a
+MapReduce framework, Hadoop-style InputFormats, and an MLlib-like ML system
+with from-scratch algorithms.
+
+Quickstart::
+
+   from repro import make_deployment
+   from repro.workloads import generate_retail
+
+   dep = make_deployment()
+   wl = generate_retail(dep.engine, dep.dfs, num_users=500, num_carts=5_000)
+   result = dep.pipeline.run_insql_stream(
+       wl.prep_sql, wl.spec, command="svm_with_sgd", args={"iterations": 10}
+   )
+   print(result.breakdown())
+   print(result.ml_result.model)
+
+See DESIGN.md for the architecture map and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster, make_paper_cluster
+from repro.cluster.cost import CostModel, paper_cost_model
+from repro.hdfs.filesystem import DistributedFileSystem
+from repro.integration.pipeline import AnalyticsPipeline
+from repro.integration.stages import PipelineResult
+from repro.ml.system import MLSystem
+from repro.sql.engine import BigSQL
+from repro.transfer.coordinator import Coordinator
+from repro.transform.spec import TransformSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticsPipeline",
+    "BigSQL",
+    "Cluster",
+    "CostModel",
+    "Deployment",
+    "DistributedFileSystem",
+    "MLSystem",
+    "PipelineResult",
+    "TransformSpec",
+    "make_deployment",
+    "make_paper_cluster",
+    "paper_cost_model",
+]
+
+
+@dataclass
+class Deployment:
+    """One fully wired SQL+ML deployment on a simulated cluster."""
+
+    cluster: Cluster
+    dfs: DistributedFileSystem
+    engine: BigSQL
+    ml: MLSystem
+    coordinator: Coordinator
+    pipeline: AnalyticsPipeline
+
+    @property
+    def broker(self):
+        """The Kafka-like message broker (the §8 transfer alternative)."""
+        return self.pipeline.broker
+
+
+def make_deployment(
+    num_workers: int = 4,
+    block_size: int = 4 * 1024 * 1024,
+    replication: int = 3,
+    byte_scale: float = 1.0,
+    cost_model: CostModel | None = None,
+    buffer_bytes: int = 4096,
+    workers_per_node: int = 6,
+    transport: str = "memory",
+) -> Deployment:
+    """Build the paper's testbed topology, fully wired.
+
+    1 head + ``num_workers`` worker servers; a DFS with the given block size
+    and replication; a BigSQL engine; an ML system with
+    ``workers_per_node`` slots per server; a transfer coordinator with the
+    paper's 4 KB buffers; and an :class:`AnalyticsPipeline` on top.
+
+    ``transport`` selects the stream channel implementation: ``"memory"``
+    (thread-safe spillable buffers, the default) or ``"socket"`` (real
+    kernel socket pairs with non-blocking senders — §3's literal TCP step).
+    """
+    cluster = make_paper_cluster(num_workers)
+    dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
+    engine = BigSQL(cluster, dfs)
+    ml = MLSystem(cluster, workers_per_node=workers_per_node)
+    coordinator = Coordinator(cluster, buffer_bytes=buffer_bytes, transport=transport)
+    pipeline = AnalyticsPipeline(
+        cluster=cluster,
+        dfs=dfs,
+        engine=engine,
+        ml_system=ml,
+        coordinator=coordinator,
+        cost_model=cost_model,
+        byte_scale=byte_scale,
+    )
+    return Deployment(
+        cluster=cluster,
+        dfs=dfs,
+        engine=engine,
+        ml=ml,
+        coordinator=coordinator,
+        pipeline=pipeline,
+    )

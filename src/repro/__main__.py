@@ -1,0 +1,25 @@
+"""``python -m repro`` — a 30-second tour of the reproduction.
+
+Builds the paper's deployment, runs the §1 scenario through all three
+connection strategies, and prints the Figure-3 comparison.  For the full
+experiment suite use ``python -m repro.bench.report``.
+"""
+
+from repro.bench.common import make_bench_setup
+from repro.bench.figure3 import report, run_figure3
+
+
+def main() -> None:
+    print(__doc__)
+    print("running the three connection strategies on the retail workload...\n")
+    setup = make_bench_setup(num_users=600, num_carts=6_000)
+    print(report(run_figure3(setup, iterations=2)))
+    print()
+    print("next steps:")
+    print("  python -m repro.bench.report         # every figure and ablation")
+    print("  python examples/quickstart.py        # the annotated walkthrough")
+    print("  pytest tests/                        # the full test suite")
+
+
+if __name__ == "__main__":
+    main()

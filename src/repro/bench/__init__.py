@@ -1,0 +1,27 @@
+"""Benchmark harnesses regenerating the paper's figures.
+
+Each module exposes ``run_*(...)`` returning structured rows plus a
+``report(rows)`` formatter, and is executable as a script::
+
+   python -m repro.bench.figure3
+   python -m repro.bench.figure4
+   python -m repro.bench.svm_end2end
+   python -m repro.bench.ablation_buffers
+   python -m repro.bench.ablation_parallelism
+   python -m repro.bench.ablation_rewriter
+
+The pytest-benchmark wrappers in ``benchmarks/`` call the same code and
+assert the paper-shape invariants (who wins, by roughly what factor).
+
+Submodules are imported lazily — import the one you need directly.
+"""
+
+__all__ = [
+    "ablation_buffers",
+    "ablation_parallelism",
+    "ablation_rewriter",
+    "common",
+    "figure3",
+    "figure4",
+    "svm_end2end",
+]

@@ -1,0 +1,87 @@
+"""Ablation B: degree of parallelism k and locality-aware split placement.
+
+§3: "we always set m = n·k, where k is a parameter to control the degree of
+parallelism in the ML job", and splits advertise their SQL worker's IP "to
+take advantage of the potential locality".  This ablation sweeps k and
+reports the resulting split counts, per-channel row balance, and the
+fraction of ML readers that landed local to their SQL worker.
+"""
+
+from dataclasses import dataclass
+
+from repro import make_deployment
+from repro.bench.common import format_table
+from repro.workloads.retail import generate_retail
+
+
+@dataclass
+class ParallelismRow:
+    k: int
+    num_splits: int
+    local_splits: int
+    rows: int
+    max_partition: int
+    min_partition: int
+    wall_seconds: float
+
+
+def run_parallelism_ablation(
+    ks: tuple[int, ...] = (1, 2, 6, 12),
+    num_users: int = 600,
+    num_carts: int = 6_000,
+) -> list[ParallelismRow]:
+    rows = []
+    for k in ks:
+        deployment = make_deployment(block_size=256 * 1024)
+        deployment.coordinator.default_k = k
+        workload = generate_retail(
+            deployment.engine, deployment.dfs, num_users=num_users, num_carts=num_carts
+        )
+        deployment.pipeline.byte_scale = workload.byte_scale
+        result = deployment.pipeline.run_insql_stream(
+            workload.prep_sql, workload.spec, "noop"
+        )
+        stats = result.ml_result.ingest_stats
+        partitions = [len(p) for p in result.ml_result.dataset.partitions()]
+        rows.append(
+            ParallelismRow(
+                k=k,
+                num_splits=stats.num_splits,
+                local_splits=stats.local_splits,
+                rows=stats.records,
+                max_partition=max(partitions) if partitions else 0,
+                min_partition=min(partitions) if partitions else 0,
+                wall_seconds=result.stage("prep+trsfm+input").wall_seconds,
+            )
+        )
+    return rows
+
+
+def report(rows: list[ParallelismRow]) -> str:
+    table = [
+        [
+            r.k,
+            r.num_splits,
+            f"{100.0 * r.local_splits / r.num_splits if r.num_splits else 0:.0f}%",
+            r.rows,
+            f"{r.min_partition}..{r.max_partition}",
+            f"{r.wall_seconds * 1000:.0f} ms",
+        ]
+        for r in rows
+    ]
+    return "\n".join(
+        [
+            "Ablation B — degree of parallelism k (m = n*k splits) and locality",
+            format_table(
+                ["k", "splits", "local", "rows", "partition sizes", "wall"], table
+            ),
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run_parallelism_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,110 @@
+"""Ablation C: which follow-up queries can reuse which cache (§5 rules).
+
+Runs the rewriter's cache matching over a family of follow-up queries —
+including the paper's own §5.1 and §5.2 examples verbatim — after caching
+the §1 preparation query, and reports the rewrite kind each one gets.
+"""
+
+from dataclasses import dataclass
+
+from repro.bench.common import BenchSetup, format_table, make_bench_setup
+from repro.workloads.retail import PAPER_SPEC, PREP_SQL, RECODE_REUSE_SQL, SUBSET_SQL
+from repro.transform.spec import TransformSpec
+
+#: (description, SQL, spec, expected rewrite kind)
+QUERY_FAMILY = [
+    (
+        "identical query (rerun for another classifier, §5.1 motivation)",
+        PREP_SQL,
+        PAPER_SPEC,
+        "full_cache",
+    ),
+    (
+        "§5.1 example: subset projection + predicate on projected field",
+        SUBSET_SQL,
+        TransformSpec(recode=("abandoned",), label="abandoned"),
+        "full_cache",
+    ),
+    (
+        "§5.2 example: new projected field nItems + new predicate on year",
+        RECODE_REUSE_SQL,
+        PAPER_SPEC,
+        "recode_map_cache",
+    ),
+    (
+        "logically stronger predicate (country IN ('USA') ⊆ ... )",
+        "SELECT U.age, U.gender, C.amount, C.abandoned FROM carts C, users U "
+        "WHERE C.userid = U.userid AND U.country = 'USA' AND U.age < 30",
+        PAPER_SPEC,
+        "full_cache",  # extra conjunct on projected field age
+    ),
+    (
+        "different predicate constant (country = 'DE'): no reuse possible",
+        "SELECT U.age, U.gender, C.amount, C.abandoned FROM carts C, users U "
+        "WHERE C.userid = U.userid AND U.country = 'DE'",
+        PAPER_SPEC,
+        "no_cache",
+    ),
+    (
+        "new categorical column (channel) not in the cached maps: no reuse",
+        "SELECT U.age, U.gender, C.channel, C.amount, C.abandoned "
+        "FROM carts C, users U WHERE C.userid = U.userid AND U.country = 'USA'",
+        TransformSpec(recode=("gender", "abandoned", "channel"), label="abandoned"),
+        "no_cache",
+    ),
+]
+
+
+@dataclass
+class RewriterRow:
+    description: str
+    expected: str
+    actual: str
+    total_sim_seconds: float
+
+
+def run_rewriter_ablation(setup: BenchSetup | None = None) -> list[RewriterRow]:
+    setup = setup or make_bench_setup(num_users=600, num_carts=6_000)
+    pipeline = setup.pipeline
+    pipeline.populate_caches(
+        PREP_SQL, PAPER_SPEC, cache_recode_map=True, cache_transformed=True
+    )
+    rows = []
+    for description, sql, spec, expected in QUERY_FAMILY:
+        result = pipeline.run_insql_stream(sql, spec, "noop", use_cache=True)
+        rows.append(
+            RewriterRow(
+                description=description,
+                expected=expected,
+                actual=result.rewrite_kind or "-",
+                total_sim_seconds=result.total_sim_seconds,
+            )
+        )
+    return rows
+
+
+def report(rows: list[RewriterRow]) -> str:
+    table = [
+        [
+            r.description,
+            r.expected,
+            r.actual,
+            "OK" if r.expected == r.actual else "MISMATCH",
+            f"{r.total_sim_seconds:.1f}s",
+        ]
+        for r in rows
+    ]
+    return "\n".join(
+        [
+            "Ablation C — cache-reuse decisions of the query rewriter",
+            format_table(["follow-up query", "expected", "actual", "", "total"], table),
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run_rewriter_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,60 @@
+"""Shared benchmark plumbing: standard deployment + workload + reporting."""
+
+from dataclasses import dataclass
+
+from repro import Deployment, make_deployment
+from repro.common.units import format_duration
+from repro.workloads.retail import RetailWorkload, generate_retail
+
+#: Default scaled-down workload size for benchmark runs (the cost model
+#: scales byte counts back to the paper's 1B-row / 56 GB workload).
+DEFAULT_USERS = 1_500
+DEFAULT_CARTS = 15_000
+
+
+@dataclass
+class BenchSetup:
+    """A wired deployment plus the generated retail workload."""
+
+    deployment: Deployment
+    workload: RetailWorkload
+
+    @property
+    def pipeline(self):
+        return self.deployment.pipeline
+
+
+def make_bench_setup(
+    num_users: int = DEFAULT_USERS,
+    num_carts: int = DEFAULT_CARTS,
+    seed: int = 7,
+    buffer_bytes: int = 4096,
+) -> BenchSetup:
+    """The standard benchmark environment: paper topology, retail workload,
+    byte scale mapping observed bytes to the paper's 56 GB carts table."""
+    deployment = make_deployment(block_size=256 * 1024, buffer_bytes=buffer_bytes)
+    workload = generate_retail(
+        deployment.engine,
+        deployment.dfs,
+        num_users=num_users,
+        num_carts=num_carts,
+        seed=seed,
+    )
+    deployment.pipeline.byte_scale = workload.byte_scale
+    return BenchSetup(deployment=deployment, workload=workload)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text aligned table."""
+    cells = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def seconds(value: float) -> str:
+    return format_duration(value)

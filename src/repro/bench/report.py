@@ -1,0 +1,70 @@
+"""One-shot report: regenerate every experiment in a single run.
+
+``python -m repro.bench.report`` runs Figures 3 and 4, the in-text §7
+decomposition, and all four ablations on a shared workload, printing the
+same sections EXPERIMENTS.md records.  ``--fast`` shrinks the workload for
+smoke runs.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench import (  # noqa: F401 (import side: submodule list)
+    ablation_broker,
+    ablation_buffers,
+    ablation_parallelism,
+    ablation_rewriter,
+    figure3,
+    figure4,
+    svm_end2end,
+)
+from repro.bench.common import make_bench_setup
+
+
+def run_all(fast: bool = False, out=sys.stdout) -> None:
+    """Run every harness, streaming sections to ``out``."""
+    sizes = dict(num_users=600, num_carts=6_000) if fast else {}
+    started = time.perf_counter()
+
+    def section(title: str, body: str) -> None:
+        out.write(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+
+    setup = make_bench_setup(**sizes)
+    section("Figure 3", figure3.report(figure3.run_figure3(setup)))
+    section("Figure 4", figure4.report(figure4.run_figure4(make_bench_setup(**sizes))))
+    section(
+        "In-text §7 (SVM end-to-end)",
+        svm_end2end.report(svm_end2end.run_svm_end2end(make_bench_setup(**sizes))),
+    )
+    section(
+        "Ablation A (buffers)",
+        ablation_buffers.report(ablation_buffers.run_buffer_ablation()),
+    )
+    section(
+        "Ablation B (parallelism & locality)",
+        ablation_parallelism.report(ablation_parallelism.run_parallelism_ablation()),
+    )
+    section(
+        "Ablation C (rewriter reuse)",
+        ablation_rewriter.report(ablation_rewriter.run_rewriter_ablation()),
+    )
+    section(
+        "Ablation D (broker vs streaming)",
+        ablation_broker.report(ablation_broker.run_broker_ablation()),
+    )
+    out.write(
+        f"\nall experiments regenerated in {time.perf_counter() - started:.1f}s "
+        "wall (timings above are simulated paper-scale seconds)\n"
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smaller workload")
+    args = parser.parse_args()
+    run_all(fast=args.fast)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

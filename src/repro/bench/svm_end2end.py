@@ -1,0 +1,65 @@
+"""In-text §7 number: DFS read + 10 SVM-SGD iterations took 774 seconds.
+
+"For example, reading the transformed data from HDFS and running the
+SVMWithSGD for 10 iterations took 774 seconds" — with the 46 s DFS read
+that implies ~73 s per SGD iteration over the 5.6 GB dataset.  This harness
+reproduces the decomposition: transformed data is materialized once, then
+read into the ML system and trained, reporting ingest and train separately.
+"""
+
+from dataclasses import dataclass
+
+from repro.bench.common import BenchSetup, make_bench_setup
+
+
+@dataclass
+class SvmEndToEndRow:
+    """The reproduced in-text decomposition."""
+
+    ingest_sim_seconds: float
+    train_sim_seconds: float
+    total_sim_seconds: float
+    iterations: int
+    accuracy_hint: float  # training-set accuracy, sanity only
+
+
+def run_svm_end2end(
+    setup: BenchSetup | None = None, iterations: int = 10
+) -> SvmEndToEndRow:
+    setup = setup or make_bench_setup()
+    wl = setup.workload
+    result = setup.pipeline.run_insql(
+        wl.prep_sql, wl.spec, "svm_with_sgd", {"iterations": iterations}
+    )
+    ingest = result.stage("input for ml").sim_seconds
+    train = result.stage("ml train").sim_seconds
+    X, y = result.ml_result.dataset.to_arrays()
+    predictions = result.ml_result.model.predict_many(X)
+    accuracy = float((predictions == y).mean()) if len(y) else 0.0
+    return SvmEndToEndRow(
+        ingest_sim_seconds=ingest,
+        train_sim_seconds=train,
+        total_sim_seconds=ingest + train,
+        iterations=iterations,
+        accuracy_hint=accuracy,
+    )
+
+
+def report(row: SvmEndToEndRow) -> str:
+    return "\n".join(
+        [
+            "In-text §7 — DFS read + SVMWithSGD x10 (simulated paper-scale seconds)",
+            f"  input for ml : {row.ingest_sim_seconds:7.1f} s   (paper: 46 s)",
+            f"  ml train x{row.iterations:<3}: {row.train_sim_seconds:7.1f} s   (paper: ~728 s)",
+            f"  total        : {row.total_sim_seconds:7.1f} s   (paper: 774 s)",
+            f"  (training-set accuracy of the fitted model: {row.accuracy_hint:.3f})",
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run_svm_end2end()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,44 @@
+"""A Kafka-like message broker — the paper's §8 future work, implemented.
+
+§8: "we plan to investigate using a message passing system like Kafka to
+pass the data between SQL and ML workers.  Kafka would guarantee at least
+one read, in case of failures.  Kafka could also be the system to cache the
+data when the ML workers are not fast enough to consume the data."
+
+This package provides exactly that alternative transfer path:
+
+* :class:`~repro.broker.broker.MessageBroker` — topics of append-only,
+  offset-addressed partition logs with per-consumer-group committed offsets
+  (the at-least-once primitive) and retention (the replay/caching
+  primitive);
+* :class:`~repro.broker.producer.BrokerProducer` /
+  :class:`~repro.broker.consumer.BrokerConsumer` — the client API, with
+  byte accounting under ``broker.*`` ledger categories;
+* :class:`~repro.broker.transfer_udf.BrokerTransferUDF` — the SQL-side
+  sender (a parallel table UDF, like ``stream_transfer``) producing into a
+  topic with one partition per ML consumer;
+* :class:`~repro.broker.inputformat.BrokerInputFormat` — the ML-side
+  InputFormat, one split per topic partition, resuming from the consumer
+  group's committed offset after a failure.
+
+Compared to §3's direct streaming: the broker decouples the two systems in
+time (the ML job may start late, re-read, or crash and resume) at the cost
+of an extra persistence hop — the trade-off
+``benchmarks/bench_ablation_broker.py`` quantifies.
+"""
+
+from repro.broker.broker import MessageBroker, TopicInfo
+from repro.broker.consumer import BrokerConsumer
+from repro.broker.inputformat import BrokerInputFormat, BrokerSplit
+from repro.broker.producer import BrokerProducer
+from repro.broker.transfer_udf import BrokerTransferUDF
+
+__all__ = [
+    "BrokerConsumer",
+    "BrokerInputFormat",
+    "BrokerProducer",
+    "BrokerSplit",
+    "BrokerTransferUDF",
+    "MessageBroker",
+    "TopicInfo",
+]

@@ -1,0 +1,56 @@
+"""Producer client: row serialization and partition routing."""
+
+from repro.broker.broker import MessageBroker
+from repro.common.errors import TransferError
+from repro.transfer.buffers import encode_row
+
+
+class BrokerProducer:
+    """Produces rows into a topic, round-robin or hash-partitioned.
+
+    ``partitions`` restricts routing to a subset of the topic's partitions —
+    the broker transfer assigns each SQL worker its own partition group, the
+    same n-groups-of-k layout the §3 coordinator uses, so per-partition
+    ordering reflects one worker's output order.
+    """
+
+    def __init__(
+        self,
+        broker: MessageBroker,
+        topic: str,
+        partitions: list[int] | None = None,
+    ):
+        self._broker = broker
+        self._topic = topic
+        info = broker.topic_info(topic)
+        self._partitions = list(partitions) if partitions else list(range(info.num_partitions))
+        if not self._partitions:
+            raise TransferError("producer needs at least one partition")
+        for p in self._partitions:
+            if not 0 <= p < info.num_partitions:
+                raise TransferError(f"partition {p} outside topic {topic!r}")
+        self._cursor = 0
+        self.rows_sent = 0
+        self.bytes_sent = 0
+
+    def send_row(self, row: tuple, key=None) -> int:
+        """Produce one row; returns its offset.
+
+        With ``key`` given, the partition is chosen by hash (per-key order);
+        otherwise round-robin across this producer's partitions.
+        """
+        if key is not None:
+            partition = self._partitions[hash(key) % len(self._partitions)]
+        else:
+            partition = self._partitions[self._cursor % len(self._partitions)]
+            self._cursor += 1
+        payload = encode_row(row)
+        offset = self._broker.append(self._topic, partition, payload)
+        self.rows_sent += 1
+        self.bytes_sent += len(payload)
+        return offset
+
+    def close(self) -> None:
+        """Seal this producer's partitions (end-of-stream markers)."""
+        for partition in self._partitions:
+            self._broker.seal_partition(self._topic, partition)

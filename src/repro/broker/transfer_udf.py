@@ -1,0 +1,67 @@
+"""SQL-side sender for the broker transfer path.
+
+``TABLE(broker_transfer(input, 'topic'))`` — each SQL worker produces its
+partition's rows into its own group of topic partitions (the same
+n-groups-of-k layout as the §3 coordinator's matchmaking), then seals them.
+No coordinator is involved: the broker decouples the two systems in time,
+so the ML job may start before, during, or after the SQL side runs.
+
+The topic must exist with n*k partitions (the pipeline creates it); k is
+derived from the partition count.
+"""
+
+from collections.abc import Iterable
+
+from repro.broker.broker import MessageBroker
+from repro.broker.producer import BrokerProducer
+from repro.common.errors import TransferError
+from repro.sql.types import DataType, Schema
+from repro.sql.udf import TableUDF, UdfContext
+
+
+def partition_group(total_partitions: int, num_workers: int, worker_id: int) -> list[int]:
+    """The topic partitions owned by one SQL worker (even n-way grouping)."""
+    base, extra = divmod(total_partitions, num_workers)
+    start = worker_id * base + min(worker_id, extra)
+    size = base + (1 if worker_id < extra else 0)
+    return list(range(start, start + size))
+
+
+class BrokerTransferUDF(TableUDF):
+    """``TABLE(broker_transfer(input, topic))`` — produce rows to the broker."""
+
+    name = "broker_transfer"
+
+    def output_schema(self, input_schema: Schema, args: tuple) -> Schema:
+        self._topic(args)
+        return Schema.of(
+            ("worker_id", DataType.INT),
+            ("rows_sent", DataType.BIGINT),
+            ("bytes_sent", DataType.BIGINT),
+        )
+
+    def process_partition(
+        self, rows: Iterable[tuple], input_schema: Schema, args: tuple, ctx: UdfContext
+    ) -> Iterable[tuple]:
+        topic = self._topic(args)
+        broker: MessageBroker = ctx.service("broker")
+        info = broker.topic_info(topic)
+        if info.num_partitions < ctx.num_workers:
+            raise TransferError(
+                f"topic {topic!r} has {info.num_partitions} partitions for "
+                f"{ctx.num_workers} SQL workers; need at least one each"
+            )
+        group = partition_group(info.num_partitions, ctx.num_workers, ctx.worker_id)
+        producer = BrokerProducer(broker, topic, partitions=group)
+        try:
+            for row in rows:
+                producer.send_row(row)
+        finally:
+            producer.close()
+        yield (ctx.worker_id, producer.rows_sent, producer.bytes_sent)
+
+    @staticmethod
+    def _topic(args: tuple) -> str:
+        if not args:
+            raise TransferError("broker_transfer needs a topic name")
+        return str(args[0])

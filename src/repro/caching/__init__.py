@@ -1,0 +1,20 @@
+"""Caching of transformation results (§5).
+
+Two cacheable artifacts, with very different reuse conditions:
+
+* the **fully transformed data** (§5.1) — stored as a materialized view in
+  the SQL engine at the *recoded* stage (dummy coding is re-applied on read:
+  it is a cheap pipelined pass, and keeping recoded columns is what makes
+  the paper's "WHERE gender = 'F'" follow-up answerable from the cache);
+* the **recode maps** (§5.2) — reusable whenever the new query's rows are a
+  subset of the cached query's, which the logically-stronger-predicates test
+  guarantees; reuse skips pass 1 of the two-pass recoding.
+
+Entries remember the catalog version of every base table at build time; any
+insert into a base table bumps its version and silently invalidates the
+entry (the paper's "assuming there is no data update" made safe).
+"""
+
+from repro.caching.cache import CacheManager, CacheStats
+
+__all__ = ["CacheManager", "CacheStats"]

@@ -1,0 +1,223 @@
+"""The cache manager: storage, matching-based lookup, invalidation."""
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+from repro.common.errors import CacheError
+from repro.rewriter.matching import (
+    FullCacheMatch,
+    QueryShape,
+    extract_shape,
+    match_full_cache,
+    match_recode_map,
+)
+from repro.sql.ast import SelectQuery
+from repro.transform.recode import RecodeMap
+from repro.transform.service import TransformService
+from repro.transform.spec import TransformSpec
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, per cache kind."""
+
+    transformed_hits: int = 0
+    transformed_misses: int = 0
+    recode_map_hits: int = 0
+    recode_map_misses: int = 0
+    invalidations: int = 0
+
+
+@dataclass
+class _RecodeMapEntry:
+    shape: QueryShape
+    spec: TransformSpec
+    handle: str
+    base_versions: dict[str, int]
+
+
+@dataclass
+class _TransformedEntry:
+    shape: QueryShape
+    spec: TransformSpec
+    view_name: str
+    map_handle: str
+    base_versions: dict[str, int]
+
+
+@dataclass(frozen=True)
+class TransformedHit:
+    """A §5.1 cache hit: the view plus the rewrite recipe."""
+
+    view_name: str
+    map_handle: str
+    spec: TransformSpec
+    match: FullCacheMatch
+
+
+class CacheManager:
+    """Stores and matches cached recode maps and transformed results."""
+
+    def __init__(self, engine, transforms: TransformService):
+        self._engine = engine
+        self._transforms = transforms
+        self._recode_entries: list[_RecodeMapEntry] = []
+        self._transformed_entries: list[_TransformedEntry] = []
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ----------------------------------------------------------------- store
+
+    def store_recode_map(
+        self, query: SelectQuery | str, spec: TransformSpec, recode_map: RecodeMap
+    ) -> str:
+        """Cache the recode maps of a just-transformed query; returns handle."""
+        query = self._parse(query)
+        shape = extract_shape(query, self._engine)
+        if shape is None:
+            raise CacheError(
+                "query shape not cacheable (uses constructs outside the §5 rules)"
+            )
+        handle = f"__cached_map_{next(self._counter)}"
+        self._transforms.register(handle, recode_map)
+        entry = _RecodeMapEntry(
+            shape=shape,
+            spec=spec,
+            handle=handle,
+            base_versions=self._versions(shape),
+        )
+        with self._lock:
+            self._recode_entries.append(entry)
+        return handle
+
+    def store_transformed(
+        self,
+        query: SelectQuery | str,
+        spec: TransformSpec,
+        view_name: str,
+        map_handle: str,
+    ) -> None:
+        """Record an engine-materialized recoded result as reusable."""
+        query = self._parse(query)
+        shape = extract_shape(query, self._engine)
+        if shape is None:
+            raise CacheError(
+                "query shape not cacheable (uses constructs outside the §5 rules)"
+            )
+        if not self._engine.catalog.has_table(view_name):
+            raise CacheError(f"view {view_name!r} is not in the catalog")
+        entry = _TransformedEntry(
+            shape=shape,
+            spec=spec,
+            view_name=view_name,
+            map_handle=map_handle,
+            base_versions=self._versions(shape),
+        )
+        with self._lock:
+            self._transformed_entries.append(entry)
+
+    # ---------------------------------------------------------------- lookup
+
+    def lookup_transformed(
+        self, query: SelectQuery | str, spec: TransformSpec
+    ) -> TransformedHit | None:
+        """§5.1 lookup: a view answering the query entirely, or None."""
+        shape = self._shape_or_none(query)
+        if shape is None:
+            self.stats.transformed_misses += 1
+            return None
+        with self._lock:
+            entries = list(self._transformed_entries)
+        for entry in entries:
+            if not self._fresh(entry.base_versions):
+                continue
+            if not self._spec_compatible(spec, entry.spec):
+                continue
+            match = match_full_cache(shape, entry.shape)
+            if match is not None:
+                self.stats.transformed_hits += 1
+                return TransformedHit(
+                    view_name=entry.view_name,
+                    map_handle=entry.map_handle,
+                    spec=entry.spec,
+                    match=match,
+                )
+        self.stats.transformed_misses += 1
+        return None
+
+    def lookup_recode_map(
+        self, query: SelectQuery | str, spec: TransformSpec
+    ) -> str | None:
+        """§5.2 lookup: a reusable recode-map handle, or None."""
+        shape = self._shape_or_none(query)
+        if shape is None:
+            self.stats.recode_map_misses += 1
+            return None
+        with self._lock:
+            entries = list(self._recode_entries)
+        for entry in entries:
+            if not self._fresh(entry.base_versions):
+                continue
+            if match_recode_map(shape, spec, entry.shape, entry.spec) is not None:
+                self.stats.recode_map_hits += 1
+                return entry.handle
+        self.stats.recode_map_misses += 1
+        return None
+
+    # ----------------------------------------------------------- maintenance
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Explicitly drop every entry built over ``table_name``."""
+        name = table_name.lower()
+        dropped = 0
+        with self._lock:
+            before = len(self._recode_entries) + len(self._transformed_entries)
+            self._recode_entries = [
+                e for e in self._recode_entries if name not in e.shape.tables
+            ]
+            self._transformed_entries = [
+                e for e in self._transformed_entries if name not in e.shape.tables
+            ]
+            dropped = before - len(self._recode_entries) - len(self._transformed_entries)
+        self.stats.invalidations += dropped
+        return dropped
+
+    def entry_counts(self) -> tuple[int, int]:
+        """(recode-map entries, transformed entries)."""
+        with self._lock:
+            return len(self._recode_entries), len(self._transformed_entries)
+
+    # ------------------------------------------------------------- internals
+
+    def _parse(self, query: SelectQuery | str) -> SelectQuery:
+        return self._engine.parse(query) if isinstance(query, str) else query
+
+    def _shape_or_none(self, query: SelectQuery | str) -> QueryShape | None:
+        try:
+            return extract_shape(self._parse(query), self._engine)
+        except Exception:
+            return None
+
+    def _versions(self, shape: QueryShape) -> dict[str, int]:
+        return {
+            table: self._engine.catalog.get_entry(table).version
+            for table in shape.tables
+        }
+
+    def _fresh(self, versions: dict[str, int]) -> bool:
+        for table, version in versions.items():
+            try:
+                if self._engine.catalog.get_entry(table).version != version:
+                    return False
+            except Exception:
+                return False
+        return True
+
+    @staticmethod
+    def _spec_compatible(new: TransformSpec, cached: TransformSpec) -> bool:
+        """The cached (recoded-stage) view can serve the new spec when every
+        column the new spec recodes was recoded in the cached run."""
+        cached_recoded = {c.lower() for c in cached.all_recoded}
+        return {c.lower() for c in new.all_recoded} <= cached_recoded

@@ -1,0 +1,227 @@
+"""Device-rate cost model and byte accounting.
+
+Why this exists
+---------------
+The paper's experiments ran on 5 servers with 10 GbE and 12 disks each, over a
+1-billion-row table.  Re-running that on one laptop cannot reproduce absolute
+seconds, and the *relative* results (In-SQL 1.7x over naive, streaming saving
+the ~46 s DFS ingest, caching 1.5x / 2.2x) are entirely determined by how many
+bytes each stage pushes through which device and whether stages pipeline or
+materialize.  So:
+
+* every subsystem (DFS, SQL engine, MapReduce, streaming transfer, ML ingest)
+  records the bytes it actually moves into a :class:`CostLedger`;
+* the benchmark harness scales those observed counts up to paper-scale row
+  counts and converts them to seconds with the calibrated rates in
+  :class:`CostModel`;
+* stage composition follows the real structure: operators inside one pipeline
+  overlap (time = max of component times, the bottleneck), while a
+  materialization boundary serializes (time = sum).
+
+Calibration
+-----------
+Rates are calibrated from the two absolute numbers the paper gives us —
+reading the 5.6 GB transformed dataset from HDFS into Spark takes 46 s
+(122 MB/s aggregate ingest), and SVMWithSGD x10 iterations plus that read is
+774 s — plus era-appropriate hardware rates for the rest.  The shape
+assertions in ``benchmarks/`` check the reproduced ratios against the paper's.
+"""
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Aggregate cluster-level effective rates, in bytes/second.
+
+    "Aggregate" means summed across the 4 worker nodes: e.g. the SQL engine
+    scans text at ``sql_scan_bps`` across all its workers combined.
+    """
+
+    #: Big SQL text scan + parse + join + filter, aggregate over workers.
+    sql_scan_bps: float = 880e6
+    #: Serializing/producing transformed output rows (recode join + dummy).
+    sql_output_bps: float = 600e6
+    #: Speed multiplier for the recoding pass-1 scan: it projects only the
+    #: categorical columns, keeps a tiny distinct set, and serializes nothing.
+    distinct_pass_speedup: float = 1.5
+    #: Client-effective DFS write rate including 3-way replication pipeline.
+    dfs_write_bps: float = 400e6
+    #: DFS sequential read rate (aggregate).
+    dfs_read_bps: float = 1200e6
+    #: MapReduce (Jaql) per-pass processing rate over text records.  Era
+    #: MapReduce paid heavy per-record and spill overheads on top of I/O.
+    mr_process_bps: float = 95e6
+    #: Fixed startup overhead of launching one MapReduce job.
+    mr_job_startup_s: float = 15.0
+    #: Spark-style ML job: text-from-DFS parse rate into the in-memory RDD.
+    #: Calibrated to the paper: 5.6 GB read in 46 s (incl. 4 s job startup).
+    ml_hdfs_ingest_bps: float = 133e6
+    #: ML ingest rate when rows arrive pre-parsed over stream channels
+    #: (no DFS read, no text parsing — but still deserialization + RDD build).
+    ml_stream_ingest_bps: float = 230e6
+    #: Fixed startup overhead of launching one ML job.
+    ml_job_startup_s: float = 4.0
+    #: Network streaming rate between SQL and ML workers (10 GbE, 4 links).
+    stream_net_bps: float = 4000e6
+    #: Per-record CPU rate of one SGD pass over the in-memory RDD, in bytes
+    #: of in-memory labeled points ((dim+1) doubles per record).  Calibrated
+    #: to the paper's 774 s = 46 s read + 10 SGD iterations over 5.6 GB.
+    ml_sgd_bps: float = 208e6
+    #: Shuffle/exchange rate inside the SQL engine.
+    sql_shuffle_bps: float = 1000e6
+    #: Broker (Kafka-like) produce/consume rate — sequential log I/O.
+    broker_bps: float = 300e6
+    #: Fixed overhead of the broker hop (topic setup, group coordination).
+    broker_overhead_s: float = 6.0
+
+    # ------------------------------------------------------------------
+    # Per-operation timings (seconds for the given paper-scale byte count)
+    # ------------------------------------------------------------------
+
+    def sql_scan_time(self, in_bytes: float) -> float:
+        """Scan+parse+join+filter a text input of ``in_bytes``."""
+        return in_bytes / self.sql_scan_bps
+
+    def sql_output_time(self, out_bytes: float) -> float:
+        """Produce/serialize ``out_bytes`` of transformed output."""
+        return out_bytes / self.sql_output_bps
+
+    def distinct_pass_time(self, in_bytes: float) -> float:
+        """Pass 1 of two-phase recoding over ``in_bytes`` of input."""
+        return in_bytes / (self.sql_scan_bps * self.distinct_pass_speedup)
+
+    def dfs_write_time(self, nbytes: float) -> float:
+        """Write ``nbytes`` to the DFS with replication."""
+        return nbytes / self.dfs_write_bps
+
+    def dfs_read_time(self, nbytes: float) -> float:
+        """Sequentially read ``nbytes`` from the DFS."""
+        return nbytes / self.dfs_read_bps
+
+    def mr_pass_time(self, in_bytes: float, out_bytes: float) -> float:
+        """One MapReduce pass: startup + processing + replicated output write."""
+        return (
+            self.mr_job_startup_s
+            + in_bytes / self.mr_process_bps
+            + out_bytes / self.dfs_write_bps
+        )
+
+    def ml_hdfs_ingest_time(self, nbytes: float) -> float:
+        """ML job reads+parses ``nbytes`` of text from the DFS into the RDD."""
+        return self.ml_job_startup_s + nbytes / self.ml_hdfs_ingest_bps
+
+    def ml_stream_ingest_time(self, nbytes: float) -> float:
+        """ML job ingests ``nbytes`` of pre-parsed rows from stream channels."""
+        return self.ml_job_startup_s + max(
+            nbytes / self.ml_stream_ingest_bps, nbytes / self.stream_net_bps
+        )
+
+    def sgd_iteration_time(self, nbytes: float) -> float:
+        """One SGD iteration over an in-memory RDD of ``nbytes``."""
+        return nbytes / self.ml_sgd_bps
+
+    def broker_hop_time(self, nbytes: float) -> float:
+        """Produce+persist ``nbytes`` through the broker (one direction)."""
+        return self.broker_overhead_s + nbytes / self.broker_bps
+
+
+def paper_cost_model() -> CostModel:
+    """The calibration used for all paper-shape benchmarks."""
+    return CostModel()
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Simulated cost of one pipeline stage at paper scale."""
+
+    name: str
+    seconds: float
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.seconds:.1f}s"
+
+
+def sequential(name: str, stages: list[StageCost]) -> StageCost:
+    """Compose stages separated by materialization boundaries (sum)."""
+    return StageCost(
+        name=name,
+        seconds=sum(s.seconds for s in stages),
+        bytes_in=stages[0].bytes_in if stages else 0.0,
+        bytes_out=stages[-1].bytes_out if stages else 0.0,
+        detail=" + ".join(s.name for s in stages),
+    )
+
+
+def pipelined(name: str, stages: list[StageCost]) -> StageCost:
+    """Compose stages that overlap in one pipeline (bottleneck = max)."""
+    if not stages:
+        return StageCost(name=name, seconds=0.0)
+    bottleneck = max(stages, key=lambda s: s.seconds)
+    return StageCost(
+        name=name,
+        seconds=bottleneck.seconds,
+        bytes_in=stages[0].bytes_in,
+        bytes_out=stages[-1].bytes_out,
+        detail=f"bottleneck={bottleneck.name}",
+    )
+
+
+class CostLedger:
+    """Thread-safe byte counters, one per traffic category.
+
+    Categories are free-form strings; the conventional ones are listed in
+    :data:`CATEGORIES`.  Subsystems call :meth:`add` as bytes move; harnesses
+    take :meth:`snapshot` before/after a stage and diff with :meth:`delta`.
+    """
+
+    CATEGORIES = (
+        "dfs.read",
+        "dfs.write.local",
+        "dfs.write.replica_net",
+        "sql.scan",
+        "sql.shuffle",
+        "sql.output",
+        "mr.read",
+        "mr.shuffle",
+        "mr.write",
+        "stream.sent",
+        "stream.spilled",
+        "ml.ingest",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+
+    def add(self, category: str, nbytes: int) -> None:
+        """Record ``nbytes`` of traffic in ``category``."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        with self._lock:
+            self._counters[category] = self._counters.get(category, 0) + nbytes
+
+    def get(self, category: str) -> int:
+        """Current total for ``category`` (0 if never seen)."""
+        with self._lock:
+            return self._counters.get(category, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all counters at this instant."""
+        with self._lock:
+            return dict(self._counters)
+
+    @staticmethod
+    def delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+        """Per-category difference between two snapshots."""
+        keys = set(before) | set(after)
+        return {k: after.get(k, 0) - before.get(k, 0) for k in keys}
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        with self._lock:
+            self._counters.clear()

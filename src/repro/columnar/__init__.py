@@ -1,0 +1,37 @@
+"""A columnar storage format with per-partition dictionary encoding.
+
+§2.1 discusses why the dictionary compression of columnar formats (Parquet
+for Impala, ORC for Hive) cannot substitute for recoding:
+
+1. "the internal physical dictionary encoding is usually not exposed to
+   users" — here it *is* exposed (:func:`read_partition_dictionary`), so the
+   remaining arguments can be demonstrated rather than asserted;
+2. "most dictionary compression ... is applied only for a local partition of
+   data.  Therefore, we cannot directly use the local encoded integers for
+   the global recoding" — each part file in this format carries its own
+   dictionary in first-occurrence order, so the same value genuinely gets
+   different codes in different partitions (tested);
+3. "some dictionary compression algorithms may not produce consecutive
+   integers [from 1]" — codes here are 0-based file-local positions;
+4. "the recoding needs to be done on filtered data" — a filter narrows the
+   value set, so even a global dictionary would over-count cardinality.
+
+Practically, the format gives external tables a second storage option
+(``format="columnar"``) with smaller scan bytes than CSV text.
+"""
+
+from repro.columnar.format import (
+    ColumnarInputFormat,
+    decode_partition,
+    encode_partition,
+    read_partition_dictionary,
+    write_table,
+)
+
+__all__ = [
+    "ColumnarInputFormat",
+    "decode_partition",
+    "encode_partition",
+    "read_partition_dictionary",
+    "write_table",
+]

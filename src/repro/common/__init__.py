@@ -1,0 +1,34 @@
+"""Shared utilities: errors, units, configuration, deterministic randomness.
+
+Everything in :mod:`repro` builds on these primitives.  They deliberately have
+no dependencies on the rest of the package so that any subsystem can import
+them without cycles.
+"""
+
+from repro.common.errors import (
+    CacheError,
+    CatalogError,
+    ExecutionError,
+    HdfsError,
+    MLError,
+    ParseError,
+    PlanError,
+    ReproError,
+    TransferError,
+)
+from repro.common.units import format_bytes, format_duration, parse_bytes
+
+__all__ = [
+    "CacheError",
+    "CatalogError",
+    "ExecutionError",
+    "HdfsError",
+    "MLError",
+    "ParseError",
+    "PlanError",
+    "ReproError",
+    "TransferError",
+    "format_bytes",
+    "format_duration",
+    "parse_bytes",
+]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the whole package.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch all library failures with a single except clause while still being able
+to discriminate by subsystem.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class PlanError(ReproError):
+    """A parsed query could not be turned into an executable plan.
+
+    Typical causes: unknown column references, ambiguous names, aggregates
+    mixed with non-grouped columns, unsupported constructs.
+    """
+
+
+class CatalogError(ReproError):
+    """A catalog object (table, view, UDF) is missing or already exists."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed while executing a plan."""
+
+
+class HdfsError(ReproError):
+    """Base class for distributed-file-system errors."""
+
+
+class FileNotFoundInDfs(HdfsError):
+    """The requested path does not exist in the DFS namespace."""
+
+
+class FileAlreadyExists(HdfsError):
+    """Attempted to create a path that already exists."""
+
+
+class BlockError(HdfsError):
+    """A block is missing, corrupt, or under-replicated beyond repair."""
+
+
+class TransferError(ReproError):
+    """The parallel streaming transfer failed (coordinator, channel, buffer)."""
+
+
+class MLError(ReproError):
+    """An ML job or algorithm failed (bad input, non-convergence guards)."""
+
+
+class CacheError(ReproError):
+    """Cache lookup/insert/invalidation failed."""

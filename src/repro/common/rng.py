@@ -1,0 +1,32 @@
+"""Deterministic random number helpers.
+
+All synthetic data generation in the library goes through :func:`make_rng`
+so that workloads, tests, and benchmarks are reproducible run to run.
+"""
+
+import numpy as np
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Return a numpy Generator; ``None`` means non-deterministic."""
+    return np.random.default_rng(seed)
+
+
+def derive_seed(seed: int, *parts: int | str) -> int:
+    """Derive a child seed from a parent seed and a path of parts.
+
+    Used to give each partition/worker its own independent but reproducible
+    stream, e.g. ``derive_seed(base, "carts", partition_index)``.
+    """
+    h = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+    for part in parts:
+        if isinstance(part, str):
+            value = np.uint64(abs(hash(part)) & 0xFFFFFFFFFFFFFFFF)
+        else:
+            value = np.uint64(part & 0xFFFFFFFFFFFFFFFF)
+        # SplitMix64-style mixing keeps child streams decorrelated.
+        h = np.uint64((int(h) ^ int(value)) * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF)
+        h = np.uint64((int(h) ^ (int(h) >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF)
+        h = np.uint64((int(h) ^ (int(h) >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF)
+        h = np.uint64(int(h) ^ (int(h) >> 31))
+    return int(h) & 0x7FFFFFFF

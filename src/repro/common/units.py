@@ -1,0 +1,58 @@
+"""Byte-size and duration parsing/formatting helpers."""
+
+import re
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([KMGTP]?i?B?)\s*$", re.IGNORECASE)
+
+_DECIMAL = {"": 1, "B": 1, "KB": 10**3, "MB": 10**6, "GB": 10**9, "TB": 10**12, "PB": 10**15}
+_BINARY = {"KIB": 2**10, "MIB": 2**20, "GIB": 2**30, "TIB": 2**40, "PIB": 2**50}
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse a human byte size like ``"4KB"``, ``"56 GB"``, ``"1MiB"`` to bytes.
+
+    Plain numbers (int, float, or numeric strings) are taken as bytes.
+    Decimal suffixes (KB, MB, ...) are powers of 1000; binary suffixes
+    (KiB, MiB, ...) are powers of 1024, matching common convention.
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable byte size: {text!r}")
+    value, unit = match.groups()
+    unit = unit.upper()
+    if unit in _DECIMAL:
+        factor = _DECIMAL[unit]
+    elif unit in _BINARY:
+        factor = _BINARY[unit]
+    elif unit in ("K", "M", "G", "T", "P"):
+        factor = _DECIMAL[unit + "B"]
+    else:
+        raise ValueError(f"unknown byte unit: {unit!r}")
+    return int(float(value) * factor)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count with a decimal unit, e.g. ``5.6 GB``."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1000.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration, e.g. ``43.0 s`` or ``12m 34s`` for long times."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 120:
+        return f"{minutes}m {secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h {minutes:02d}m"

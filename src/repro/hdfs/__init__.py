@@ -1,0 +1,31 @@
+"""Simulated distributed file system (the paper's HDFS substrate).
+
+A :class:`~repro.hdfs.filesystem.DistributedFileSystem` is the shared medium
+of the *naive* integration approach (SQL writes its result here, Jaql
+transforms it here, the ML system ingests it from here) and the storage layer
+for external SQL tables, caches, and spill files.
+
+The implementation follows the HDFS architecture in miniature:
+
+* a :class:`~repro.hdfs.namenode.NameNode` owns the namespace and block map,
+* one :class:`~repro.hdfs.datanode.DataNode` per worker node stores block
+  replicas,
+* writes go through a replication pipeline (default factor 3, first replica
+  local to the client when possible),
+* reads prefer a local replica, and every byte moved is recorded in the
+  cluster's :class:`~repro.cluster.cost.CostLedger`.
+"""
+
+from repro.hdfs.block import Block, BlockLocation
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import DistributedFileSystem, FileStatus
+from repro.hdfs.namenode import NameNode
+
+__all__ = [
+    "Block",
+    "BlockLocation",
+    "DataNode",
+    "DistributedFileSystem",
+    "FileStatus",
+    "NameNode",
+]

@@ -1,0 +1,26 @@
+"""Block metadata types shared by the NameNode and clients."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Block:
+    """Identity and length of one DFS block (data lives on DataNodes)."""
+
+    block_id: str
+    length: int
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Where one block of a file sits, as reported to clients.
+
+    ``hosts`` are node IPs holding replicas; the classic Hadoop locality
+    contract — InputSplits advertise these so schedulers can colocate work
+    with data — is exactly what the paper's coordinator piggybacks on.
+    """
+
+    block_id: str
+    offset: int
+    length: int
+    hosts: tuple[str, ...]

@@ -1,0 +1,63 @@
+"""DataNode: block replica storage on one worker node."""
+
+import threading
+
+from repro.cluster.cost import CostLedger
+from repro.cluster.node import Node
+from repro.common.errors import BlockError
+
+
+class DataNode:
+    """Stores block replicas for one cluster node.
+
+    Byte accounting: a local write records ``dfs.write.local``; when the
+    writer's client sits on a different node the replication pipeline also
+    records ``dfs.write.replica_net`` (handled by the filesystem client,
+    which knows the client's node).  Reads record ``dfs.read``.
+    """
+
+    def __init__(self, node: Node, ledger: CostLedger):
+        self.node = node
+        self.ledger = ledger
+        self._blocks: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def write_block(self, block_id: str, data: bytes) -> None:
+        """Store one replica of ``block_id``."""
+        with self._lock:
+            if block_id in self._blocks:
+                raise BlockError(f"block {block_id} already stored on {self.node.hostname}")
+            self._blocks[block_id] = data
+        self.ledger.add("dfs.write.local", len(data))
+
+    def read_block(self, block_id: str) -> bytes:
+        """Return the replica bytes (raises if not stored here)."""
+        with self._lock:
+            try:
+                data = self._blocks[block_id]
+            except KeyError:
+                raise BlockError(
+                    f"block {block_id} not stored on {self.node.hostname}"
+                ) from None
+        self.ledger.add("dfs.read", len(data))
+        return data
+
+    def has_block(self, block_id: str) -> bool:
+        """True when this DataNode holds a replica of ``block_id``."""
+        with self._lock:
+            return block_id in self._blocks
+
+    def delete_block(self, block_id: str) -> None:
+        """Drop the replica; deleting an absent block is a no-op."""
+        with self._lock:
+            self._blocks.pop(block_id, None)
+
+    def used_bytes(self) -> int:
+        """Total bytes of replicas stored here."""
+        with self._lock:
+            return sum(len(d) for d in self._blocks.values())
+
+    def block_count(self) -> int:
+        """Number of replicas stored here."""
+        with self._lock:
+            return len(self._blocks)

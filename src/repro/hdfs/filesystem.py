@@ -1,0 +1,284 @@
+"""Client-facing DFS API: writers, readers, namespace operations."""
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import FileNotFoundInDfs, HdfsError
+from repro.hdfs.block import BlockLocation
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode, _normalize
+
+DEFAULT_BLOCK_SIZE = 8 * 1024 * 1024  # small blocks keep scaled runs splittable
+DEFAULT_REPLICATION = 3
+
+
+@dataclass(frozen=True)
+class FileStatus:
+    """Client view of one file's metadata."""
+
+    path: str
+    length: int
+    block_size: int
+    replication: int
+    num_blocks: int
+
+
+class DfsWriter:
+    """Streaming writer that chunks data into replicated blocks.
+
+    Accounting: each replica write lands on a DataNode (``dfs.write.local``);
+    replicas stored away from the client's node additionally cost
+    ``dfs.write.replica_net`` network bytes, mimicking the HDFS replication
+    pipeline over the wire.
+    """
+
+    def __init__(self, fs: "DistributedFileSystem", path: str, client_ip: str | None):
+        self._fs = fs
+        self._path = path
+        self._client_ip = client_ip
+        self._buffer = bytearray()
+        self._closed = False
+        fs.namenode.create_file(path, fs.replication, fs.block_size)
+
+    def write(self, data: bytes | str) -> int:
+        """Append bytes (str is UTF-8 encoded); returns bytes written."""
+        if self._closed:
+            raise HdfsError(f"writer for {self._path} is closed")
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self._buffer.extend(data)
+        while len(self._buffer) >= self._fs.block_size:
+            chunk = bytes(self._buffer[: self._fs.block_size])
+            del self._buffer[: self._fs.block_size]
+            self._flush_block(chunk)
+        return len(data)
+
+    def close(self) -> None:
+        """Flush the tail block and seal the file."""
+        if self._closed:
+            return
+        if self._buffer:
+            self._flush_block(bytes(self._buffer))
+            self._buffer.clear()
+        self._fs.namenode.complete_file(self._path)
+        self._closed = True
+
+    def __enter__(self) -> "DfsWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _flush_block(self, chunk: bytes) -> None:
+        block, hosts = self._fs.namenode.allocate_block(
+            self._path, len(chunk), self._client_ip
+        )
+        for host in hosts:
+            self._fs.datanodes[host].write_block(block.block_id, chunk)
+            if host != self._client_ip:
+                self._fs.ledger.add("dfs.write.replica_net", len(chunk))
+
+
+class DfsReader:
+    """Sequential reader across a file's blocks, preferring local replicas."""
+
+    def __init__(self, fs: "DistributedFileSystem", path: str, client_ip: str | None):
+        self._fs = fs
+        self._path = path
+        self._client_ip = client_ip
+        self._locations = fs.namenode.block_locations(path)
+        self._block_index = 0
+        self._block_data = b""
+        self._block_pos = 0
+        self._closed = False
+
+    def read(self, size: int = -1) -> bytes:
+        """Read up to ``size`` bytes (-1 = to end of file)."""
+        if self._closed:
+            raise HdfsError(f"reader for {self._path} is closed")
+        chunks: list[bytes] = []
+        remaining = size if size >= 0 else float("inf")
+        while remaining > 0:
+            if self._block_pos >= len(self._block_data):
+                if not self._load_next_block():
+                    break
+            take = len(self._block_data) - self._block_pos
+            if take > remaining:
+                take = int(remaining)
+            chunks.append(self._block_data[self._block_pos : self._block_pos + take])
+            self._block_pos += take
+            remaining -= take
+        return b"".join(chunks)
+
+    def seek(self, offset: int) -> None:
+        """Position the reader at exactly ``offset`` bytes into the file.
+
+        Loads the containing block; used by InputFormat record readers that
+        process one byte-range split at a time.  Seeking to the end of the
+        file is allowed (subsequent reads return empty).
+        """
+        total = sum(loc.length for loc in self._locations)
+        if offset == total:
+            self._block_index = len(self._locations)
+            self._block_data = b""
+            self._block_pos = 0
+            return
+        for i, loc in enumerate(self._locations):
+            if loc.offset <= offset < loc.offset + loc.length:
+                self._block_index = i
+                self._block_data = b""
+                self._block_pos = 0
+                self._load_next_block()
+                self._block_pos = offset - loc.offset
+                return
+        raise HdfsError(f"offset {offset} beyond end of {self._path}")
+
+    def position(self) -> int:
+        """Current byte offset into the file."""
+        if self._block_index == 0 and not self._block_data:
+            return 0
+        if self._block_index > len(self._locations):
+            raise HdfsError("reader position corrupted")
+        if self._block_index == 0:
+            return self._block_pos
+        consumed_blocks = self._block_index - 1 if self._block_data else self._block_index
+        base = sum(loc.length for loc in self._locations[:consumed_blocks])
+        return base + (self._block_pos if self._block_data else 0)
+
+    def close(self) -> None:
+        self._closed = True
+        self._block_data = b""
+
+    def __enter__(self) -> "DfsReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _load_next_block(self) -> bool:
+        if self._block_index >= len(self._locations):
+            return False
+        loc = self._locations[self._block_index]
+        host = self._pick_replica(loc)
+        self._block_data = self._fs.datanodes[host].read_block(loc.block_id)
+        self._block_pos = 0
+        self._block_index += 1
+        if host != self._client_ip:
+            self._fs.ledger.add("dfs.read.remote_net", len(self._block_data))
+        return True
+
+    def _pick_replica(self, loc: BlockLocation) -> str:
+        if self._client_ip in loc.hosts:
+            return self._client_ip
+        return loc.hosts[0]
+
+
+class DistributedFileSystem:
+    """The façade every other subsystem talks to.
+
+    One DataNode is created per cluster worker node; the NameNode lives on
+    the head.  All traffic is recorded in the cluster's ledger.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = DEFAULT_REPLICATION,
+    ):
+        self.cluster = cluster
+        self.block_size = block_size
+        self.replication = replication
+        self.ledger = cluster.ledger
+        worker_ips = [n.ip for n in cluster.workers]
+        self.namenode = NameNode(worker_ips)
+        self.datanodes: dict[str, DataNode] = {
+            n.ip: DataNode(n, self.ledger) for n in cluster.workers
+        }
+
+    # ------------------------------------------------------------------ I/O
+
+    def create(self, path: str, client_ip: str | None = None) -> DfsWriter:
+        """Open a new file for writing."""
+        return DfsWriter(self, path, client_ip)
+
+    def open(self, path: str, client_ip: str | None = None) -> DfsReader:
+        """Open a completed file for reading."""
+        return DfsReader(self, path, client_ip)
+
+    def write_bytes(self, path: str, data: bytes, client_ip: str | None = None) -> None:
+        """Write a whole file in one call."""
+        with self.create(path, client_ip) as writer:
+            writer.write(data)
+
+    def read_bytes(self, path: str, client_ip: str | None = None) -> bytes:
+        """Read a whole file in one call."""
+        with self.open(path, client_ip) as reader:
+            return reader.read()
+
+    def write_text(self, path: str, text: str, client_ip: str | None = None) -> None:
+        """Write a whole text file (UTF-8)."""
+        self.write_bytes(path, text.encode("utf-8"), client_ip)
+
+    def read_text(self, path: str, client_ip: str | None = None) -> str:
+        """Read a whole text file (UTF-8)."""
+        return self.read_bytes(path, client_ip).decode("utf-8")
+
+    # ------------------------------------------------------------ namespace
+
+    def exists(self, path: str) -> bool:
+        """True for a file or directory."""
+        return self.namenode.exists(path)
+
+    def is_dir(self, path: str) -> bool:
+        """True for a directory."""
+        return self.namenode.is_dir(path)
+
+    def mkdirs(self, path: str) -> None:
+        """Create a directory and missing parents."""
+        self.namenode.mkdirs(path)
+
+    def listdir(self, path: str) -> list[str]:
+        """Immediate children of a directory (full paths, sorted)."""
+        return self.namenode.listdir(path)
+
+    def list_files(self, path: str) -> list[str]:
+        """All files under ``path`` — itself if a file, else recursive."""
+        path = _normalize(path)
+        if self.namenode.is_dir(path):
+            files: list[str] = []
+            for child in self.listdir(path):
+                files.extend(self.list_files(child))
+            return files
+        if self.exists(path):
+            return [path]
+        raise FileNotFoundInDfs(path)
+
+    def delete(self, path: str, recursive: bool = False) -> None:
+        """Remove a file or directory tree, reclaiming block replicas."""
+        for block_id in self.namenode.delete(path, recursive):
+            for datanode in self.datanodes.values():
+                datanode.delete_block(block_id)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Rename a completed file."""
+        self.namenode.rename(src, dst)
+
+    def status(self, path: str) -> FileStatus:
+        """Metadata of a completed file."""
+        meta = self.namenode.get_file(path)
+        return FileStatus(
+            path=meta.path,
+            length=meta.length,
+            block_size=meta.block_size,
+            replication=meta.replication,
+            num_blocks=len(meta.blocks),
+        )
+
+    def block_locations(self, path: str) -> list[BlockLocation]:
+        """Per-block replica locations of a file."""
+        return self.namenode.block_locations(path)
+
+    def total_size(self, path: str) -> int:
+        """Sum of file lengths under ``path`` (logical, not replicated)."""
+        return sum(self.status(f).length for f in self.list_files(path))

@@ -1,0 +1,223 @@
+"""NameNode: the DFS namespace and block map."""
+
+import itertools
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.common.errors import FileAlreadyExists, FileNotFoundInDfs, HdfsError
+from repro.hdfs.block import Block, BlockLocation
+
+
+def _normalize(path: str) -> str:
+    """Canonicalize a DFS path: absolute, single slashes, no trailing slash."""
+    if not path or not path.startswith("/"):
+        raise HdfsError(f"DFS paths must be absolute: {path!r}")
+    parts = [p for p in path.split("/") if p]
+    for part in parts:
+        if part in (".", ".."):
+            raise HdfsError(f"relative components not allowed: {path!r}")
+    return "/" + "/".join(parts)
+
+
+@dataclass
+class FileMeta:
+    """Namespace entry for one file."""
+
+    path: str
+    replication: int
+    block_size: int
+    blocks: list[Block] = field(default_factory=list)
+    # block_id -> replica host IPs
+    replica_hosts: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    complete: bool = False
+
+    @property
+    def length(self) -> int:
+        return sum(b.length for b in self.blocks)
+
+
+class NameNode:
+    """Owns the namespace tree and block placement decisions.
+
+    Placement follows the simplified classic HDFS policy: first replica on
+    the writing client's node when that node hosts a DataNode, remaining
+    replicas on distinct other nodes chosen pseudo-randomly (seeded, so runs
+    are reproducible).
+    """
+
+    def __init__(self, datanode_ips: list[str], seed: int = 7):
+        if not datanode_ips:
+            raise HdfsError("a NameNode needs at least one DataNode")
+        self._datanode_ips = list(datanode_ips)
+        self._files: dict[str, FileMeta] = {}
+        self._dirs: set[str] = {"/"}
+        self._lock = threading.Lock()
+        self._block_counter = itertools.count(1)
+        self._rng = random.Random(seed)
+
+    # ---------------------------------------------------------------- files
+
+    def create_file(self, path: str, replication: int, block_size: int) -> FileMeta:
+        """Begin writing a new file (fails if the path exists)."""
+        path = _normalize(path)
+        replication = min(replication, len(self._datanode_ips))
+        if replication < 1 or block_size < 1:
+            raise HdfsError("replication and block_size must be >= 1")
+        with self._lock:
+            if path in self._files:
+                raise FileAlreadyExists(path)
+            if path in self._dirs:
+                raise FileAlreadyExists(f"{path} is a directory")
+            meta = FileMeta(path=path, replication=replication, block_size=block_size)
+            self._files[path] = meta
+            self._ensure_parents(path)
+            return meta
+
+    def allocate_block(self, path: str, length: int, client_ip: str | None) -> tuple[Block, tuple[str, ...]]:
+        """Allocate the next block of ``path`` and choose replica hosts."""
+        path = _normalize(path)
+        with self._lock:
+            meta = self._files.get(path)
+            if meta is None:
+                raise FileNotFoundInDfs(path)
+            if meta.complete:
+                raise HdfsError(f"cannot append to completed file {path}")
+            block = Block(block_id=f"blk_{next(self._block_counter):010d}", length=length)
+            hosts = self._choose_replicas(meta.replication, client_ip)
+            meta.blocks.append(block)
+            meta.replica_hosts[block.block_id] = hosts
+            return block, hosts
+
+    def complete_file(self, path: str) -> None:
+        """Seal the file; it becomes visible to readers."""
+        path = _normalize(path)
+        with self._lock:
+            meta = self._files.get(path)
+            if meta is None:
+                raise FileNotFoundInDfs(path)
+            meta.complete = True
+
+    def get_file(self, path: str) -> FileMeta:
+        """Metadata of a completed file."""
+        path = _normalize(path)
+        with self._lock:
+            meta = self._files.get(path)
+            if meta is None or not meta.complete:
+                raise FileNotFoundInDfs(path)
+            return meta
+
+    def block_locations(self, path: str) -> list[BlockLocation]:
+        """Per-block replica locations, in file order with byte offsets."""
+        meta = self.get_file(path)
+        locations = []
+        offset = 0
+        for block in meta.blocks:
+            locations.append(
+                BlockLocation(
+                    block_id=block.block_id,
+                    offset=offset,
+                    length=block.length,
+                    hosts=meta.replica_hosts[block.block_id],
+                )
+            )
+            offset += block.length
+        return locations
+
+    # ------------------------------------------------------------ namespace
+
+    def exists(self, path: str) -> bool:
+        """True for a completed file or a directory."""
+        path = _normalize(path)
+        with self._lock:
+            meta = self._files.get(path)
+            if meta is not None:
+                return meta.complete
+            return path in self._dirs
+
+    def is_dir(self, path: str) -> bool:
+        """True when ``path`` is a directory."""
+        path = _normalize(path)
+        with self._lock:
+            return path in self._dirs
+
+    def mkdirs(self, path: str) -> None:
+        """Create a directory and all missing parents."""
+        path = _normalize(path)
+        with self._lock:
+            if path in self._files:
+                raise FileAlreadyExists(f"{path} is a file")
+            self._dirs.add(path)
+            self._ensure_parents(path + "/x")
+
+    def listdir(self, path: str) -> list[str]:
+        """Immediate children (full paths) of a directory, sorted."""
+        path = _normalize(path)
+        with self._lock:
+            if path not in self._dirs:
+                raise FileNotFoundInDfs(path)
+            prefix = path if path.endswith("/") else path + "/"
+            children = set()
+            for candidate in itertools.chain(self._files, self._dirs):
+                if candidate != path and candidate.startswith(prefix):
+                    rest = candidate[len(prefix):]
+                    children.add(prefix + rest.split("/", 1)[0])
+            return sorted(children)
+
+    def delete(self, path: str, recursive: bool = False) -> list[str]:
+        """Remove a file or directory; returns the block ids to reclaim."""
+        path = _normalize(path)
+        with self._lock:
+            if path in self._files:
+                meta = self._files.pop(path)
+                return [b.block_id for b in meta.blocks]
+            if path in self._dirs:
+                prefix = path + "/"
+                inside_files = [p for p in self._files if p.startswith(prefix)]
+                inside_dirs = [p for p in self._dirs if p.startswith(prefix)]
+                if (inside_files or inside_dirs) and not recursive:
+                    raise HdfsError(f"directory not empty: {path}")
+                reclaimed: list[str] = []
+                for p in inside_files:
+                    reclaimed.extend(b.block_id for b in self._files.pop(p).blocks)
+                for p in inside_dirs:
+                    self._dirs.discard(p)
+                self._dirs.discard(path)
+                return reclaimed
+            raise FileNotFoundInDfs(path)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Rename a completed file (directories not supported)."""
+        src, dst = _normalize(src), _normalize(dst)
+        with self._lock:
+            meta = self._files.get(src)
+            if meta is None:
+                raise FileNotFoundInDfs(src)
+            if dst in self._files or dst in self._dirs:
+                raise FileAlreadyExists(dst)
+            del self._files[src]
+            meta.path = dst
+            self._files[dst] = meta
+            self._ensure_parents(dst)
+
+    def replica_map(self, path: str) -> dict[str, tuple[str, ...]]:
+        """block_id -> replica host IPs for one file."""
+        return dict(self.get_file(path).replica_hosts)
+
+    # -------------------------------------------------------------- helpers
+
+    def _ensure_parents(self, path: str) -> None:
+        parts = [p for p in path.split("/") if p][:-1]
+        current = ""
+        for part in parts:
+            current += "/" + part
+            self._dirs.add(current)
+
+    def _choose_replicas(self, replication: int, client_ip: str | None) -> tuple[str, ...]:
+        chosen: list[str] = []
+        if client_ip in self._datanode_ips:
+            chosen.append(client_ip)
+        remaining = [ip for ip in self._datanode_ips if ip not in chosen]
+        self._rng.shuffle(remaining)
+        chosen.extend(remaining[: replication - len(chosen)])
+        return tuple(chosen[:replication])

@@ -1,0 +1,22 @@
+"""End-to-end integration pipelines (the paper's §7 experiment subjects).
+
+:class:`~repro.integration.pipeline.AnalyticsPipeline` wires everything
+together and exposes the three connection strategies of Figure 3:
+
+* ``run_naive``      — SQL result to DFS, Jaql/MapReduce transform to DFS,
+  ML ingests from DFS (three materializations);
+* ``run_insql``      — transformations pipelined into the SQL query via
+  UDFs; one DFS hop remains between SQL and ML;
+* ``run_insql_stream`` — In-SQL transformation plus the §3 parallel
+  streaming transfer; nothing touches the DFS.
+
+plus the §5 caching variants of Figure 4 (``use_cache`` / cache-population
+flags).  Every run returns a :class:`~repro.integration.stages.PipelineResult`
+with both wall-clock and paper-scale simulated stage timings.
+"""
+
+from repro.integration.jaql import JaqlEngine
+from repro.integration.pipeline import AnalyticsPipeline
+from repro.integration.stages import PipelineResult, StageTiming
+
+__all__ = ["AnalyticsPipeline", "JaqlEngine", "PipelineResult", "StageTiming"]

@@ -1,0 +1,152 @@
+"""The naive baseline's third-party transformation hop: "Jaql".
+
+In the paper's Figure 3 naive pipeline, the SQL result materialized on HDFS
+is recoded and dummy-coded by Jaql, "since Jaql has built-in functions for
+recoding of categorical variables and dummy coding", and Jaql compiles to
+MapReduce.  This module is that tool: a small transformation engine whose
+recode/dummy-code built-ins run as two MapReduce jobs over the DFS —
+
+* job 1 scans the input and reduces to the global distinct values of the
+  categorical columns (from which the recode map is assigned);
+* job 2 rewrites every record (recode + one-hot expansion) and writes the
+  transformed text back to the DFS.
+
+Both jobs read from and write to the DFS — exactly the extra
+materializations that make the naive approach lose to In-SQL transformation.
+"""
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.hdfs.filesystem import DistributedFileSystem
+from repro.iofmt.text import CsvInputFormat
+from repro.mapreduce.framework import JobCounters, MapReduceJob
+from repro.sql.types import Schema
+from repro.transform.recode import RecodeMap
+from repro.transform.spec import TransformSpec
+
+
+@dataclass
+class JaqlResult:
+    """What one transform run produced."""
+
+    output_dir: str
+    recode_map: RecodeMap
+    records: int
+    distinct_job: JobCounters
+    transform_job: JobCounters
+
+
+class JaqlEngine:
+    """Recode + dummy-code CSV data resident on the DFS, via MapReduce."""
+
+    def __init__(self, cluster: Cluster, dfs: DistributedFileSystem):
+        self.cluster = cluster
+        self.dfs = dfs
+
+    def transform(
+        self,
+        input_dir: str,
+        output_dir: str,
+        schema: Schema,
+        spec: TransformSpec,
+        num_reducers: int = 4,
+    ) -> JaqlResult:
+        """Transform ``input_dir`` CSV (with ``schema``) into ``output_dir``.
+
+        Output column order matches the In-SQL transformation: recoded
+        columns in place, dummy columns expanded in place ordered by code —
+        so downstream ML configuration is identical across approaches.
+        """
+        recoded_indexes = [
+            (name.lower(), schema.resolve(None, name)) for name in spec.all_recoded
+        ]
+
+        # ---- job 1: global distinct values of the categorical columns
+        def distinct_mapper(fields: list[str]):
+            for name, index in recoded_indexes:
+                value = fields[index]
+                if value != "":
+                    yield (name, value), 1
+
+        def distinct_combiner(key, values):
+            yield 1  # collapse duplicates early, like Jaql's distinct
+
+        def distinct_reducer(key, values):
+            name, value = key
+            yield f"{name},{value}"
+
+        distinct_dir = output_dir.rstrip("/") + "__distinct"
+        job1 = MapReduceJob(
+            name="jaql-distinct",
+            mapper=distinct_mapper,
+            combiner=distinct_combiner,
+            reducer=distinct_reducer,
+            num_reducers=num_reducers,
+            input_format=CsvInputFormat(),
+        )
+        counters1 = job1.run(self.cluster, self.dfs, input_dir, distinct_dir)
+
+        distinct_rows = []
+        for path in self.dfs.list_files(distinct_dir):
+            for line in self.dfs.read_text(path).splitlines():
+                if line:
+                    name, value = line.split(",", 1)
+                    distinct_rows.append((name, value))
+        recode_map = RecodeMap.from_distinct_rows(distinct_rows)
+
+        # ---- job 2: recode + dummy-code every record
+        dummy_set = {c.lower() for c in spec.dummy}
+        recode_only = {
+            name for name, _ in recoded_indexes if name not in dummy_set
+        }
+        layout = []  # per input column: ("copy"|"recode"|"dummy", index, name)
+        for i, column in enumerate(schema):
+            name = column.name.lower()
+            if name in dummy_set:
+                layout.append(("dummy", i, name))
+            elif name in recode_only:
+                layout.append(("recode", i, name))
+            else:
+                layout.append(("copy", i, name))
+
+        mappings = {
+            name: recode_map.mapping_or_empty(name) for name, _ in recoded_indexes
+        }
+        cardinalities = {name: len(mappings[name]) for name in dummy_set}
+
+        def transform_mapper(fields: list[str]):
+            out: list[str] = []
+            for kind, index, name in layout:
+                value = fields[index]
+                if kind == "copy":
+                    out.append(value)
+                elif kind == "recode":
+                    code = mappings[name].get(value)
+                    out.append("" if code is None else str(code))
+                else:
+                    k = cardinalities[name]
+                    code = mappings[name].get(value)
+                    indicators = ["0"] * k
+                    if code is not None:
+                        indicators[code - 1] = "1"
+                    out.extend(indicators)
+            # Spread records over reducers to keep output parallel.
+            yield hash(fields[0]) if fields else 0, ",".join(out)
+
+        job2 = MapReduceJob(
+            name="jaql-transform",
+            mapper=transform_mapper,
+            reducer=None,
+            num_reducers=num_reducers,
+            input_format=CsvInputFormat(),
+        )
+        counters2 = job2.run(self.cluster, self.dfs, input_dir, output_dir)
+
+        return JaqlResult(
+            output_dir=output_dir,
+            recode_map=recode_map,
+            records=counters2.map_input_records,
+            distinct_job=counters1,
+            transform_job=counters2,
+        )

@@ -1,0 +1,63 @@
+"""Stage timing records and reporting for pipeline runs."""
+
+from dataclasses import dataclass, field
+
+from repro.common.units import format_bytes, format_duration
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One pipeline stage: measured wall time plus simulated paper-scale time.
+
+    ``counted`` mirrors the paper's methodology: the ML training time is
+    reported but excluded from the whole-workflow comparison ("We do not
+    report the runtime of the ML algorithm").
+    """
+
+    name: str
+    sim_seconds: float
+    wall_seconds: float
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    counted: bool = True
+
+
+@dataclass
+class PipelineResult:
+    """Everything one end-to-end run produced."""
+
+    approach: str
+    stages: list[StageTiming] = field(default_factory=list)
+    ml_result: object = None
+    rewrite_kind: str | None = None
+    #: set by the broker transfer path: the topic the data went through
+    broker_topic: str | None = None
+    #: streaming runs with retry enabled record how many attempts ran (§6)
+    attempts: int = 1
+
+    @property
+    def total_sim_seconds(self) -> float:
+        """Paper-scale seconds of the counted stages."""
+        return sum(s.sim_seconds for s in self.stages if s.counted)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.stages if s.counted)
+
+    def stage(self, name: str) -> StageTiming:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage {name!r}; have {[s.name for s in self.stages]}")
+
+    def breakdown(self) -> str:
+        """Human-readable stage table (simulated paper-scale seconds)."""
+        lines = [f"{self.approach} — total {format_duration(self.total_sim_seconds)} (simulated)"]
+        for s in self.stages:
+            marker = "" if s.counted else "  [excluded from total]"
+            lines.append(
+                f"  {s.name:<22} {s.sim_seconds:8.1f} s   "
+                f"in={format_bytes(s.bytes_in):>10}  out={format_bytes(s.bytes_out):>10}"
+                f"{marker}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Hadoop-style input interfaces: InputFormat / InputSplit / RecordReader.
+
+The paper's generality claim is that its transfer method works with "any big
+ML system that uses Hadoop InputFormats to ingest input data".  This package
+is that interface in miniature: the ML job framework (:mod:`repro.ml`) and
+the MapReduce substrate (:mod:`repro.mapreduce`) consume *only* this API, so
+swapping the DFS-backed :class:`TextInputFormat` for the live
+``SQLStreamInputFormat`` (:mod:`repro.transfer`) is the single job-config
+change the paper advertises.
+"""
+
+from repro.iofmt.inputformat import InputFormat, InputSplit, JobConf, RecordReader
+from repro.iofmt.text import CsvInputFormat, FileSplit, TextInputFormat
+
+__all__ = [
+    "CsvInputFormat",
+    "FileSplit",
+    "InputFormat",
+    "InputSplit",
+    "JobConf",
+    "RecordReader",
+    "TextInputFormat",
+]

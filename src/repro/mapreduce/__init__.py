@@ -1,0 +1,13 @@
+"""A MapReduce framework over the simulated DFS.
+
+This is the substrate for the *naive* baseline's third-party transformation
+hop: the paper's Figure 3 uses Jaql (which compiles to MapReduce) to recode
+and dummy-code the SQL output sitting on HDFS.  The framework implements the
+classic execution model — InputFormat splits, parallel map tasks, hash
+shuffle with per-partition sort, reduce tasks writing replicated part files —
+with byte accounting under the ``mr.*`` ledger categories.
+"""
+
+from repro.mapreduce.framework import JobCounters, MapReduceJob
+
+__all__ = ["JobCounters", "MapReduceJob"]

@@ -1,0 +1,155 @@
+"""MapReduce execution: map -> shuffle/sort -> reduce over DFS text files."""
+
+from collections.abc import Callable, Iterable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import ExecutionError
+from repro.hdfs.filesystem import DistributedFileSystem
+from repro.iofmt.inputformat import InputFormat, JobConf
+from repro.iofmt.text import TextInputFormat
+from repro.sql.types import estimate_value_bytes
+
+#: mapper(record) -> iterable of (key, value)
+Mapper = Callable[[object], Iterable[tuple]]
+#: reducer(key, values) -> iterable of output lines (str)
+Reducer = Callable[[object, list], Iterable[str]]
+
+
+@dataclass
+class JobCounters:
+    """What one job did, in records and bytes."""
+
+    map_input_records: int = 0
+    map_output_records: int = 0
+    reduce_input_groups: int = 0
+    output_records: int = 0
+    shuffle_bytes: int = 0
+    output_files: list[str] = field(default_factory=list)
+
+
+class MapReduceJob:
+    """One configurable MapReduce job.
+
+    ``mapper`` is required; ``reducer`` optional (map-only jobs write the
+    mapper's *values* directly, one per line).  ``combiner`` runs per map
+    task on locally grouped values, like Hadoop's.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mapper: Mapper,
+        reducer: Reducer | None = None,
+        combiner: Reducer | None = None,
+        num_reducers: int = 4,
+        input_format: InputFormat | None = None,
+        mappers_per_node: int = 9,
+    ):
+        if num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+        self.name = name
+        self.mapper = mapper
+        self.reducer = reducer
+        self.combiner = combiner
+        self.num_reducers = num_reducers
+        self.input_format = input_format or TextInputFormat()
+        self.mappers_per_node = mappers_per_node
+
+    def run(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFileSystem,
+        input_path: str,
+        output_dir: str,
+        conf_props: dict | None = None,
+    ) -> JobCounters:
+        """Execute the job; output lands as part files under ``output_dir``."""
+        if dfs.exists(output_dir):
+            raise ExecutionError(f"output directory {output_dir} already exists")
+        counters = JobCounters()
+        conf = JobConf(dict(conf_props or {}, **{"input.path": input_path}), dfs=dfs)
+        num_map_tasks = len(cluster.workers) * self.mappers_per_node
+        splits = self.input_format.get_splits(conf, num_map_tasks)
+        ledger = cluster.ledger
+        ledger.add("mr.read", sum(s.length() for s in splits))
+
+        def map_task(split) -> list[dict]:
+            """Returns one dict (key -> list of values) per reduce partition."""
+            buckets: list[dict] = [dict() for _ in range(self.num_reducers)]
+            records_in = 0
+            records_out = 0
+            with self.input_format.create_record_reader(split, conf) as reader:
+                for record in reader:
+                    records_in += 1
+                    for key, value in self.mapper(record):
+                        records_out += 1
+                        bucket = buckets[hash(key) % self.num_reducers]
+                        bucket.setdefault(key, []).append(value)
+            if self.combiner is not None:
+                for i, bucket in enumerate(buckets):
+                    combined: dict = {}
+                    for key, values in bucket.items():
+                        for out in self.combiner(key, values):
+                            combined.setdefault(key, []).append(out)
+                    buckets[i] = combined
+            return [records_in, records_out, buckets]
+
+        max_workers = max(len(cluster.workers), 1)
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            map_results = list(pool.map(map_task, splits))
+
+        shuffle: list[dict] = [dict() for _ in range(self.num_reducers)]
+        shuffle_bytes = 0
+        for records_in, records_out, buckets in map_results:
+            counters.map_input_records += records_in
+            counters.map_output_records += records_out
+            for i, bucket in enumerate(buckets):
+                target = shuffle[i]
+                for key, values in bucket.items():
+                    shuffle_bytes += sum(
+                        estimate_value_bytes(key) + estimate_value_bytes(v)
+                        for v in values
+                    )
+                    target.setdefault(key, []).extend(values)
+        counters.shuffle_bytes = shuffle_bytes
+        ledger.add("mr.shuffle", shuffle_bytes)
+
+        dfs.mkdirs(output_dir)
+        worker_ips = [n.ip for n in cluster.workers]
+
+        def reduce_task(index: int) -> tuple[int, int, str | None]:
+            groups = shuffle[index]
+            if self.reducer is None:
+                lines = [str(v) for values in groups.values() for v in values]
+                group_count = len(groups)
+            else:
+                lines = []
+                group_count = 0
+                for key in sorted(groups, key=_sort_key):
+                    group_count += 1
+                    lines.extend(self.reducer(key, groups[key]))
+            if not lines:
+                return group_count, 0, None
+            path = f"{output_dir}/part-r-{index:05d}"
+            client_ip = worker_ips[index % len(worker_ips)]
+            text = "\n".join(lines) + "\n"
+            dfs.write_text(path, text, client_ip=client_ip)
+            ledger.add("mr.write", len(text.encode("utf-8")))
+            return group_count, len(lines), path
+
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            reduce_results = list(pool.map(reduce_task, range(self.num_reducers)))
+
+        for group_count, line_count, path in reduce_results:
+            counters.reduce_input_groups += group_count
+            counters.output_records += line_count
+            if path is not None:
+                counters.output_files.append(path)
+        return counters
+
+
+def _sort_key(key):
+    """Total order over heterogeneous keys (None first, then by type name)."""
+    return (key is not None, type(key).__name__, key if key is not None else 0)

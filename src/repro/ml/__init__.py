@@ -1,0 +1,29 @@
+"""The "big ML system" substrate (the paper's Spark MLlib stand-in).
+
+Architecture mirrors what the paper assumes of any Hadoop-era ML system:
+
+* an :class:`~repro.ml.system.MLSystem` runs *jobs*; a job is named by a
+  command string plus arguments (exactly what the SQL-side streaming UDF
+  hands the coordinator so it can launch the ML side, §3 step 2);
+* each job ingests its input **only** through a Hadoop-style
+  :class:`~repro.iofmt.inputformat.InputFormat` — one worker per InputSplit,
+  scheduled next to the split's advertised location when possible — into an
+  in-memory partitioned :class:`~repro.ml.dataset.Dataset` (the RDD);
+* the algorithms (:mod:`repro.ml.algorithms`) then iterate over that
+  in-memory dataset: SVM with SGD (the paper's evaluation workload),
+  logistic regression, naive Bayes, decision trees, k-means, and linear
+  regression — the classifier menu §5.1 motivates caching with.
+"""
+
+from repro.ml.dataset import Dataset, LabeledPoint
+from repro.ml.job import IngestStats, MLJob
+from repro.ml.system import MLJobResult, MLSystem
+
+__all__ = [
+    "Dataset",
+    "IngestStats",
+    "LabeledPoint",
+    "MLJob",
+    "MLJobResult",
+    "MLSystem",
+]

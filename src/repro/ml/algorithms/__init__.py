@@ -1,0 +1,28 @@
+"""From-scratch distributed-style ML algorithms over :class:`Dataset`.
+
+Each trainer aggregates per-partition statistics or gradients and combines
+them centrally — the MLlib execution shape — so the partition structure the
+ingest produced is what the solvers actually iterate over.
+"""
+
+from repro.ml.algorithms.kmeans import KMeans, KMeansModel
+from repro.ml.algorithms.linreg import LinearRegression, LinearRegressionModel
+from repro.ml.algorithms.logistic import LogisticRegressionWithSGD, LogisticRegressionModel
+from repro.ml.algorithms.naive_bayes import NaiveBayes, NaiveBayesModel
+from repro.ml.algorithms.svm import SVMModel, SVMWithSGD
+from repro.ml.algorithms.tree import DecisionTree, DecisionTreeModel
+
+__all__ = [
+    "DecisionTree",
+    "DecisionTreeModel",
+    "KMeans",
+    "KMeansModel",
+    "LinearRegression",
+    "LinearRegressionModel",
+    "LogisticRegressionModel",
+    "LogisticRegressionWithSGD",
+    "NaiveBayes",
+    "NaiveBayesModel",
+    "SVMModel",
+    "SVMWithSGD",
+]

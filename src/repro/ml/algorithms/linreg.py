@@ -1,0 +1,79 @@
+"""Linear regression: distributed normal equations (default) or SGD."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MLError
+from repro.ml.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class LinearRegressionModel:
+    """A trained linear model."""
+
+    weights: np.ndarray
+    intercept: float
+
+    def predict(self, features: np.ndarray) -> float:
+        return float(features @ self.weights + self.intercept)
+
+    def predict_many(self, X: np.ndarray) -> np.ndarray:
+        return X @ self.weights + self.intercept
+
+
+class LinearRegression:
+    """Static trainers.
+
+    ``train`` solves the (ridge-regularized) normal equations from
+    per-partition Gram/moment sums — one pass, embarrassingly parallel.
+    ``train_sgd`` mirrors the SGD trainers of the other linear models.
+    """
+
+    @staticmethod
+    def train(dataset: Dataset, reg_param: float = 0.0) -> LinearRegressionModel:
+        parts = dataset.partition_arrays()
+        if not parts:
+            raise MLError("cannot fit linear regression on an empty dataset")
+        dim = parts[0][0].shape[1]
+        gram = np.zeros((dim + 1, dim + 1))
+        moment = np.zeros(dim + 1)
+        for X, y in parts:
+            Xb = np.hstack([X, np.ones((len(X), 1))])
+            gram += Xb.T @ Xb
+            moment += Xb.T @ y
+        if reg_param > 0.0:
+            ridge = np.eye(dim + 1) * reg_param
+            ridge[dim, dim] = 0.0  # never regularize the intercept
+            gram += ridge
+        solution, *_ = np.linalg.lstsq(gram, moment, rcond=None)
+        return LinearRegressionModel(
+            weights=solution[:dim], intercept=float(solution[dim])
+        )
+
+    @staticmethod
+    def train_sgd(
+        dataset: Dataset,
+        iterations: int = 100,
+        step: float = 0.1,
+        reg_param: float = 0.0,
+    ) -> LinearRegressionModel:
+        parts = dataset.partition_arrays()
+        if not parts:
+            raise MLError("cannot fit linear regression on an empty dataset")
+        dim = parts[0][0].shape[1]
+        w = np.zeros(dim)
+        b = 0.0
+        for t in range(1, iterations + 1):
+            grad_w = np.zeros(dim)
+            grad_b = 0.0
+            count = 0
+            for X, y in parts:
+                errors = X @ w + b - y
+                grad_w += X.T @ errors
+                grad_b += float(errors.sum())
+                count += len(y)
+            step_t = step / np.sqrt(t)
+            w -= step_t * (grad_w / count + reg_param * w)
+            b -= step_t * (grad_b / count)
+        return LinearRegressionModel(weights=w, intercept=b)

@@ -1,0 +1,80 @@
+"""Logistic regression with distributed minibatch SGD."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MLError
+from repro.ml.dataset import Dataset
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clipping keeps exp() from overflowing on confident examples.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+@dataclass(frozen=True)
+class LogisticRegressionModel:
+    """A trained binary logistic model (labels 0/1)."""
+
+    weights: np.ndarray
+    intercept: float
+
+    def predict_probability(self, features: np.ndarray) -> float:
+        """P(label=1 | features)."""
+        return float(_sigmoid(np.asarray(features @ self.weights + self.intercept)))
+
+    def predict(self, features: np.ndarray) -> int:
+        return 1 if self.predict_probability(features) >= 0.5 else 0
+
+    def predict_many(self, X: np.ndarray) -> np.ndarray:
+        return (_sigmoid(X @ self.weights + self.intercept) >= 0.5).astype(int)
+
+    def score_many(self, X: np.ndarray) -> np.ndarray:
+        """Probabilities for a matrix of examples (for AUC computation)."""
+        return _sigmoid(X @ self.weights + self.intercept)
+
+
+class LogisticRegressionWithSGD:
+    """Static trainer mirroring MLlib's LogisticRegressionWithSGD."""
+
+    @staticmethod
+    def train(
+        dataset: Dataset,
+        iterations: int = 50,
+        step: float = 1.0,
+        reg_param: float = 0.0,
+        minibatch_fraction: float = 1.0,
+        seed: int = 42,
+    ) -> LogisticRegressionModel:
+        """Train on LabeledPoint records with labels in {0, 1}."""
+        parts = dataset.partition_arrays()
+        if not parts:
+            raise MLError("cannot train logistic regression on an empty dataset")
+        dim = parts[0][0].shape[1]
+        rng = np.random.default_rng(seed)
+
+        w = np.zeros(dim)
+        b = 0.0
+        for t in range(1, iterations + 1):
+            grad_w = np.zeros(dim)
+            grad_b = 0.0
+            batch_size = 0
+            for X, y in parts:
+                if minibatch_fraction < 1.0:
+                    mask = rng.random(len(y)) < minibatch_fraction
+                    Xb, yb = X[mask], y[mask]
+                else:
+                    Xb, yb = X, y
+                if len(yb) == 0:
+                    continue
+                errors = _sigmoid(Xb @ w + b) - yb
+                grad_w += Xb.T @ errors
+                grad_b += float(errors.sum())
+                batch_size += len(yb)
+            if batch_size == 0:
+                continue
+            step_t = step / np.sqrt(t)
+            w -= step_t * (grad_w / batch_size + reg_param * w)
+            b -= step_t * (grad_b / batch_size)
+        return LogisticRegressionModel(weights=w, intercept=b)

@@ -1,0 +1,161 @@
+"""CART-style binary decision tree with histogram split finding.
+
+Split candidates are per-feature quantile bin edges computed from
+per-partition samples (the distributed-histogram trick MLlib's trees use),
+so training cost stays linear in the data per depth level.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MLError
+from repro.ml.dataset import Dataset
+
+
+@dataclass
+class _Node:
+    prediction: float
+    feature: int | None = None
+    threshold: float | None = None
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+@dataclass(frozen=True)
+class DecisionTreeModel:
+    """A trained tree; predicts the majority class of the reached leaf."""
+
+    root: _Node
+    num_nodes: int
+    depth: int
+
+    def predict(self, features: np.ndarray) -> float:
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if features[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict_many(self, X: np.ndarray) -> np.ndarray:
+        return np.array([self.predict(row) for row in X])
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTree:
+    """Static trainer for binary classification (labels 0/1)."""
+
+    @staticmethod
+    def train(
+        dataset: Dataset,
+        max_depth: int = 5,
+        min_samples_split: int = 8,
+        max_bins: int = 32,
+    ) -> DecisionTreeModel:
+        parts = dataset.partition_arrays()
+        if not parts:
+            raise MLError("cannot train a tree on an empty dataset")
+        X = np.vstack([p[0] for p in parts])
+        y = np.concatenate([p[1] for p in parts]).astype(int)
+        if set(np.unique(y)) - {0, 1}:
+            raise MLError("DecisionTree supports binary 0/1 labels only")
+
+        candidates = DecisionTree._bin_edges(X, max_bins)
+        counter = [0]
+
+        def grow(idx: np.ndarray, depth: int) -> _Node:
+            counter[0] += 1
+            labels = y[idx]
+            ones = int(labels.sum())
+            prediction = 1.0 if ones * 2 >= len(labels) else 0.0
+            node = _Node(prediction=prediction)
+            if (
+                depth >= max_depth
+                or len(idx) < min_samples_split
+                or ones == 0
+                or ones == len(labels)
+            ):
+                return node
+            best = DecisionTree._best_split(X[idx], labels, candidates)
+            if best is None:
+                return node
+            feature, threshold = best
+            mask = X[idx, feature] <= threshold
+            if not mask.any() or mask.all():
+                return node
+            node.feature = feature
+            node.threshold = threshold
+            node.left = grow(idx[mask], depth + 1)
+            node.right = grow(idx[~mask], depth + 1)
+            return node
+
+        root = grow(np.arange(len(y)), 0)
+
+        def measure_depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(measure_depth(node.left), measure_depth(node.right))
+
+        return DecisionTreeModel(
+            root=root, num_nodes=counter[0], depth=measure_depth(root)
+        )
+
+    @staticmethod
+    def _bin_edges(X: np.ndarray, max_bins: int) -> list[np.ndarray]:
+        edges = []
+        for j in range(X.shape[1]):
+            values = np.unique(X[:, j])
+            if len(values) <= 1:
+                edges.append(np.empty(0))
+            elif len(values) <= max_bins:
+                edges.append((values[:-1] + values[1:]) / 2.0)
+            else:
+                quantiles = np.quantile(
+                    X[:, j], np.linspace(0, 1, max_bins + 1)[1:-1]
+                )
+                edges.append(np.unique(quantiles))
+        return edges
+
+    @staticmethod
+    def _best_split(
+        X: np.ndarray, labels: np.ndarray, candidates: list[np.ndarray]
+    ) -> tuple[int, float] | None:
+        parent_counts = np.array(
+            [len(labels) - labels.sum(), labels.sum()], dtype=float
+        )
+        parent_gini = _gini(parent_counts)
+        best_gain = 1e-9
+        best: tuple[int, float] | None = None
+        total = len(labels)
+        for feature, edges in enumerate(candidates):
+            column = X[:, feature]
+            for threshold in edges:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == total:
+                    continue
+                ones_left = int(labels[mask].sum())
+                left_counts = np.array([n_left - ones_left, ones_left], dtype=float)
+                ones_right = int(labels.sum()) - ones_left
+                n_right = total - n_left
+                right_counts = np.array(
+                    [n_right - ones_right, ones_right], dtype=float
+                )
+                gain = parent_gini - (
+                    n_left / total * _gini(left_counts)
+                    + n_right / total * _gini(right_counts)
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best

@@ -1,0 +1,126 @@
+"""In-memory partitioned dataset — the RDD of this reproduction."""
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LabeledPoint:
+    """A training example: numeric label plus a dense feature vector."""
+
+    label: float
+    features: np.ndarray
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, LabeledPoint)
+            and self.label == other.label
+            and np.array_equal(self.features, other.features)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.label, self.features.tobytes()))
+
+
+class Dataset:
+    """A list of record partitions with Spark-like bulk operations.
+
+    Everything is eager and in-memory — the paper's streaming experiment
+    measures precisely the time "till the in-memory RDD is constructed",
+    so construction is the interesting part; transformation laziness is not.
+    """
+
+    def __init__(self, partitions: list[list]):
+        self._partitions = [list(p) for p in partitions]
+
+    @staticmethod
+    def from_records(records: Iterable, num_partitions: int = 4) -> "Dataset":
+        """Round-robin records into partitions."""
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        partitions: list[list] = [[] for _ in range(num_partitions)]
+        for i, record in enumerate(records):
+            partitions[i % num_partitions].append(record)
+        return Dataset(partitions)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def partitions(self) -> list[list]:
+        """Direct (read-only by convention) access to the partition lists."""
+        return self._partitions
+
+    def count(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    def collect(self) -> list:
+        out: list = []
+        for p in self._partitions:
+            out.extend(p)
+        return out
+
+    def map(self, fn: Callable) -> "Dataset":
+        return Dataset([[fn(r) for r in p] for p in self._partitions])
+
+    def filter(self, fn: Callable) -> "Dataset":
+        return Dataset([[r for r in p if fn(r)] for p in self._partitions])
+
+    def map_partitions(self, fn: Callable[[list], list]) -> "Dataset":
+        return Dataset([list(fn(p)) for p in self._partitions])
+
+    def sample(self, fraction: float, seed: int = 0) -> "Dataset":
+        """Bernoulli sample per record (deterministic under the seed)."""
+        rng = np.random.default_rng(seed)
+        return Dataset(
+            [[r for r in p if rng.random() < fraction] for p in self._partitions]
+        )
+
+    def first(self):
+        for p in self._partitions:
+            if p:
+                return p[0]
+        raise IndexError("dataset is empty")
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stack LabeledPoint records into (X, y) numpy arrays."""
+        points = self.collect()
+        if not points:
+            return np.empty((0, 0)), np.empty((0,))
+        X = np.stack([p.features for p in points]).astype(float)
+        y = np.array([p.label for p in points], dtype=float)
+        return X, y
+
+    def partition_arrays(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-partition (X, y) arrays — what iterative solvers work over,
+        mimicking MLlib's per-partition gradient aggregation."""
+        out = []
+        for p in self._partitions:
+            if not p:
+                continue
+            X = np.stack([lp.features for lp in p]).astype(float)
+            y = np.array([lp.label for lp in p], dtype=float)
+            out.append((X, y))
+        return out
+
+
+def labeled_point_from_fields(
+    fields: list, label_index: int = -1
+) -> LabeledPoint:
+    """Build a LabeledPoint from a row of numeric values (tuple or strings).
+
+    ``label_index`` selects the label column (default: last); all remaining
+    columns become features in order.  String fields are parsed as floats —
+    which is exactly why the paper pushes recoding into the SQL side: by the
+    time rows reach the ML system every field must already be numeric.
+    """
+    values = [float(v) for v in fields]
+    if label_index < 0:
+        label_index += len(values)
+    label = values[label_index]
+    features = np.array(
+        values[:label_index] + values[label_index + 1 :], dtype=float
+    )
+    return LabeledPoint(label, features)

@@ -1,0 +1,244 @@
+"""Mahout-style ML: algorithms implemented *as MapReduce jobs* over the DFS.
+
+§1: "If an analyst wants to use an existing ML algorithm in Mahout or if
+she has her own analytics algorithm already implemented in MapReduce, she
+has to write the data into HDFS, run her analytics algorithm, and store
+results back into HDFS."  This module is that second kind of big ML system:
+training runs as MapReduce jobs over CSV text resident on the DFS, and the
+fitted model is written back to the DFS — no shared in-memory anything with
+the SQL side.
+
+Two trainers are provided, mirroring Mahout's classics:
+
+* :class:`MapReduceNaiveBayes` — one MR pass accumulating per-class counts
+  and per-class feature sums; the reducer emits sufficient statistics and
+  the driver assembles a :class:`~repro.ml.algorithms.naive_bayes.NaiveBayesModel`;
+* :class:`MapReduceKMeans` — Lloyd's iterations, one MR job each: mappers
+  assign points to the nearest current center (broadcast through the job
+  configuration, like Mahout's distributed cache), a combiner pre-sums, and
+  reducers emit the new centers.
+
+Both consume their input through the same CSV InputFormat the rest of the
+ecosystem uses — so the In-SQL transformed output written by ``run_insql``
+feeds them unchanged, which is exactly the paper's generality story.
+"""
+
+import json
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import MLError
+from repro.hdfs.filesystem import DistributedFileSystem
+from repro.iofmt.text import CsvInputFormat
+from repro.mapreduce.framework import MapReduceJob
+from repro.ml.algorithms.kmeans import KMeansModel
+from repro.ml.algorithms.naive_bayes import NaiveBayesModel
+
+
+class MapReduceNaiveBayes:
+    """Multinomial naive Bayes trained by one MapReduce pass."""
+
+    @staticmethod
+    def train(
+        cluster: Cluster,
+        dfs: DistributedFileSystem,
+        input_dir: str,
+        label_index: int = -1,
+        smoothing: float = 1.0,
+        model_path: str | None = None,
+    ) -> NaiveBayesModel:
+        """Train over CSV records in ``input_dir``; optionally persist the
+        model as JSON at ``model_path`` ("store results back into HDFS")."""
+
+        def mapper(fields: list[str]):
+            values = [float(v) for v in fields]
+            index = label_index if label_index >= 0 else len(values) + label_index
+            label = values[index]
+            features = values[:index] + values[index + 1 :]
+            yield label, ("stats", 1, features)
+
+        def combiner(label, values):
+            count = 0
+            sums: list[float] | None = None
+            for _tag, n, features in values:
+                count += n
+                if sums is None:
+                    sums = list(features)
+                else:
+                    for i, f in enumerate(features):
+                        sums[i] += f
+            yield ("stats", count, sums)
+
+        def reducer(label, values):
+            count = 0
+            sums: list[float] | None = None
+            for _tag, n, features in values:
+                count += n
+                if sums is None:
+                    sums = list(features)
+                else:
+                    for i, f in enumerate(features):
+                        sums[i] += f
+            yield json.dumps({"label": label, "count": count, "sums": sums})
+
+        job = MapReduceJob(
+            name="mr-naive-bayes",
+            mapper=mapper,
+            combiner=combiner,
+            reducer=reducer,
+            num_reducers=len(cluster.workers),
+            input_format=CsvInputFormat(),
+        )
+        out_dir = input_dir.rstrip("/") + "__nb_stats"
+        counters = job.run(cluster, dfs, input_dir, out_dir)
+        if counters.map_input_records == 0:
+            raise MLError("cannot train naive Bayes on empty input")
+
+        stats = []
+        for path in dfs.list_files(out_dir):
+            for line in dfs.read_text(path).splitlines():
+                if line:
+                    stats.append(json.loads(line))
+        stats.sort(key=lambda s: s["label"])
+        labels = np.array([s["label"] for s in stats])
+        total = sum(s["count"] for s in stats)
+        log_prior = np.log(np.array([s["count"] for s in stats], float) / total)
+        dim = len(stats[0]["sums"])
+        log_likelihood = np.zeros((len(stats), dim))
+        for i, s in enumerate(stats):
+            sums = np.array(s["sums"], float) + smoothing
+            if (sums <= 0).any():
+                raise MLError("multinomial naive Bayes requires non-negative features")
+            log_likelihood[i] = np.log(sums / sums.sum())
+        model = NaiveBayesModel(
+            labels=labels, log_prior=log_prior, log_likelihood=log_likelihood
+        )
+        if model_path is not None:
+            dfs.write_text(
+                model_path,
+                json.dumps(
+                    {
+                        "kind": "naive_bayes",
+                        "labels": labels.tolist(),
+                        "log_prior": log_prior.tolist(),
+                        "log_likelihood": log_likelihood.tolist(),
+                    }
+                ),
+            )
+        return model
+
+
+class MapReduceKMeans:
+    """Lloyd's k-means, one MapReduce job per iteration."""
+
+    @staticmethod
+    def train(
+        cluster: Cluster,
+        dfs: DistributedFileSystem,
+        input_dir: str,
+        k: int,
+        max_iterations: int = 10,
+        tolerance: float = 1e-4,
+        seed: int = 42,
+        model_path: str | None = None,
+    ) -> KMeansModel:
+        """Cluster CSV feature vectors in ``input_dir``."""
+        # Seed centers from the first k distinct records (a driver-side
+        # sample read, like Mahout's random seed job).
+        sample: list[tuple] = []
+        fmt = CsvInputFormat()
+        from repro.iofmt.inputformat import JobConf
+
+        conf = JobConf({"input.path": input_dir}, dfs=dfs)
+        rng = np.random.default_rng(seed)
+        for split in fmt.get_splits(conf, len(cluster.workers)):
+            with fmt.create_record_reader(split, conf) as reader:
+                for fields in reader:
+                    sample.append(tuple(float(v) for v in fields))
+                    if len(sample) >= max(200, 10 * k):
+                        break
+            if len(sample) >= max(200, 10 * k):
+                break
+        distinct = list(dict.fromkeys(sample))
+        if len(distinct) < k:
+            raise MLError(f"need at least k={k} distinct points")
+        centers = np.array(
+            [distinct[i] for i in rng.choice(len(distinct), size=k, replace=False)]
+        )
+
+        cost = float("inf")
+        iterations_run = 0
+        for iteration in range(max_iterations):
+            iterations_run += 1
+            current = centers  # captured by the mapper closure (job "conf")
+
+            def mapper(fields: list[str]):
+                point = np.array([float(v) for v in fields])
+                d2 = ((current - point) ** 2).sum(axis=1)
+                assignment = int(np.argmin(d2))
+                yield assignment, (1, point.tolist(), float(d2[assignment]))
+
+            def combiner(assignment, values):
+                count, sums, cost_sum = 0, None, 0.0
+                for n, point, c in values:
+                    count += n
+                    cost_sum += c
+                    if sums is None:
+                        sums = list(point)
+                    else:
+                        for i, p in enumerate(point):
+                            sums[i] += p
+                yield (count, sums, cost_sum)
+
+            def reducer(assignment, values):
+                count, sums, cost_sum = 0, None, 0.0
+                for n, point, c in values:
+                    count += n
+                    cost_sum += c
+                    if sums is None:
+                        sums = list(point)
+                    else:
+                        for i, p in enumerate(point):
+                            sums[i] += p
+                center = [s / count for s in sums]
+                yield json.dumps(
+                    {"cluster": assignment, "center": center, "count": count,
+                     "cost": cost_sum}
+                )
+
+            job = MapReduceJob(
+                name=f"mr-kmeans-iter{iteration}",
+                mapper=mapper,
+                combiner=combiner,
+                reducer=reducer,
+                num_reducers=min(k, len(cluster.workers)),
+                input_format=CsvInputFormat(),
+            )
+            out_dir = input_dir.rstrip("/") + f"__kmeans_iter{iteration}"
+            job.run(cluster, dfs, input_dir, out_dir)
+
+            new_centers = centers.copy()
+            new_cost = 0.0
+            for path in dfs.list_files(out_dir):
+                for line in dfs.read_text(path).splitlines():
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    new_centers[record["cluster"]] = record["center"]
+                    new_cost += record["cost"]
+            moved = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            cost = new_cost
+            if moved < tolerance:
+                break
+
+        model = KMeansModel(centers=centers, cost=cost, iterations_run=iterations_run)
+        if model_path is not None:
+            dfs.write_text(
+                model_path,
+                json.dumps(
+                    {"kind": "kmeans", "centers": centers.tolist(), "cost": cost}
+                ),
+            )
+        return model

@@ -1,0 +1,103 @@
+"""Model validation utilities: splits and cross-validation.
+
+The §5.1 workflow — "run a number of classification algorithms ... to
+compare the quality of different classifiers on a particular dataset" —
+needs held-out evaluation to be meaningful; these helpers provide it over
+the partitioned :class:`~repro.ml.dataset.Dataset` without breaking its
+distribution structure.
+"""
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import MLError
+from repro.ml import metrics
+from repro.ml.dataset import Dataset
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.25, seed: int = 42
+) -> tuple[Dataset, Dataset]:
+    """Bernoulli split per record, preserving the partition structure."""
+    if not 0.0 < test_fraction < 1.0:
+        raise MLError(f"test_fraction must be in (0,1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    train_parts: list[list] = []
+    test_parts: list[list] = []
+    for partition in dataset.partitions():
+        mask = rng.random(len(partition)) < test_fraction
+        train_parts.append([r for r, m in zip(partition, mask) if not m])
+        test_parts.append([r for r, m in zip(partition, mask) if m])
+    return Dataset(train_parts), Dataset(test_parts)
+
+
+def k_folds(dataset: Dataset, k: int, seed: int = 42) -> list[tuple[Dataset, Dataset]]:
+    """K (train, validation) pairs; every record lands in exactly one
+    validation fold."""
+    if k < 2:
+        raise MLError("k-fold needs k >= 2")
+    rng = np.random.default_rng(seed)
+    assignments = [rng.integers(0, k, size=len(p)) for p in dataset.partitions()]
+    folds = []
+    for fold in range(k):
+        train_parts = [
+            [r for r, a in zip(p, assignment) if a != fold]
+            for p, assignment in zip(dataset.partitions(), assignments)
+        ]
+        validation_parts = [
+            [r for r, a in zip(p, assignment) if a == fold]
+            for p, assignment in zip(dataset.partitions(), assignments)
+        ]
+        folds.append((Dataset(train_parts), Dataset(validation_parts)))
+    return folds
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Held-out classification quality of one trained model."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    test_records: int
+
+
+def evaluate_classifier(model, test: Dataset) -> EvaluationResult:
+    """Score a model exposing ``predict_many`` on a labeled test set."""
+    X, y = test.to_arrays()
+    if len(y) == 0:
+        raise MLError("cannot evaluate on an empty test set")
+    predictions = np.asarray(model.predict_many(X))
+    return EvaluationResult(
+        accuracy=metrics.accuracy(y, predictions),
+        precision=metrics.precision(y, predictions),
+        recall=metrics.recall(y, predictions),
+        f1=metrics.f1_score(y, predictions),
+        test_records=len(y),
+    )
+
+
+def cross_validate(
+    dataset: Dataset,
+    trainer: Callable[[Dataset], object],
+    k: int = 5,
+    seed: int = 42,
+) -> list[EvaluationResult]:
+    """Train+evaluate over k folds; returns the per-fold results."""
+    results = []
+    for train, validation in k_folds(dataset, k, seed):
+        if train.count() == 0 or validation.count() == 0:
+            raise MLError(f"fold too small: {train.count()}/{validation.count()}")
+        model = trainer(train)
+        results.append(evaluate_classifier(model, validation))
+    return results
+
+
+def mean_accuracy(results: list[EvaluationResult]) -> float:
+    """Average accuracy across folds."""
+    if not results:
+        raise MLError("no evaluation results")
+    return float(np.mean([r.accuracy for r in results]))

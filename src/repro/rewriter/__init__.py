@@ -1,0 +1,24 @@
+"""Query rewriter (§4) and cached-result matching rules (§5).
+
+"For ease of use, we provide a query rewriter outside the SQL systems": a
+user hands it the data-preparation query, the transformation spec, and (for
+streaming) the target ML invocation; the rewriter emits the UDF-extended SQL
+that performs everything.  Before planning, it consults the cache exactly
+the way materialized-view rewriting would (§5.3): a new query may reuse a
+*fully transformed* cached result under the §5.1 conditions, or only the
+cached *recode maps* under the weaker §5.2 conditions (saving one of the
+two recoding passes).
+"""
+
+from repro.rewriter.matching import FullCacheMatch, QueryShape, RecodeMapMatch
+from repro.rewriter.predicates import implies
+from repro.rewriter.rewriter import QueryRewriter, RewritePlan
+
+__all__ = [
+    "FullCacheMatch",
+    "QueryRewriter",
+    "QueryShape",
+    "RecodeMapMatch",
+    "RewritePlan",
+    "implies",
+]

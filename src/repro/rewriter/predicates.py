@@ -1,0 +1,183 @@
+"""Conservative predicate-implication checking.
+
+``implies(stronger, weaker)`` returns True only when every row satisfying
+``stronger`` must satisfy ``weaker`` — the "same as or logically stronger
+than" test of §5.2 condition 2 (the paper's example: ``a < 18`` is logically
+stronger than ``a <= 20``).  False means "could not prove", never "proved
+false"; cache matching degrades gracefully to a miss.
+
+Both expressions are assumed normalized (qualifiers resolved to base-table
+names, lowercased) by :mod:`repro.rewriter.matching`.
+"""
+
+from repro.sql.expressions import (
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+)
+
+
+def implies(stronger: Expr, weaker: Expr) -> bool:
+    """True when ``stronger`` provably implies ``weaker``."""
+    if stronger == weaker:
+        return True
+    for s in _as_ranges(stronger):
+        for w in _as_ranges(weaker):
+            if _range_implies(s, w):
+                return True
+    return _set_implies(stronger, weaker)
+
+
+# A "range atom": (column, op, value) with op in = < <= > >=
+_RangeAtom = tuple[tuple[str | None, str], str, object]
+
+
+def _column_and_literal(expr: Comparison) -> tuple[ColumnRef, object, str] | None:
+    """Normalize to (column, literal, op) with the column on the left."""
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        return expr.left, expr.right.value, expr.op
+    if isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+        flipped = expr.flipped()
+        return flipped.left, flipped.right.value, flipped.op  # type: ignore[return-value]
+    return None
+
+
+def _as_ranges(expr: Expr) -> list[_RangeAtom]:
+    """Decompose an expression into range atoms it is *equivalent* to.
+
+    BETWEEN yields both bounds only for the implication direction where the
+    caller iterates atoms of the *weaker* side individually, so BETWEEN is
+    expanded on the weaker side but treated whole on the stronger side via
+    :func:`_between_atoms`.
+    """
+    atoms: list[_RangeAtom] = []
+    if isinstance(expr, Comparison) and expr.op in ("=", "<", "<=", ">", ">="):
+        normalized = _column_and_literal(expr)
+        if normalized:
+            column, value, op = normalized
+            atoms.append(((column.qualifier, column.name), op, value))
+    return atoms
+
+
+def _between_atoms(expr: Expr) -> list[_RangeAtom] | None:
+    if isinstance(expr, Between) and not expr.negated:
+        if isinstance(expr.operand, ColumnRef) and isinstance(expr.low, Literal) and isinstance(expr.high, Literal):
+            key = (expr.operand.qualifier, expr.operand.name)
+            return [(key, ">=", expr.low.value), (key, "<=", expr.high.value)]
+    return None
+
+
+def _range_implies(stronger: _RangeAtom, weaker: _RangeAtom) -> bool:
+    (s_col, s_op, s_val), (w_col, w_op, w_val) = stronger, weaker
+    if s_col != w_col:
+        return False
+    try:
+        if w_op == "=":
+            return s_op == "=" and s_val == w_val
+        if s_op == "=":
+            # An equality implies any range containing the value.
+            return _value_satisfies(s_val, w_op, w_val)
+        if w_op in ("<", "<="):
+            if s_op not in ("<", "<="):
+                return False
+            if s_val < w_val:
+                return True
+            if s_val == w_val:
+                return not (s_op == "<=" and w_op == "<")
+            return False
+        if w_op in (">", ">="):
+            if s_op not in (">", ">="):
+                return False
+            if s_val > w_val:
+                return True
+            if s_val == w_val:
+                return not (s_op == ">=" and w_op == ">")
+            return False
+    except TypeError:
+        return False  # incomparable literal types
+    return False
+
+
+def _value_satisfies(value, op: str, bound) -> bool:
+    try:
+        if op == "<":
+            return value < bound
+        if op == "<=":
+            return value <= bound
+        if op == ">":
+            return value > bound
+        if op == ">=":
+            return value >= bound
+        if op == "=":
+            return value == bound
+    except TypeError:
+        return False
+    return False
+
+
+def _set_implies(stronger: Expr, weaker: Expr) -> bool:
+    """IN-list and BETWEEN cases."""
+    # BETWEEN as the stronger side: both bounds must imply the weaker atom.
+    between = _between_atoms(stronger)
+    if between is not None:
+        weaker_atoms = _as_ranges(weaker)
+        if weaker_atoms:
+            return any(
+                _range_implies(atom, w) for atom in between for w in weaker_atoms
+            )
+        weaker_between = _between_atoms(weaker)
+        if weaker_between is not None:
+            return all(
+                any(_range_implies(s, w) for s in between) for w in weaker_between
+            )
+        return False
+    # BETWEEN as the weaker side: stronger must imply *both* bounds.
+    weaker_between = _between_atoms(weaker)
+    if weaker_between is not None:
+        stronger_atoms = _as_ranges(stronger)
+        if stronger_atoms:
+            return all(
+                any(_range_implies(s, w) for s in stronger_atoms)
+                for w in weaker_between
+            )
+        return False
+
+    stronger_in = _in_values(stronger)
+    weaker_in = _in_values(weaker)
+    if weaker_in is not None:
+        w_col, w_values = weaker_in
+        if stronger_in is not None:
+            s_col, s_values = stronger_in
+            return s_col == w_col and s_values <= w_values
+        eq = _equality(stronger)
+        if eq is not None:
+            s_col, s_value = eq
+            return s_col == w_col and s_value in w_values
+        return False
+    if stronger_in is not None:
+        eq = _equality(weaker)
+        return False  # an IN-list implies an equality only if singleton
+    return False
+
+
+def _in_values(expr: Expr):
+    if isinstance(expr, InList) and not expr.negated:
+        if isinstance(expr.operand, ColumnRef) and all(
+            isinstance(v, Literal) for v in expr.values
+        ):
+            key = (expr.operand.qualifier, expr.operand.name)
+            return key, {v.value for v in expr.values}
+    return None
+
+
+def _equality(expr: Expr):
+    if isinstance(expr, Comparison) and expr.op == "=":
+        normalized = _column_and_literal(expr)
+        if normalized:
+            column, value, op = normalized
+            if op == "=":
+                return (column.qualifier, column.name), value
+    return None

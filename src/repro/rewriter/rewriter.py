@@ -1,0 +1,255 @@
+"""The query rewriter (§4): user query + spec + ML target -> extended SQL.
+
+The rewriter never touches engine internals; its output is plain SQL text
+invoking the registered table UDFs, which is the whole point of §4 — the
+solution stays generic because composition happens at the SQL surface.
+
+Rewrite flow (with a cache attached):
+
+1. try the §5.1 full-transformed match — on a hit the plan reads the cached
+   view (with extra predicates recoded onto it) and re-applies only dummy
+   coding, skipping the preparation query *and* both recoding passes;
+2. else try the §5.2 recode-map match — on a hit pass 1 is skipped and the
+   plan goes straight to the recode/dummy/stream pass;
+3. else emit both passes: the ``local_distinct`` + ``SELECT DISTINCT``
+   pass-1 query, and the pass-2 transform query.
+"""
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.errors import PlanError
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.caching
+    from repro.caching.cache import CacheManager
+from repro.sql.ast import SelectQuery
+from repro.sql.expressions import (
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    transform,
+)
+from repro.transform.recode import RecodeMap
+from repro.transform.service import TransformService
+from repro.transform.spec import TransformSpec
+
+_plan_counter = itertools.count(1)
+
+
+@dataclass
+class RewritePlan:
+    """Executable description of one transformation+transfer pipeline.
+
+    ``kind`` is one of ``no_cache`` / ``recode_map_cache`` / ``full_cache``.
+    ``pass1_sql`` is None whenever a cache hit made pass 1 unnecessary.
+    ``inner_sql`` is the transform query without the streaming wrapper;
+    ``final_sql(session)`` wraps it for a given transfer session.
+    """
+
+    kind: str
+    user_query: SelectQuery
+    spec: TransformSpec
+    map_handle: str
+    pass1_sql: str | None
+    inner_sql: str
+    cached_view: str | None = None
+
+    def final_sql(self, session_id: str, command: str | None = None, args: str | None = None) -> str:
+        """The full pass-2 query, streaming into ``session_id``."""
+        extra = ""
+        if command:
+            extra = f", '{command}'"
+            if args:
+                extra += f", '{args}'"
+        return (
+            f"SELECT * FROM TABLE(stream_transfer(({self.inner_sql}), "
+            f"'{session_id}'{extra})) AS __stream"
+        )
+
+    @property
+    def needs_pass1(self) -> bool:
+        return self.pass1_sql is not None
+
+    def describe(self) -> str:
+        lines = [f"rewrite kind: {self.kind}"]
+        if self.pass1_sql:
+            lines.append(f"pass 1 (distinct): {self.pass1_sql}")
+        else:
+            lines.append("pass 1: skipped (cache)")
+        lines.append(f"pass 2 (transform): {self.inner_sql}")
+        return "\n".join(lines)
+
+
+class QueryRewriter:
+    """Builds :class:`RewritePlan` objects, consulting the cache first."""
+
+    def __init__(
+        self,
+        engine,
+        transforms: TransformService,
+        cache: "CacheManager | None" = None,
+    ):
+        self._engine = engine
+        self._transforms = transforms
+        self._cache = cache
+
+    def plan(self, user_sql: str | SelectQuery, spec: TransformSpec) -> RewritePlan:
+        """Produce the cheapest valid plan for this query+spec."""
+        query = (
+            self._engine.parse(user_sql) if isinstance(user_sql, str) else user_sql
+        )
+        base_sql = query.to_sql()
+
+        if self._cache is not None:
+            hit = self._cache.lookup_transformed(query, spec)
+            if hit is not None:
+                return self._plan_from_full_cache(query, spec, hit)
+            handle = self._cache.lookup_recode_map(query, spec)
+            if handle is not None:
+                inner = self._transform_sql(base_sql, handle, spec)
+                return RewritePlan(
+                    kind="recode_map_cache",
+                    user_query=query,
+                    spec=spec,
+                    map_handle=handle,
+                    pass1_sql=None,
+                    inner_sql=inner,
+                )
+
+        handle = f"__map_{next(_plan_counter)}"
+        pass1 = self._pass1_sql(base_sql, spec) if spec.all_recoded else None
+        inner = self._transform_sql(base_sql, handle, spec)
+        return RewritePlan(
+            kind="no_cache",
+            user_query=query,
+            spec=spec,
+            map_handle=handle,
+            pass1_sql=pass1,
+            inner_sql=inner,
+        )
+
+    # ----------------------------------------------------------- SQL shapes
+
+    @staticmethod
+    def _pass1_sql(base_sql: str, spec: TransformSpec) -> str:
+        """§2.1 phase 1: one scan computing all columns' local distincts,
+        globalized by SELECT DISTINCT."""
+        columns = ", ".join(f"'{c}'" for c in spec.all_recoded)
+        return (
+            "SELECT DISTINCT colName, colVal FROM "
+            f"TABLE(local_distinct(({base_sql}), {columns})) AS __d"
+        )
+
+    @staticmethod
+    def _transform_sql(base_sql: str, handle: str, spec: TransformSpec) -> str:
+        """§2.1 phase 2 + §2.2: recode, then expansion codings, pipelined."""
+        sql = base_sql
+        if spec.all_recoded:
+            columns = ", ".join(f"'{c}'" for c in spec.all_recoded)
+            sql = (
+                f"SELECT * FROM TABLE(recode(({sql}), '{handle}', {columns})) "
+                "AS __recoded"
+            )
+        for udf_name, group, alias in (
+            ("dummy_code", spec.dummy, "__dummy"),
+            ("effect_code", spec.effect, "__effect"),
+            ("orthogonal_code", spec.orthogonal, "__orthogonal"),
+        ):
+            if group:
+                columns = ", ".join(f"'{c}'" for c in group)
+                sql = (
+                    f"SELECT * FROM TABLE({udf_name}(({sql}), '{handle}', "
+                    f"{columns})) AS {alias}"
+                )
+        return sql
+
+    # ----------------------------------------------------------- full cache
+
+    def _plan_from_full_cache(self, query, spec, hit) -> RewritePlan:
+        recode_map: RecodeMap = self._transforms.get(hit.map_handle)
+        categorical = {c.lower() for c in hit.spec.all_recoded}
+        select_list = ", ".join(hit.match.projected)
+        sql = f"SELECT {select_list} FROM {hit.view_name}"
+        if hit.match.extra_predicates:
+            clauses = [
+                self._recode_predicate(p, recode_map, categorical).to_sql()
+                for p in hit.match.extra_predicates
+            ]
+            sql += " WHERE " + " AND ".join(clauses)
+        projected_lower = {p.lower() for p in hit.match.projected}
+        for udf_name, group, alias in (
+            ("dummy_code", spec.dummy, "__dummy"),
+            ("effect_code", spec.effect, "__effect"),
+            ("orthogonal_code", spec.orthogonal, "__orthogonal"),
+        ):
+            kept = [c for c in group if c.lower() in projected_lower]
+            if kept:
+                columns = ", ".join(f"'{c}'" for c in kept)
+                sql = (
+                    f"SELECT * FROM TABLE({udf_name}(({sql}), "
+                    f"'{hit.map_handle}', {columns})) AS {alias}"
+                )
+        return RewritePlan(
+            kind="full_cache",
+            user_query=query,
+            spec=spec,
+            map_handle=hit.map_handle,
+            pass1_sql=None,
+            inner_sql=sql,
+            cached_view=hit.view_name,
+        )
+
+    @staticmethod
+    def _recode_predicate(
+        predicate: Expr, recode_map: RecodeMap, categorical: set[str]
+    ) -> Expr:
+        """Rewrite string literals compared against recoded columns into
+        their integer codes (the cached view stores codes, not strings)."""
+
+        def substitute(node: Expr) -> Expr | None:
+            if isinstance(node, Comparison):
+                column, literal = None, None
+                if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+                    column, literal, flip = node.left, node.right, False
+                elif isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
+                    column, literal, flip = node.right, node.left, True
+                else:
+                    return None
+                if column.name.lower() not in categorical:
+                    return None
+                if not isinstance(literal.value, str):
+                    return None
+                code = recode_map.code(column.name, literal.value)
+                if code is None:
+                    raise PlanError(
+                        f"value {literal.value!r} of {column.name} is not in the "
+                        "cached recode map; the cached result cannot answer this"
+                    )
+                new_literal = Literal(code)
+                if flip:
+                    return Comparison(node.op, new_literal, column)
+                return Comparison(node.op, column, new_literal)
+            if isinstance(node, InList):
+                if (
+                    isinstance(node.operand, ColumnRef)
+                    and node.operand.name.lower() in categorical
+                ):
+                    values = []
+                    for v in node.values:
+                        if isinstance(v, Literal) and isinstance(v.value, str):
+                            code = recode_map.code(node.operand.name, v.value)
+                            if code is None:
+                                raise PlanError(
+                                    f"value {v.value!r} of {node.operand.name} "
+                                    "missing from the cached recode map"
+                                )
+                            values.append(Literal(code))
+                        else:
+                            values.append(v)
+                    return InList(node.operand, tuple(values), node.negated)
+            return None
+
+        return transform(predicate, substitute)

@@ -1,0 +1,259 @@
+"""The ``BigSQL`` engine facade — the library's stand-in for a big SQL system."""
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import CatalogError, PlanError
+from repro.sql.ast import SelectQuery
+from repro.sql.catalog import Catalog
+from repro.sql.executor import DistRelation, ExecutionContext, Executor
+from repro.sql.expressions import FunctionRegistry
+from repro.sql.parser import parse
+from repro.sql.plan import LogicalPlan
+from repro.sql.planner import Planner, PlannerContext
+from repro.sql.table import Partition, Table, partition_rows
+from repro.sql.types import DataType, Schema
+from repro.sql.udf import TableUDF
+
+
+class BigSQL:
+    """A partition-parallel SQL engine bound to a cluster.
+
+    One worker slot per cluster worker node (the paper runs "1 Big SQL
+    worker with multi-threading on each server").  Tables live either in
+    memory, partitioned across slots, or externally as text on the attached
+    DFS.  Extensibility — scalar UDFs and parallel table UDFs — is the
+    public surface everything in this reproduction builds on.
+    """
+
+    def __init__(self, cluster: Cluster, dfs: Any = None):
+        self.cluster = cluster
+        self.dfs = dfs
+        self.num_workers = len(cluster.workers)
+        self.catalog = Catalog()
+        self.functions = FunctionRegistry()
+        self.services: dict[str, Any] = {"engine": self}
+        if dfs is not None:
+            self.services["dfs"] = dfs
+        self._result_counter = 0
+
+    # ----------------------------------------------------------------- DDL
+
+    def create_table(self, name: str, schema: Schema, rows: list[tuple]) -> Table:
+        """Create an in-memory table, round-robin partitioned across slots."""
+        table = Table(
+            name=name,
+            schema=schema,
+            partitions=partition_rows(list(rows), self.num_workers),
+        )
+        self.catalog.add_table(table)
+        return table
+
+    def register_external_table(
+        self,
+        name: str,
+        schema: Schema,
+        path: str,
+        delimiter: str = ",",
+        format: str = "csv",
+    ) -> Table:
+        """Register a DFS-resident table, scanned and decoded on read.
+
+        ``format`` is ``"csv"`` (line-oriented text, the paper's setup) or
+        ``"columnar"`` (dictionary-encoded part files, see
+        :mod:`repro.columnar`)."""
+        if self.dfs is None:
+            raise CatalogError("external tables require a DFS-attached engine")
+        if format not in ("csv", "columnar"):
+            raise CatalogError(f"unknown external format {format!r}")
+        from repro.sql.table import ExternalLocation
+
+        table = Table(
+            name=name,
+            schema=schema,
+            external=ExternalLocation(path=path, delimiter=delimiter, format=format),
+        )
+        self.catalog.add_table(table)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog (external data stays on the DFS)."""
+        self.catalog.drop_table(name)
+
+    def insert_rows(self, name: str, rows: list[tuple]) -> None:
+        """Append rows to an in-memory table; bumps the table version so
+        caches built on the old contents invalidate (§5 assumes no updates —
+        this is the hook that enforces it)."""
+        entry = self.catalog.get_entry(name)
+        table = entry.table
+        if table.is_external:
+            raise CatalogError(f"cannot insert into external table {name!r}")
+        for i, row in enumerate(rows):
+            table.partitions[i % len(table.partitions)].rows.append(row)
+        self.catalog.bump_version(name)
+
+    # ----------------------------------------------------------------- UDFs
+
+    def register_scalar_udf(self, name: str, fn: Callable, return_type: DataType) -> None:
+        """Make ``fn`` callable from any SQL expression."""
+        self.functions.register(name, fn, return_type)
+
+    def register_table_udf(self, udf: TableUDF) -> None:
+        """Make ``udf`` invocable as ``TABLE(name(input, args...))``."""
+        self.catalog.register_table_udf(udf)
+
+    def add_service(self, name: str, service: Any) -> None:
+        """Expose an object (coordinator, cache, ...) to table UDF contexts."""
+        self.services[name] = service
+
+    # ------------------------------------------------------------- ANALYZE
+
+    def analyze(self, name: str):
+        """Compute and store table statistics (row count, per-column NDV).
+
+        One full scan through the normal executor — external tables pay
+        their DFS read like any other scan.  The planner consumes the stats
+        for selectivity estimation and join ordering until the table's
+        version changes."""
+        from repro.sql.catalog import TableStats
+        from repro.sql.types import estimate_row_bytes
+
+        entry = self.catalog.get_entry(name)
+        relation = self.execute_distributed(f"SELECT * FROM {name}")
+        row_count = relation.total_rows()
+        total_bytes = sum(
+            estimate_row_bytes(r) for p in relation.partitions for r in p
+        )
+        distinct: list[set] = [set() for _ in relation.schema]
+        for partition in relation.partitions:
+            for row in partition:
+                for i, value in enumerate(row):
+                    if value is not None:
+                        distinct[i].add(value)
+        stats = TableStats(
+            row_count=row_count,
+            avg_row_bytes=(total_bytes / row_count) if row_count else 0.0,
+            ndv={
+                column.name.lower(): len(values)
+                for column, values in zip(relation.schema, distinct)
+            },
+            analyzed_version=entry.version,
+        )
+        entry.stats = stats
+        return stats
+
+    # ---------------------------------------------------------------- query
+
+    def parse(self, sql: str) -> SelectQuery:
+        """Parse only (used by the rewriter and tests)."""
+        return parse(sql)
+
+    def plan(self, query: str | SelectQuery) -> LogicalPlan:
+        """Parse (if needed) and plan a query."""
+        if isinstance(query, str):
+            query = parse(query)
+        planner = Planner(
+            PlannerContext(
+                resolve_table=self.catalog.get_table,
+                resolve_table_udf=self.catalog.get_table_udf,
+                functions=self.functions,
+                estimate_table_bytes=self._estimate_table_bytes,
+                table_stats=self._fresh_table_stats,
+            )
+        )
+        from repro.sql.ast import UnionAll
+        from repro.sql.plan import LogicalUnionAll
+
+        if isinstance(query, UnionAll):
+            branches = [planner.plan(b) for b in query.branches]
+            first = branches[0].schema
+            for i, branch in enumerate(branches[1:], start=2):
+                if len(branch.schema) != len(first):
+                    raise PlanError(
+                        f"UNION ALL branch {i} has {len(branch.schema)} "
+                        f"columns, branch 1 has {len(first)}"
+                    )
+                for a, b in zip(first, branch.schema):
+                    if a.dtype is not b.dtype:
+                        raise PlanError(
+                            f"UNION ALL type mismatch on column "
+                            f"{a.name!r}: {a.dtype.value} vs {b.dtype.value}"
+                        )
+            return LogicalUnionAll(branches=branches, schema=first)
+        return planner.plan(query)
+
+    def explain(self, query: str | SelectQuery) -> str:
+        """Human-readable plan tree."""
+        return self.plan(query).explain()
+
+    def execute(self, query: str | SelectQuery) -> Table:
+        """Run a query and return the (in-memory, partitioned) result."""
+        relation = self.execute_distributed(query)
+        self._result_counter += 1
+        return Table(
+            name=f"_result_{self._result_counter}",
+            schema=relation.schema,
+            partitions=[
+                Partition(rows=rows, worker_id=i)
+                for i, rows in enumerate(relation.partitions)
+            ],
+        )
+
+    def execute_distributed(self, query: str | SelectQuery) -> DistRelation:
+        """Run a query, keeping the per-slot partition structure."""
+        plan = self.plan(query)
+        executor = Executor(
+            ExecutionContext(
+                num_workers=self.num_workers,
+                worker_nodes=list(self.cluster.workers),
+                ledger=self.cluster.ledger,
+                functions=self.functions,
+                services=dict(self.services),
+                dfs=self.dfs,
+            )
+        )
+        return executor.execute(plan)
+
+    def query_rows(self, sql: str) -> list[tuple]:
+        """Convenience: run and gather all result rows."""
+        return self.execute(sql).all_rows()
+
+    # ---------------------------------------------------------------- views
+
+    def create_materialized_view(self, name: str, sql: str) -> Table:
+        """Execute ``sql`` and store its result under ``name``.
+
+        The parsed definition is kept in the catalog so the rewriter can
+        match later queries against it (§5's "similar to utilizing
+        materialized views in query optimization")."""
+        query = parse(sql)
+        relation = self.execute_distributed(query)
+        table = Table(
+            name=name,
+            schema=relation.schema,
+            partitions=[
+                Partition(rows=rows, worker_id=i)
+                for i, rows in enumerate(relation.partitions)
+            ],
+        )
+        self.catalog.add_table(table, definition=query)
+        return table
+
+    # -------------------------------------------------------------- internal
+
+    def _fresh_table_stats(self, table: Table):
+        try:
+            return self.catalog.get_entry(table.name).fresh_stats()
+        except CatalogError:
+            return None
+
+    def _estimate_table_bytes(self, table: Table) -> float:
+        if table.is_external:
+            if self.dfs is None:
+                return float(2**40)
+            try:
+                return float(self.dfs.total_size(table.external.path))
+            except Exception:
+                return float(2**40)
+        return float(table.estimated_bytes())

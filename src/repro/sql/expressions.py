@@ -1,0 +1,791 @@
+"""Expression AST: evaluation, typing, references, and SQL rendering.
+
+Expressions are frozen dataclasses, so two structurally identical expressions
+compare and hash equal — the property the cache fingerprints (§5) and the
+rewriter's predicate matching (§5.1/§5.2) are built on.
+
+Evaluation uses SQL's three-valued logic: comparisons and arithmetic with a
+NULL operand yield NULL; AND/OR follow Kleene logic; filters keep only rows
+where the predicate is exactly TRUE.
+"""
+
+import re
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import PlanError
+from repro.sql.types import DataType, Schema
+
+
+class Binder:
+    """Resolution context for binding expressions to a row layout."""
+
+    def __init__(self, schema: Schema, functions: "FunctionRegistry | None" = None):
+        self.schema = schema
+        self.functions = functions or FunctionRegistry()
+
+
+class Expr(ABC):
+    """Base class of all expression nodes."""
+
+    @abstractmethod
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        """Compile to a row -> value evaluator."""
+
+    @abstractmethod
+    def data_type(self, binder: Binder) -> DataType:
+        """Static result type under the binder's schema."""
+
+    @abstractmethod
+    def references(self) -> set[tuple[str | None, str]]:
+        """All (qualifier, column) pairs this expression reads."""
+
+    @abstractmethod
+    def to_sql(self) -> str:
+        """Render back to SQL text (parseable by our parser)."""
+
+    def contains_aggregate(self) -> bool:
+        """True when an AggregateCall appears anywhere in this tree."""
+        return any(isinstance(node, AggregateCall) for node in walk(self))
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all its descendants."""
+    yield expr
+    for child in getattr(expr, "_children", lambda: [])():
+        yield from walk(child)
+
+
+def _sql_string(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+# --------------------------------------------------------------------- leaves
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference like ``U.age`` or ``gender``."""
+
+    qualifier: str | None
+    name: str
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        index = binder.schema.resolve(self.qualifier, self.name)
+        return lambda row: row[index]
+
+    def data_type(self, binder: Binder) -> DataType:
+        index = binder.schema.resolve(self.qualifier, self.name)
+        return binder.schema.column(index).dtype
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return {(self.qualifier, self.name)}
+
+    def to_sql(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def _children(self) -> list[Expr]:
+        return []
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: Any
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        value = self.value
+        return lambda row: value
+
+    def data_type(self, binder: Binder) -> DataType:
+        if self.value is None:
+            return DataType.VARCHAR
+        if isinstance(self.value, bool):
+            return DataType.BOOLEAN
+        if isinstance(self.value, int):
+            return DataType.BIGINT
+        if isinstance(self.value, float):
+            return DataType.DOUBLE
+        if isinstance(self.value, str):
+            return DataType.VARCHAR
+        raise PlanError(f"unsupported literal type: {type(self.value).__name__}")
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return set()
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            return _sql_string(self.value)
+        return repr(self.value)
+
+    def _children(self) -> list[Expr]:
+        return []
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` — valid only in SELECT lists and COUNT(*)."""
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        raise PlanError("* cannot be evaluated as a scalar expression")
+
+    def data_type(self, binder: Binder) -> DataType:
+        raise PlanError("* has no scalar type")
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return set()
+
+    def to_sql(self) -> str:
+        return "*"
+
+    def _children(self) -> list[Expr]:
+        return []
+
+
+# ----------------------------------------------------------------- operators
+
+def _sql_divide(a: Any, b: Any) -> Any:
+    """SQL division: true division with a DOUBLE operand, otherwise integer
+    division truncating toward zero (like DB2/Hive, unlike Python's floor)."""
+    if isinstance(a, float) or isinstance(b, float):
+        return a / b
+    quotient = a // b
+    if quotient < 0 and quotient * b != a:
+        quotient += 1
+    return quotient
+
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _sql_divide,
+    "%": lambda a, b: a % b,
+}
+
+_CMP_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    """Binary arithmetic (+ - * / %) with NULL propagation.
+
+    ``/`` between two integers performs SQL-style integer division truncating
+    toward zero; with any DOUBLE operand it is true division.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        if self.op not in _ARITH_OPS:
+            raise PlanError(f"unknown arithmetic operator {self.op!r}")
+        fn = _ARITH_OPS[self.op]
+        lhs, rhs = self.left.bind(binder), self.right.bind(binder)
+
+        def evaluate(row: tuple) -> Any:
+            a, b = lhs(row), rhs(row)
+            if a is None or b is None:
+                return None
+            return fn(a, b)
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        lt, rt = self.left.data_type(binder), self.right.data_type(binder)
+        if not (lt.is_numeric and rt.is_numeric):
+            if self.op == "+" and lt == rt == DataType.VARCHAR:
+                return DataType.VARCHAR
+            raise PlanError(
+                f"arithmetic {self.op!r} needs numeric operands, got {lt} and {rt}"
+            )
+        if DataType.DOUBLE in (lt, rt):
+            return DataType.DOUBLE
+        if DataType.BIGINT in (lt, rt):
+            return DataType.BIGINT
+        return DataType.INT
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.left.references() | self.right.references()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def _children(self) -> list[Expr]:
+        return [self.left, self.right]
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """Binary comparison with NULL propagation."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        if self.op not in _CMP_OPS:
+            raise PlanError(f"unknown comparison operator {self.op!r}")
+        fn = _CMP_OPS[self.op]
+        lhs, rhs = self.left.bind(binder), self.right.bind(binder)
+
+        def evaluate(row: tuple) -> Any:
+            a, b = lhs(row), rhs(row)
+            if a is None or b is None:
+                return None
+            return fn(a, b)
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        return DataType.BOOLEAN
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.left.references() | self.right.references()
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+    def _children(self) -> list[Expr]:
+        return [self.left, self.right]
+
+    def flipped(self) -> "Comparison":
+        """Mirror image: ``a < b`` becomes ``b > a`` (same truth value)."""
+        flip = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return Comparison(flip[self.op], self.right, self.left)
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Kleene conjunction over two or more operands."""
+
+    operands: tuple[Expr, ...]
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        fns = [op.bind(binder) for op in self.operands]
+
+        def evaluate(row: tuple) -> Any:
+            saw_null = False
+            for fn in fns:
+                value = fn(row)
+                if value is None:
+                    saw_null = True
+                elif not value:
+                    return False
+            return None if saw_null else True
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        return DataType.BOOLEAN
+
+    def references(self) -> set[tuple[str | None, str]]:
+        refs: set[tuple[str | None, str]] = set()
+        for op in self.operands:
+            refs |= op.references()
+        return refs
+
+    def to_sql(self) -> str:
+        return "(" + " AND ".join(op.to_sql() for op in self.operands) + ")"
+
+    def _children(self) -> list[Expr]:
+        return list(self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Kleene disjunction over two or more operands."""
+
+    operands: tuple[Expr, ...]
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        fns = [op.bind(binder) for op in self.operands]
+
+        def evaluate(row: tuple) -> Any:
+            saw_null = False
+            for fn in fns:
+                value = fn(row)
+                if value is None:
+                    saw_null = True
+                elif value:
+                    return True
+            return None if saw_null else False
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        return DataType.BOOLEAN
+
+    def references(self) -> set[tuple[str | None, str]]:
+        refs: set[tuple[str | None, str]] = set()
+        for op in self.operands:
+            refs |= op.references()
+        return refs
+
+    def to_sql(self) -> str:
+        return "(" + " OR ".join(op.to_sql() for op in self.operands) + ")"
+
+    def _children(self) -> list[Expr]:
+        return list(self.operands)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation (NULL stays NULL)."""
+
+    operand: Expr
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        fn = self.operand.bind(binder)
+
+        def evaluate(row: tuple) -> Any:
+            value = fn(row)
+            if value is None:
+                return None
+            return not value
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        return DataType.BOOLEAN
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references()
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.operand.to_sql()})"
+
+    def _children(self) -> list[Expr]:
+        return [self.operand]
+
+
+@dataclass(frozen=True)
+class Negate(Expr):
+    """Unary minus."""
+
+    operand: Expr
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        fn = self.operand.bind(binder)
+
+        def evaluate(row: tuple) -> Any:
+            value = fn(row)
+            return None if value is None else -value
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        return self.operand.data_type(binder)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references()
+
+    def to_sql(self) -> str:
+        return f"(-{self.operand.to_sql()})"
+
+    def _children(self) -> list[Expr]:
+        return [self.operand]
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL`` — never returns NULL itself."""
+
+    operand: Expr
+    negated: bool = False
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        fn = self.operand.bind(binder)
+        negated = self.negated
+        return lambda row: (fn(row) is not None) if negated else (fn(row) is None)
+
+    def data_type(self, binder: Binder) -> DataType:
+        return DataType.BOOLEAN
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references()
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand.to_sql()} {suffix}"
+
+    def _children(self) -> list[Expr]:
+        return [self.operand]
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)`` with literal members."""
+
+    operand: Expr
+    values: tuple[Expr, ...]
+    negated: bool = False
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        fn = self.operand.bind(binder)
+        member_fns = [v.bind(binder) for v in self.values]
+        negated = self.negated
+
+        def evaluate(row: tuple) -> Any:
+            value = fn(row)
+            if value is None:
+                return None
+            members = [m(row) for m in member_fns]
+            found = value in [m for m in members if m is not None]
+            if not found and any(m is None for m in members):
+                return None
+            return (not found) if negated else found
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        return DataType.BOOLEAN
+
+    def references(self) -> set[tuple[str | None, str]]:
+        refs = self.operand.references()
+        for v in self.values:
+            refs |= v.references()
+        return refs
+
+    def to_sql(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        members = ", ".join(v.to_sql() for v in self.values)
+        return f"{self.operand.to_sql()} {keyword} ({members})"
+
+    def _children(self) -> list[Expr]:
+        return [self.operand, *self.values]
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN lo AND hi`` (inclusive both ends)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        fn = self.operand.bind(binder)
+        lo_fn, hi_fn = self.low.bind(binder), self.high.bind(binder)
+        negated = self.negated
+
+        def evaluate(row: tuple) -> Any:
+            value, lo, hi = fn(row), lo_fn(row), hi_fn(row)
+            if value is None or lo is None or hi is None:
+                return None
+            inside = lo <= value <= hi
+            return (not inside) if negated else inside
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        return DataType.BOOLEAN
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references() | self.low.references() | self.high.references()
+
+    def to_sql(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"{self.operand.to_sql()} {keyword} {self.low.to_sql()} AND {self.high.to_sql()}"
+
+    def _children(self) -> list[Expr]:
+        return [self.operand, self.low, self.high]
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``expr [NOT] LIKE pattern`` with % and _ wildcards."""
+
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        fn = self.operand.bind(binder)
+        regex = re.compile(
+            "^" + re.escape(self.pattern).replace("%", ".*").replace("_", ".") + "$",
+            re.DOTALL,
+        )
+        negated = self.negated
+
+        def evaluate(row: tuple) -> Any:
+            value = fn(row)
+            if value is None:
+                return None
+            matched = regex.match(str(value)) is not None
+            return (not matched) if negated else matched
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        return DataType.BOOLEAN
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.operand.references()
+
+    def to_sql(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"{self.operand.to_sql()} {keyword} {_sql_string(self.pattern)}"
+
+    def _children(self) -> list[Expr]:
+        return [self.operand]
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    """``CASE WHEN c1 THEN r1 [WHEN ...] [ELSE e] END``."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    otherwise: Expr | None = None
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        compiled = [(c.bind(binder), r.bind(binder)) for c, r in self.whens]
+        else_fn = self.otherwise.bind(binder) if self.otherwise else None
+
+        def evaluate(row: tuple) -> Any:
+            for cond, result in compiled:
+                if cond(row):
+                    return result(row)
+            return else_fn(row) if else_fn else None
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        return self.whens[0][1].data_type(binder)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        refs: set[tuple[str | None, str]] = set()
+        for cond, result in self.whens:
+            refs |= cond.references() | result.references()
+        if self.otherwise:
+            refs |= self.otherwise.references()
+        return refs
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond.to_sql()} THEN {result.to_sql()}")
+        if self.otherwise:
+            parts.append(f"ELSE {self.otherwise.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+    def _children(self) -> list[Expr]:
+        children: list[Expr] = []
+        for cond, result in self.whens:
+            children.extend((cond, result))
+        if self.otherwise:
+            children.append(self.otherwise)
+        return children
+
+
+# ----------------------------------------------------------------- functions
+
+
+class FunctionRegistry:
+    """Scalar functions: builtins plus user-registered UDFs."""
+
+    def __init__(self):
+        self._functions: dict[str, tuple[Callable, DataType | None]] = {}
+        self._register_builtins()
+
+    def register(self, name: str, fn: Callable, return_type: DataType) -> None:
+        """Register a scalar UDF (NULL-in -> NULL-out wrapping applied)."""
+        self._functions[name.lower()] = (fn, return_type)
+
+    def lookup(self, name: str) -> tuple[Callable, DataType | None]:
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            raise PlanError(
+                f"unknown function {name!r}; known: {sorted(self._functions)}"
+            ) from None
+
+    def known(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def _register_builtins(self) -> None:
+        self._functions.update(
+            {
+                "upper": (lambda s: s.upper(), DataType.VARCHAR),
+                "lower": (lambda s: s.lower(), DataType.VARCHAR),
+                "length": (lambda s: len(s), DataType.INT),
+                "abs": (lambda x: abs(x), None),
+                "round": (lambda x, digits=0: round(x, int(digits)), DataType.DOUBLE),
+                "floor": (lambda x: int(x // 1), DataType.BIGINT),
+                "ceil": (lambda x: int(-((-x) // 1)), DataType.BIGINT),
+                "concat": (lambda *parts: "".join(str(p) for p in parts), DataType.VARCHAR),
+                "substr": (
+                    lambda s, start, length=None: (
+                        s[int(start) - 1 :]
+                        if length is None
+                        else s[int(start) - 1 : int(start) - 1 + int(length)]
+                    ),
+                    DataType.VARCHAR,
+                ),
+                "mod": (lambda a, b: a % b, DataType.BIGINT),
+                "int": (lambda x: int(x), DataType.BIGINT),
+                "double": (lambda x: float(x), DataType.DOUBLE),
+                "varchar": (lambda x: str(x), DataType.VARCHAR),
+            }
+        )
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Scalar function/UDF invocation; NULL arguments yield NULL.
+
+    COALESCE is special-cased (its whole point is accepting NULLs).
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        if self.name.lower() == "coalesce":
+            arg_fns = [a.bind(binder) for a in self.args]
+
+            def evaluate_coalesce(row: tuple) -> Any:
+                for fn in arg_fns:
+                    value = fn(row)
+                    if value is not None:
+                        return value
+                return None
+
+            return evaluate_coalesce
+
+        fn, _ = binder.functions.lookup(self.name)
+        arg_fns = [a.bind(binder) for a in self.args]
+
+        def evaluate(row: tuple) -> Any:
+            args = [f(row) for f in arg_fns]
+            if any(a is None for a in args):
+                return None
+            return fn(*args)
+
+        return evaluate
+
+    def data_type(self, binder: Binder) -> DataType:
+        if self.name.lower() == "coalesce":
+            return self.args[0].data_type(binder)
+        _, return_type = binder.functions.lookup(self.name)
+        if return_type is None:
+            return self.args[0].data_type(binder)
+        return return_type
+
+    def references(self) -> set[tuple[str | None, str]]:
+        refs: set[tuple[str | None, str]] = set()
+        for a in self.args:
+            refs |= a.references()
+        return refs
+
+    def to_sql(self) -> str:
+        return f"{self.name}({', '.join(a.to_sql() for a in self.args)})"
+
+    def _children(self) -> list[Expr]:
+        return list(self.args)
+
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """COUNT/SUM/AVG/MIN/MAX — planned specially, never row-evaluated."""
+
+    func: str
+    arg: Expr
+    distinct: bool = False
+
+    def bind(self, binder: Binder) -> Callable[[tuple], Any]:
+        raise PlanError(
+            f"aggregate {self.func.upper()} cannot be evaluated per row; "
+            "it must appear in a SELECT list with optional GROUP BY"
+        )
+
+    def data_type(self, binder: Binder) -> DataType:
+        func = self.func.lower()
+        if func == "count":
+            return DataType.BIGINT
+        if func == "avg":
+            return DataType.DOUBLE
+        if isinstance(self.arg, Star):
+            raise PlanError(f"{self.func.upper()}(*) is only valid for COUNT")
+        return self.arg.data_type(binder)
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self.arg.references()
+
+    def to_sql(self) -> str:
+        inner = ("DISTINCT " if self.distinct else "") + self.arg.to_sql()
+        return f"{self.func.upper()}({inner})"
+
+    def _children(self) -> list[Expr]:
+        return [self.arg]
+
+
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        result: list[Expr] = []
+        for op in expr.operands:
+            result.extend(conjuncts(op))
+        return result
+    return [expr]
+
+
+def combine_conjuncts(parts: list[Expr]) -> Expr | None:
+    """Inverse of :func:`conjuncts`: AND the parts back together."""
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+def transform(expr: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    """Bottom-up rewrite: ``fn`` may replace any node (return None = keep).
+
+    ``fn`` is offered each node *before* its children are rebuilt; returning
+    a replacement short-circuits descent into that subtree.  Used by the
+    planner (substituting aggregate calls with references into the aggregate
+    operator's output) and by the query rewriter (re-rooting predicates onto
+    a cached table).
+    """
+    import dataclasses
+
+    replacement = fn(expr)
+    if replacement is not None:
+        return replacement
+
+    def rebuild(value):
+        if isinstance(value, Expr):
+            return transform(value, fn)
+        if isinstance(value, tuple):
+            return tuple(rebuild(v) for v in value)
+        return value
+
+    kwargs = {
+        f.name: rebuild(getattr(expr, f.name)) for f in dataclasses.fields(expr)
+    }
+    return type(expr)(**kwargs)

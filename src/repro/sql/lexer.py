@@ -1,0 +1,75 @@
+"""SQL tokenizer."""
+
+import re
+from dataclasses import dataclass
+
+from repro.common.errors import ParseError
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "as", "and", "or", "not", "in", "between", "like", "is", "null",
+    "true", "false", "join", "inner", "left", "outer", "on", "case", "when",
+    "then", "else", "end", "table", "asc", "desc", "union", "all",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<qident>"[^"]+")
+  | (?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/|%|\(|\)|,|\.|;)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is keyword/ident/number/string/op/eof."""
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word.lower()
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.value == op
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`ParseError` on illegal characters."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise ParseError(f"illegal character {sql[position]!r}", position)
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ws" or kind == "comment":
+            position = match.end()
+            continue
+        if kind == "number":
+            tokens.append(Token("number", text, position))
+        elif kind == "string":
+            tokens.append(Token("string", text[1:-1].replace("''", "'"), position))
+        elif kind == "ident":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, position))
+            else:
+                tokens.append(Token("ident", text, position))
+        elif kind == "qident":
+            tokens.append(Token("ident", text[1:-1], position))
+        elif kind == "op":
+            op = "<>" if text == "!=" else text
+            tokens.append(Token("op", op, position))
+        position = match.end()
+    tokens.append(Token("eof", "", length))
+    return tokens

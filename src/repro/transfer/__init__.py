@@ -1,0 +1,39 @@
+"""Parallel streaming data transfer between the SQL and ML systems (§3).
+
+The moving parts, matching Figure 2 of the paper:
+
+1. each SQL worker executes the :class:`~repro.transfer.stream_udf.StreamTransferUDF`
+   and *registers* with the long-standing
+   :class:`~repro.transfer.coordinator.Coordinator` (worker id, IP, total
+   workers, plus the ML command and arguments);
+2. once all SQL workers are in, the coordinator *launches* the ML job;
+3. the job's :class:`~repro.transfer.sqlstream.SQLStreamInputFormat` asks the
+   coordinator for its InputSplits; the coordinator creates m = n·k splits in
+   n groups, one group per SQL worker, each advertising that worker's IP as
+   its location (the locality hint);
+4-6. ML readers register back, the coordinator *matchmakes* SQL-worker IPs
+   with ML-worker splits and hands both sides their channel endpoints;
+7-8. rows flow over :class:`~repro.transfer.channel.StreamChannel` objects
+   with bounded buffers (paper default 4 KB) that *spill to local disk*
+   instead of blocking when the ML side is slow — round-robin across each
+   SQL worker's k channels.
+
+The SQL output never touches the DFS, and the whole path is accounted under
+``stream.*`` ledger categories.
+"""
+
+from repro.transfer.buffers import SpillableBuffer
+from repro.transfer.channel import StreamChannel
+from repro.transfer.coordinator import Coordinator, StreamSession
+from repro.transfer.sqlstream import SQLStreamInputFormat, StreamSplit
+from repro.transfer.stream_udf import StreamTransferUDF
+
+__all__ = [
+    "Coordinator",
+    "SpillableBuffer",
+    "SQLStreamInputFormat",
+    "StreamChannel",
+    "StreamSession",
+    "StreamSplit",
+    "StreamTransferUDF",
+]

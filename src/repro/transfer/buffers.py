@@ -1,0 +1,155 @@
+"""Bounded buffers with spill-to-disk backpressure handling.
+
+The paper: "Inside a SQL worker, there is a send-buffer associated with each
+target ML worker ... If an ML worker is slow to ingest its data and the
+corresponding send buffer becomes full, we can spill it onto the local disks
+to synchronize the producer and consumers."  So a full buffer never blocks
+the producer — overflow goes to a spill file (or an accounted in-memory
+overflow region when no spill directory is configured), and the consumer
+drains strictly in FIFO order across the memory/spill boundary.
+"""
+
+import os
+import pickle
+import struct
+import threading
+from collections import deque
+
+from repro.common.errors import TransferError
+
+_LENGTH = struct.Struct(">I")
+
+
+class SpillableBuffer:
+    """FIFO byte-item buffer: bounded memory, unbounded accounted spill."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        spill_path: str | None = None,
+        ledger=None,
+    ):
+        if capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1")
+        self._capacity = capacity_bytes
+        self._memory: deque[bytes] = deque()
+        self._memory_bytes = 0
+        self._spill_path = spill_path
+        self._spill_file = None
+        self._spill_read_offset = 0
+        self._spill_pending = 0  # items in the spill region not yet consumed
+        self._overflow: deque[bytes] = deque()  # in-memory spill stand-in
+        self._ledger = ledger
+        self._closed = False
+        self._lock = threading.Lock()
+        self._readable = threading.Condition(self._lock)
+        self.spilled_bytes = 0
+
+    # ---------------------------------------------------------------- write
+
+    def put(self, item: bytes) -> None:
+        """Append an item; spills instead of blocking when memory is full."""
+        with self._lock:
+            if self._closed:
+                raise TransferError("put() on a closed buffer")
+            # FIFO across the boundary: once anything sits in spill, new
+            # items must follow it there.
+            if self._spill_pending == 0 and self._memory_bytes + len(item) <= self._capacity:
+                self._memory.append(item)
+                self._memory_bytes += len(item)
+            else:
+                self._spill(item)
+            self._readable.notify()
+
+    def close(self) -> None:
+        """Signal end of stream; pending items remain readable."""
+        with self._lock:
+            self._closed = True
+            self._readable.notify_all()
+
+    # ----------------------------------------------------------------- read
+
+    def get(self, timeout: float | None = 30.0) -> bytes | None:
+        """Next item in FIFO order, or None at end of stream.
+
+        Raises :class:`TransferError` if nothing arrives within ``timeout``
+        (a deadlock guard; the paper's streams always terminate with EOF).
+        """
+        with self._lock:
+            while True:
+                if self._memory:
+                    item = self._memory.popleft()
+                    self._memory_bytes -= len(item)
+                    self._refill_from_spill()
+                    return item
+                if self._spill_pending:
+                    self._refill_from_spill()
+                    continue
+                if self._closed:
+                    return None
+                if not self._readable.wait(timeout=timeout):
+                    raise TransferError(
+                        f"buffer read timed out after {timeout}s (producer stalled?)"
+                    )
+
+    def __iter__(self):
+        while True:
+            item = self.get()
+            if item is None:
+                return
+            yield item
+
+    # ------------------------------------------------------------ internals
+
+    def _spill(self, item: bytes) -> None:
+        self.spilled_bytes += len(item)
+        if self._ledger is not None:
+            self._ledger.add("stream.spilled", len(item))
+        if self._spill_path is None:
+            self._overflow.append(item)
+        else:
+            if self._spill_file is None:
+                os.makedirs(os.path.dirname(self._spill_path) or ".", exist_ok=True)
+                self._spill_file = open(self._spill_path, "w+b")
+            self._spill_file.seek(0, os.SEEK_END)
+            self._spill_file.write(_LENGTH.pack(len(item)))
+            self._spill_file.write(item)
+        self._spill_pending += 1
+
+    def _refill_from_spill(self) -> None:
+        """Move spilled items back into free memory space, preserving order."""
+        while self._spill_pending and self._memory_bytes < self._capacity:
+            item = self._read_one_spilled()
+            self._memory.append(item)
+            self._memory_bytes += len(item)
+            self._spill_pending -= 1
+        if self._spill_pending == 0 and self._spill_file is not None:
+            path = self._spill_file.name
+            self._spill_file.close()
+            self._spill_file = None
+            self._spill_read_offset = 0
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _read_one_spilled(self) -> bytes:
+        if self._spill_path is None:
+            return self._overflow.popleft()
+        assert self._spill_file is not None
+        self._spill_file.seek(self._spill_read_offset)
+        header = self._spill_file.read(_LENGTH.size)
+        (length,) = _LENGTH.unpack(header)
+        item = self._spill_file.read(length)
+        self._spill_read_offset = self._spill_file.tell()
+        return item
+
+
+def encode_row(row: tuple) -> bytes:
+    """Serialize one row for the wire (length-accounted pickle)."""
+    return pickle.dumps(row, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_row(payload: bytes) -> tuple:
+    """Inverse of :func:`encode_row`."""
+    return pickle.loads(payload)

@@ -1,0 +1,88 @@
+"""One SQL-worker -> ML-worker stream channel."""
+
+from dataclasses import dataclass
+
+from repro.cluster.cost import CostLedger
+from repro.transfer.buffers import SpillableBuffer, decode_row, encode_row
+
+
+@dataclass(frozen=True)
+class ChannelId:
+    """Identity of a channel inside a session: (SQL worker, subchannel)."""
+
+    sql_worker_id: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"sql{self.sql_worker_id}->ml{self.index}"
+
+
+class StreamChannel:
+    """A unidirectional row pipe with a bounded, spillable buffer.
+
+    In the real system this is a TCP socket with a send buffer on the SQL
+    side and a receive buffer on the ML side; in-process we model the pair
+    as one :class:`SpillableBuffer` whose capacity plays both roles (the
+    paper sets both to the same 4 KB anyway).  ``local`` records whether
+    coordinator matchmaking managed to colocate the endpoints — remote
+    channels cost network bytes in the ledger, local ones do not.
+    """
+
+    def __init__(
+        self,
+        channel_id: ChannelId,
+        buffer_bytes: int = 4096,
+        ledger: CostLedger | None = None,
+        spill_path: str | None = None,
+        local: bool = False,
+    ):
+        self.channel_id = channel_id
+        self.local = local
+        self._ledger = ledger
+        self._buffer = SpillableBuffer(
+            capacity_bytes=buffer_bytes, spill_path=spill_path, ledger=ledger
+        )
+        self.rows_sent = 0
+        self.bytes_sent = 0
+        self.rows_received = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------ SQL side
+
+    def send_row(self, row: tuple) -> None:
+        """Serialize and enqueue one row."""
+        payload = encode_row(row)
+        self._buffer.put(payload)
+        self.rows_sent += 1
+        self.bytes_sent += len(payload)
+        if self._ledger is not None:
+            self._ledger.add("stream.sent", len(payload))
+            if not self.local:
+                self._ledger.add("stream.net", len(payload))
+
+    def close(self) -> None:
+        """End of stream from the sender."""
+        self._buffer.close()
+
+    # ------------------------------------------------------------- ML side
+
+    def receive(self, timeout: float | None = 30.0) -> tuple | None:
+        """Next row, or None at end of stream."""
+        payload = self._buffer.get(timeout=timeout)
+        if payload is None:
+            return None
+        self.rows_received += 1
+        self.bytes_received += len(payload)
+        return decode_row(payload)
+
+    def __iter__(self):
+        while True:
+            row = self.receive()
+            if row is None:
+                return
+            yield row
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Bytes that overflowed to the spill region (backpressure events)."""
+        return self._buffer.spilled_bytes

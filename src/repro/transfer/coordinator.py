@@ -1,0 +1,365 @@
+"""The long-standing coordinator service bridging SQL and ML workers (§3).
+
+One :class:`Coordinator` serves many *sessions*; a session is one transfer
+(one SQL query feeding one ML job).  The protocol state machine follows
+Figure 2 step by step; every blocking wait carries a timeout so a lost
+endpoint surfaces as a :class:`TransferError` instead of a hang, and the §6
+fault-tolerance hooks (:meth:`Coordinator.notify_channel_failure`,
+:meth:`StreamSession.restart_plan`) expose the restart pairing the paper
+describes: a failed SQL worker implies restarting all ML workers matched to
+it.
+"""
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import TransferError
+from repro.transfer.channel import ChannelId, StreamChannel
+
+DEFAULT_BUFFER_BYTES = 4096  # the paper's send/receive buffer setting
+DEFAULT_TIMEOUT_S = 30.0
+
+
+@dataclass
+class SqlWorkerInfo:
+    """Registration record of one SQL worker (step 1)."""
+
+    worker_id: int
+    ip: str
+
+
+@dataclass
+class StreamSession:
+    """All state of one transfer session."""
+
+    session_id: str
+    command: str | None = None
+    args: dict = field(default_factory=dict)
+    conf_props: dict = field(default_factory=dict)
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES
+    spill_dir: str | None = None
+    expected_sql_workers: int | None = None
+    sql_workers: dict[int, SqlWorkerInfo] = field(default_factory=dict)
+    channels: dict[ChannelId, StreamChannel] = field(default_factory=dict)
+    groups: dict[int, list[ChannelId]] = field(default_factory=dict)
+    ml_registrations: set[ChannelId] = field(default_factory=set)
+    failed: bool = False
+    failure_reason: str | None = None
+    # events
+    all_registered: threading.Event = field(default_factory=threading.Event)
+    splits_ready: threading.Event = field(default_factory=threading.Event)
+    result_ready: threading.Event = field(default_factory=threading.Event)
+    result: Any = None
+    error: BaseException | None = None
+    launched: bool = False
+
+    def restart_plan(self, sql_worker_id: int) -> dict:
+        """§6: which endpoints must restart after a channel failure.
+
+        The failed SQL worker restarts, and *all* ML workers consuming from
+        it restart with it, so the transfer can resume consistently.
+        """
+        return {
+            "restart_sql_worker": sql_worker_id,
+            "restart_ml_workers": [
+                cid.index for cid in self.groups.get(sql_worker_id, [])
+            ],
+        }
+
+
+class Coordinator:
+    """Registration, launch, split planning, matchmaking, result delivery."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        launcher: Callable[["StreamSession"], Any] | None = None,
+        default_k: int = 6,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        spill_dir: str | None = None,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        transport: str = "memory",
+        state_store=None,  # CoordinatorStateStore | None (§6 resilience)
+    ):
+        if transport not in ("memory", "socket"):
+            raise TransferError(f"unknown transport {transport!r}")
+        self.cluster = cluster
+        self.launcher = launcher
+        self.default_k = default_k
+        self.buffer_bytes = buffer_bytes
+        self.spill_dir = spill_dir
+        self.timeout_s = timeout_s
+        self.transport = transport
+        self.state_store = state_store
+        self._sessions: dict[str, StreamSession] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- sessions
+
+    def create_session(
+        self,
+        session_id: str,
+        command: str | None = None,
+        args: dict | None = None,
+        conf_props: dict | None = None,
+        buffer_bytes: int | None = None,
+        spill_dir: str | None = None,
+    ) -> StreamSession:
+        """Pre-configure a session (the pipeline does this before the query)."""
+        with self._lock:
+            if session_id in self._sessions:
+                raise TransferError(f"session {session_id!r} already exists")
+            session = StreamSession(
+                session_id=session_id,
+                command=command,
+                args=dict(args or {}),
+                conf_props=dict(conf_props or {}),
+                buffer_bytes=buffer_bytes or self.buffer_bytes,
+                spill_dir=spill_dir if spill_dir is not None else self.spill_dir,
+            )
+            self._sessions[session_id] = session
+        if self.state_store is not None:
+            self.state_store.record_session(
+                session_id, session.command, session.conf_props
+            )
+        return session
+
+    def session(self, session_id: str) -> StreamSession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise TransferError(
+                f"unknown session {session_id!r}; known: {sorted(self._sessions)}"
+            )
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        """Forget a finished session."""
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    # ------------------------------------------------- step 1: registration
+
+    def register_sql_worker(
+        self,
+        session_id: str,
+        worker_id: int,
+        ip: str,
+        total_workers: int,
+        command: str | None = None,
+        args: dict | None = None,
+    ) -> StreamSession:
+        """A SQL worker announces itself; the last one triggers the launch."""
+        session = self.session(session_id)
+        launch = False
+        with self._lock:
+            if session.expected_sql_workers is None:
+                session.expected_sql_workers = total_workers
+            elif session.expected_sql_workers != total_workers:
+                raise TransferError(
+                    f"inconsistent SQL worker count for {session_id!r}: "
+                    f"{session.expected_sql_workers} vs {total_workers}"
+                )
+            if worker_id in session.sql_workers:
+                raise TransferError(
+                    f"SQL worker {worker_id} registered twice in {session_id!r}"
+                )
+            session.sql_workers[worker_id] = SqlWorkerInfo(worker_id, ip)
+            if command and session.command is None:
+                session.command = command
+            if args:
+                session.args.update(args)
+            if len(session.sql_workers) == session.expected_sql_workers:
+                session.all_registered.set()
+                if not session.launched:
+                    session.launched = True
+                    launch = True
+        if self.state_store is not None:
+            self.state_store.record_worker(session_id, worker_id, ip, total_workers)
+        if launch:
+            if self.state_store is not None:
+                self.state_store.record_status(session_id, "launched")
+            self._launch(session)  # step 2
+        return session
+
+    def _launch(self, session: StreamSession) -> None:
+        if self.launcher is None:
+            raise TransferError(
+                "coordinator has no ML job launcher configured; cannot run "
+                f"session {session.session_id!r}"
+            )
+        if session.command is None:
+            raise TransferError(
+                f"session {session.session_id!r} has no ML command to launch"
+            )
+
+        def run() -> None:
+            try:
+                session.result = self.launcher(session)
+                if self.state_store is not None:
+                    self.state_store.record_status(session.session_id, "completed")
+            except BaseException as exc:  # surfaced to wait_result callers
+                session.error = exc
+                session.failed = True
+                session.failure_reason = str(exc)
+                # Unblock SQL workers waiting for split planning: they get a
+                # prompt error instead of hanging until their timeout.
+                session.splits_ready.set()
+                if self.state_store is not None:
+                    self.state_store.record_status(session.session_id, "failed")
+            finally:
+                session.result_ready.set()
+
+        thread = threading.Thread(
+            target=run, name=f"ml-job-{session.session_id}", daemon=True
+        )
+        thread.start()
+
+    # ------------------------------------------------ step 3: split planning
+
+    def plan_input_splits(self, session_id: str, requested: int | None) -> list[ChannelId]:
+        """Decide the m InputSplits and create their channels.
+
+        m is ``requested`` when the algorithm pre-specifies it, otherwise
+        n·k.  The m splits are divided evenly into n groups, group i drawing
+        from SQL worker i — and each split's location is that SQL worker's
+        IP, the locality hint of the paper.
+        """
+        session = self.session(session_id)
+        if not session.all_registered.wait(timeout=self.timeout_s):
+            raise TransferError(
+                f"timed out waiting for SQL workers of {session_id!r} to register"
+            )
+        with self._lock:
+            if session.splits_ready.is_set():
+                return [cid for group in session.groups.values() for cid in group]
+            n = session.expected_sql_workers or 1
+            k = int(session.conf_props.get("stream.k", self.default_k))
+            m = requested if requested and requested > 0 else n * k
+            if m < n:
+                m = n  # every SQL worker needs at least one consumer
+            base, extra = divmod(m, n)
+            channel_ids: list[ChannelId] = []
+            index = 0
+            for group_position, worker_id in enumerate(sorted(session.sql_workers)):
+                group_size = base + (1 if group_position < extra else 0)
+                group: list[ChannelId] = []
+                for _ in range(group_size):
+                    cid = ChannelId(sql_worker_id=worker_id, index=index)
+                    spill_path = (
+                        f"{session.spill_dir}/spill-{session.session_id}-{worker_id}-{index}.bin"
+                        if session.spill_dir
+                        else None
+                    )
+                    local = self._ml_slot_is_local(session, worker_id, index)
+                    if self.transport == "socket":
+                        from repro.transfer.socket_channel import SocketStreamChannel
+
+                        session.channels[cid] = SocketStreamChannel(
+                            cid,
+                            buffer_bytes=session.buffer_bytes,
+                            ledger=self.cluster.ledger,
+                            local=local,
+                            receive_timeout_s=self.timeout_s,
+                        )
+                    else:
+                        session.channels[cid] = StreamChannel(
+                            cid,
+                            buffer_bytes=session.buffer_bytes,
+                            ledger=self.cluster.ledger,
+                            spill_path=spill_path,
+                            local=local,
+                        )
+                    group.append(cid)
+                    channel_ids.append(cid)
+                    index += 1
+                session.groups[worker_id] = group
+            session.splits_ready.set()
+            return channel_ids
+
+    def _ml_slot_is_local(
+        self, session: StreamSession, sql_worker_id: int, _index: int
+    ) -> bool:
+        """Best-effort colocation: an ML reader spawned for a split whose
+        location names a live node is considered placed on that node."""
+        info = session.sql_workers.get(sql_worker_id)
+        if info is None:
+            return False
+        return any(node.ip == info.ip for node in self.cluster.nodes)
+
+    def split_location(self, session_id: str, channel_id: ChannelId) -> str:
+        """The advertised (locality) host of one split."""
+        session = self.session(session_id)
+        info = session.sql_workers.get(channel_id.sql_worker_id)
+        if info is None:
+            raise TransferError(
+                f"no SQL worker {channel_id.sql_worker_id} in {session_id!r}"
+            )
+        return info.ip
+
+    # ------------------------------------------- steps 4-6: matchmaking
+
+    def register_ml_worker(self, session_id: str, channel_id: ChannelId) -> StreamChannel:
+        """An ML reader claims its split; returns its receive endpoint."""
+        session = self.session(session_id)
+        if not session.splits_ready.wait(timeout=self.timeout_s):
+            raise TransferError(f"splits of {session_id!r} were never planned")
+        with self._lock:
+            channel = session.channels.get(channel_id)
+            if channel is None:
+                raise TransferError(
+                    f"no channel {channel_id} in session {session_id!r}"
+                )
+            if channel_id in session.ml_registrations:
+                raise TransferError(f"split {channel_id} claimed twice")
+            session.ml_registrations.add(channel_id)
+            return channel
+
+    def sql_worker_channels(self, session_id: str, worker_id: int) -> list[StreamChannel]:
+        """A SQL worker collects its matched send endpoints (blocks on step 3)."""
+        session = self.session(session_id)
+        if not session.splits_ready.wait(timeout=self.timeout_s):
+            raise TransferError(
+                f"timed out waiting for split planning in {session_id!r} "
+                "(was the ML job launched?)"
+            )
+        with self._lock:
+            group = session.groups.get(worker_id)
+            if group is None:
+                if session.error is not None:
+                    raise TransferError(
+                        f"ML job of {session_id!r} failed before matchmaking: "
+                        f"{session.failure_reason}"
+                    )
+                raise TransferError(
+                    f"SQL worker {worker_id} has no channel group in {session_id!r}"
+                )
+            return [session.channels[cid] for cid in group]
+
+    # ----------------------------------------------------- results & faults
+
+    def wait_result(self, session_id: str, timeout: float | None = None):
+        """Block until the launched ML job finishes; re-raises its error."""
+        session = self.session(session_id)
+        if not session.result_ready.wait(timeout=timeout or self.timeout_s * 4):
+            raise TransferError(f"ML job of session {session_id!r} never finished")
+        if session.error is not None:
+            raise TransferError(
+                f"ML job of session {session_id!r} failed: {session.error}"
+            ) from session.error
+        return session.result
+
+    def notify_channel_failure(
+        self, session_id: str, sql_worker_id: int, reason: str = ""
+    ) -> dict:
+        """§6 hook: record a failure and return the coordinated restart plan."""
+        session = self.session(session_id)
+        with self._lock:
+            session.failed = True
+            session.failure_reason = reason or f"channel of SQL worker {sql_worker_id} failed"
+            # Close the group's channels so stuck readers see EOF, not a hang.
+            for cid in session.groups.get(sql_worker_id, []):
+                session.channels[cid].close()
+        return session.restart_plan(sql_worker_id)

@@ -1,0 +1,31 @@
+"""Glue: let the coordinator launch jobs on an :class:`MLSystem` (step 2)."""
+
+from repro.iofmt.inputformat import JobConf
+from repro.ml.system import MLJobResult, MLSystem
+from repro.transfer.coordinator import Coordinator, StreamSession
+from repro.transfer.sqlstream import SQLStreamInputFormat
+
+
+def connect(coordinator: Coordinator, ml_system: MLSystem) -> None:
+    """Wire a coordinator to an ML system.
+
+    After this, a fully-registered session triggers
+    ``ml_system.run_job(command, args, SQLStreamInputFormat(), conf)`` on a
+    separate thread — the paper's step 2 — with the session's configuration
+    properties carried into the job conf.
+    """
+
+    def launch(session: StreamSession) -> MLJobResult:
+        props = dict(session.conf_props)
+        props["stream.session"] = session.session_id
+        conf = JobConf(props, coordinator=coordinator)
+        requested = props.get("stream.num_splits")
+        return ml_system.run_job(
+            command=session.command,
+            args=session.args,
+            input_format=SQLStreamInputFormat(),
+            conf=conf,
+            num_workers=int(requested) if requested else None,
+        )
+
+    coordinator.launcher = launch

@@ -1,0 +1,102 @@
+"""The SQL-side sender: a parallel table UDF (§3's entry point).
+
+"The data transfer starts from the parallel table UDF in the SQL system.
+This UDF takes in as inputs the table to be transferred, the [coordinator],
+as well as the command and arguments to invoke the desired ML algorithm."
+
+Usage::
+
+   SELECT * FROM TABLE(stream_transfer((SELECT ...), 'session-1'))
+
+or, self-contained (no pre-configured session)::
+
+   SELECT * FROM TABLE(stream_transfer((SELECT ...), 'session-1',
+                                        'svm_with_sgd', 'iterations=10'))
+
+Each invocation registers its worker with the coordinator (step 1), blocks
+until matchmaking hands it its k channels (steps 5-7), streams its
+partition's rows round-robin across them (step 8), closes with EOF, and
+returns a one-row transfer summary.
+"""
+
+from collections.abc import Iterable
+
+from repro.common.errors import TransferError
+from repro.sql.types import DataType, Schema
+from repro.sql.udf import TableUDF, UdfContext
+from repro.transfer.coordinator import Coordinator
+
+
+def parse_ml_args(text: str) -> dict:
+    """Parse ``'iterations=10,step=0.5'`` style ML argument strings."""
+    args: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise TransferError(f"bad ML argument {part!r} (expected key=value)")
+        key, value = part.split("=", 1)
+        args[key.strip()] = value.strip()
+    return args
+
+
+class StreamTransferUDF(TableUDF):
+    """``TABLE(stream_transfer(input, session [, command [, args]]))``."""
+
+    name = "stream_transfer"
+
+    def output_schema(self, input_schema: Schema, args: tuple) -> Schema:
+        self._parse_args(args)
+        return Schema.of(
+            ("worker_id", DataType.INT),
+            ("rows_sent", DataType.BIGINT),
+            ("bytes_sent", DataType.BIGINT),
+            ("spilled_bytes", DataType.BIGINT),
+        )
+
+    def process_partition(
+        self, rows: Iterable[tuple], input_schema: Schema, args: tuple, ctx: UdfContext
+    ) -> Iterable[tuple]:
+        session_id, command, ml_args = self._parse_args(args)
+        coordinator: Coordinator = ctx.service("coordinator")
+
+        # Step 1: register (worker id, IP, worker count, command+args).
+        coordinator.register_sql_worker(
+            session_id,
+            worker_id=ctx.worker_id,
+            ip=ctx.node.ip,
+            total_workers=ctx.num_workers,
+            command=command,
+            args=ml_args,
+        )
+        # Steps 5-7: receive the matched channels.
+        channels = coordinator.sql_worker_channels(session_id, ctx.worker_id)
+        if not channels:
+            raise TransferError(f"worker {ctx.worker_id} was matched to no channels")
+
+        # Step 8: round-robin fan-out over this worker's k channels.
+        rows_sent = 0
+        try:
+            for i, row in enumerate(rows):
+                channels[i % len(channels)].send_row(row)
+                rows_sent += 1
+        finally:
+            for channel in channels:
+                channel.close()
+
+        yield (
+            ctx.worker_id,
+            rows_sent,
+            sum(c.bytes_sent for c in channels),
+            sum(c.spilled_bytes for c in channels),
+        )
+
+    @staticmethod
+    def _parse_args(args: tuple) -> tuple[str, str | None, dict]:
+        if not args:
+            raise TransferError("stream_transfer needs at least a session id")
+        session_id = str(args[0])
+        command = str(args[1]) if len(args) > 1 and args[1] is not None else None
+        ml_args = parse_ml_args(str(args[2])) if len(args) > 2 and args[2] else {}
+        return session_id, command, ml_args

@@ -1,0 +1,245 @@
+"""ZooKeeperLite: the coordination substrate §6 calls for.
+
+"First, we need the coordinator service to be resilient itself.  This can
+be achieved by using Zookeeper."  This module provides the ZooKeeper
+essentials in-process:
+
+* a hierarchical namespace of *znodes*, each carrying bytes and a version
+  (compare-and-set updates);
+* *ephemeral* znodes bound to a client session — they vanish when the
+  session closes or expires (how real coordinators detect dead workers);
+* one-shot *watches* on node creation/change/deletion, delivered
+  synchronously on the mutating call (deterministic for tests).
+
+:class:`CoordinatorStateStore` builds on it to mirror every transfer
+session's metadata (registration progress, command, configuration), so a
+replacement coordinator can list and inspect in-flight sessions after the
+original dies — the §6 resilience story at the metadata level.
+"""
+
+import json
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.common.errors import TransferError
+
+
+class ZkError(TransferError):
+    """ZooKeeperLite namespace violation (missing node, bad version, ...)."""
+
+
+@dataclass
+class _Znode:
+    data: bytes
+    version: int = 0
+    ephemeral_owner: str | None = None
+
+
+def _validate(path: str) -> str:
+    if not path.startswith("/") or path != "/" and path.endswith("/"):
+        raise ZkError(f"bad znode path {path!r}")
+    return path
+
+
+def _parent(path: str) -> str:
+    return path.rsplit("/", 1)[0] or "/"
+
+
+class ZooKeeperLite:
+    """The coordination service: znodes + sessions + watches."""
+
+    def __init__(self):
+        self._nodes: dict[str, _Znode] = {"/": _Znode(b"")}
+        self._sessions: set[str] = set()
+        self._watches: dict[str, list[Callable[[str, str], None]]] = {}
+        self._lock = threading.RLock()
+
+    # --------------------------------------------------------------- session
+
+    def start_session(self, client_id: str) -> None:
+        """Register a client session (owner of future ephemerals)."""
+        with self._lock:
+            if client_id in self._sessions:
+                raise ZkError(f"session {client_id!r} already active")
+            self._sessions.add(client_id)
+
+    def close_session(self, client_id: str) -> list[str]:
+        """End a session; its ephemeral nodes are deleted (watches fire).
+        Returns the removed paths."""
+        with self._lock:
+            self._sessions.discard(client_id)
+            doomed = [
+                path
+                for path, node in self._nodes.items()
+                if node.ephemeral_owner == client_id
+            ]
+            for path in sorted(doomed, key=len, reverse=True):
+                self._delete_locked(path)
+            return sorted(doomed)
+
+    # ----------------------------------------------------------------- CRUD
+
+    def create(
+        self,
+        path: str,
+        data: bytes = b"",
+        ephemeral_owner: str | None = None,
+    ) -> None:
+        """Create a znode (parents must exist; fails if present)."""
+        path = _validate(path)
+        with self._lock:
+            if path in self._nodes:
+                raise ZkError(f"znode {path!r} already exists")
+            if _parent(path) not in self._nodes:
+                raise ZkError(f"parent of {path!r} does not exist")
+            if ephemeral_owner is not None:
+                if ephemeral_owner not in self._sessions:
+                    raise ZkError(f"no session {ephemeral_owner!r}")
+            self._nodes[path] = _Znode(data, ephemeral_owner=ephemeral_owner)
+            self._fire(path, "created")
+
+    def ensure_path(self, path: str) -> None:
+        """Create a persistent node and all missing ancestors (idempotent)."""
+        path = _validate(path)
+        with self._lock:
+            parts = [p for p in path.split("/") if p]
+            current = ""
+            for part in parts:
+                current += "/" + part
+                if current not in self._nodes:
+                    self._nodes[current] = _Znode(b"")
+                    self._fire(current, "created")
+
+    def get(self, path: str) -> tuple[bytes, int]:
+        """(data, version) of a znode."""
+        path = _validate(path)
+        with self._lock:
+            node = self._nodes.get(path)
+            if node is None:
+                raise ZkError(f"no znode {path!r}")
+            return node.data, node.version
+
+    def set(self, path: str, data: bytes, expected_version: int | None = None) -> int:
+        """Update data; with ``expected_version`` it is a compare-and-set.
+        Returns the new version."""
+        path = _validate(path)
+        with self._lock:
+            node = self._nodes.get(path)
+            if node is None:
+                raise ZkError(f"no znode {path!r}")
+            if expected_version is not None and node.version != expected_version:
+                raise ZkError(
+                    f"version conflict on {path!r}: "
+                    f"expected {expected_version}, is {node.version}"
+                )
+            node.data = data
+            node.version += 1
+            self._fire(path, "changed")
+            return node.version
+
+    def delete(self, path: str) -> None:
+        """Delete a leaf znode."""
+        path = _validate(path)
+        with self._lock:
+            if path not in self._nodes:
+                raise ZkError(f"no znode {path!r}")
+            if any(_parent(p) == path for p in self._nodes if p != path):
+                raise ZkError(f"znode {path!r} has children")
+            self._delete_locked(path)
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return _validate(path) in self._nodes
+
+    def children(self, path: str) -> list[str]:
+        """Immediate child names (not full paths), sorted."""
+        path = _validate(path)
+        with self._lock:
+            if path not in self._nodes:
+                raise ZkError(f"no znode {path!r}")
+            prefix = path if path != "/" else ""
+            names = []
+            for candidate in self._nodes:
+                if candidate != path and _parent(candidate) == path:
+                    names.append(candidate[len(prefix) + 1 :])
+            return sorted(names)
+
+    # --------------------------------------------------------------- watches
+
+    def watch(self, path: str, callback: Callable[[str, str], None]) -> None:
+        """One-shot watch: ``callback(path, event)`` fires on the next
+        created/changed/deleted event for ``path``, then disarms."""
+        path = _validate(path)
+        with self._lock:
+            self._watches.setdefault(path, []).append(callback)
+
+    # ------------------------------------------------------------- internals
+
+    def _delete_locked(self, path: str) -> None:
+        del self._nodes[path]
+        self._fire(path, "deleted")
+
+    def _fire(self, path: str, event: str) -> None:
+        callbacks = self._watches.pop(path, [])
+        for callback in callbacks:
+            callback(path, event)
+
+
+class CoordinatorStateStore:
+    """Mirror of transfer-session metadata in ZooKeeperLite (§6 resilience).
+
+    The coordinator writes each session's command/conf and every SQL-worker
+    registration as znodes under ``/coordinator/sessions/<id>``; a
+    replacement coordinator (or an operator) reads them back after a crash.
+    """
+
+    ROOT = "/coordinator/sessions"
+
+    def __init__(self, zk: ZooKeeperLite):
+        self.zk = zk
+        zk.ensure_path(self.ROOT)
+
+    def record_session(self, session_id: str, command: str | None, conf: dict) -> None:
+        base = f"{self.ROOT}/{session_id}"
+        self.zk.ensure_path(base)
+        payload = json.dumps({"command": command, "conf": conf}).encode()
+        if self.zk.exists(f"{base}/meta"):
+            self.zk.set(f"{base}/meta", payload)
+        else:
+            self.zk.create(f"{base}/meta", payload)
+        self.zk.ensure_path(f"{base}/workers")
+
+    def record_worker(
+        self, session_id: str, worker_id: int, ip: str, total_workers: int
+    ) -> None:
+        base = f"{self.ROOT}/{session_id}/workers"
+        payload = json.dumps({"ip": ip, "total": total_workers}).encode()
+        self.zk.create(f"{base}/{worker_id}", payload)
+
+    def record_status(self, session_id: str, status: str) -> None:
+        path = f"{self.ROOT}/{session_id}/status"
+        if self.zk.exists(path):
+            self.zk.set(path, status.encode())
+        else:
+            self.zk.create(path, status.encode())
+
+    def sessions(self) -> list[str]:
+        return self.zk.children(self.ROOT)
+
+    def session_view(self, session_id: str) -> dict:
+        """Everything a replacement coordinator needs to know."""
+        base = f"{self.ROOT}/{session_id}"
+        meta, _v = self.zk.get(f"{base}/meta")
+        view = json.loads(meta.decode())
+        workers = {}
+        for name in self.zk.children(f"{base}/workers"):
+            data, _v = self.zk.get(f"{base}/workers/{name}")
+            workers[int(name)] = json.loads(data.decode())
+        view["workers"] = workers
+        if self.zk.exists(f"{base}/status"):
+            status, _v = self.zk.get(f"{base}/status")
+            view["status"] = status.decode()
+        else:
+            view["status"] = "registering"
+        return view

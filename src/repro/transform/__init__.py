@@ -1,0 +1,44 @@
+"""In-SQL data transformation for ML (§2 of the paper).
+
+Categorical variables live as strings in SQL systems but ML systems want
+consecutive small integers (recoding) and often binary indicator columns
+(dummy coding).  This package implements those transformations — plus the
+"less common" effect and orthogonal codings §2 mentions — **inside the SQL
+engine**, as parallel table UDFs, exactly as the paper proposes:
+
+* pass 1 (:class:`~repro.transform.recode.LocalDistinctUDF` + a
+  ``SELECT DISTINCT``) computes the global distinct values of every
+  categorical column in a single scan;
+* a deterministic assignment turns them into a
+  :class:`~repro.transform.recode.RecodeMap` (consecutive integers from 1,
+  as SystemML-style consumers require);
+* pass 2 applies the map — either through the paper's join formulation
+  (:func:`~repro.transform.recode.recode_join_sql`) or through the
+  broadcast-map :class:`~repro.transform.recode.RecodeUDF`;
+* :class:`~repro.transform.dummy.DummyCodeUDF` (and the effect/orthogonal
+  variants) expand recoded columns into indicator/contrast columns in one
+  further pipelined pass.
+"""
+
+from repro.transform.dummy import DummyCodeUDF
+from repro.transform.effect import EffectCodeUDF, OrthogonalCodeUDF
+from repro.transform.recode import (
+    LocalDistinctUDF,
+    RecodeMap,
+    RecodeUDF,
+    recode_join_sql,
+)
+from repro.transform.service import TransformService
+from repro.transform.spec import TransformSpec
+
+__all__ = [
+    "DummyCodeUDF",
+    "EffectCodeUDF",
+    "LocalDistinctUDF",
+    "OrthogonalCodeUDF",
+    "RecodeMap",
+    "RecodeUDF",
+    "TransformService",
+    "TransformSpec",
+    "recode_join_sql",
+]

@@ -1,0 +1,154 @@
+"""Effect coding and orthogonal (polynomial contrast) coding.
+
+§2.2 notes that "some less common transformations, such as effect coding and
+orthogonal coding, can be implemented in similar ways as dummy coding" — so
+here they are, as the same kind of single-pass parallel table UDFs.
+
+* **Effect coding**: a K-level categorical becomes K-1 columns.  Level i<K
+  sets column i to 1; the last level sets *all* columns to -1 (the reference
+  level carries the negative weight, making coefficients deviations from the
+  grand mean).
+* **Orthogonal coding**: K-1 polynomial contrast columns (linear, quadratic,
+  ...), mutually orthogonal and zero-sum, built from centered powers via
+  Gram-Schmidt — the classic trend contrasts for ordered categories.
+"""
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.common.errors import ExecutionError
+from repro.sql.types import Column, DataType, Schema
+from repro.sql.udf import TableUDF, UdfContext
+from repro.transform.recode import RecodeMap
+from repro.transform.service import TransformService
+
+
+def effect_row(code: int, k: int) -> list[int]:
+    """Effect-coded vector (length K-1) for recoded value ``code`` in 1..K."""
+    if not 1 <= code <= k:
+        raise ExecutionError(f"effect coding expects 1..{k}, got {code}")
+    if code == k:
+        return [-1] * (k - 1)
+    row = [0] * (k - 1)
+    row[code - 1] = 1
+    return row
+
+
+def orthogonal_contrast_matrix(k: int) -> np.ndarray:
+    """K x (K-1) matrix of normalized polynomial contrasts.
+
+    Columns are mutually orthogonal, orthogonal to the constant vector, and
+    scaled to unit norm (matching R's ``contr.poly``).
+    """
+    if k < 2:
+        raise ExecutionError("orthogonal coding needs >= 2 levels")
+    levels = np.arange(1, k + 1, dtype=float)
+    raw = np.vander(levels, k, increasing=True)  # 1, x, x^2, ...
+    q, _r = np.linalg.qr(raw)
+    contrasts = q[:, 1:]  # drop the constant column
+    # Fix signs so the linear contrast increases with the level.
+    for j in range(contrasts.shape[1]):
+        pivot = contrasts[-1, j]
+        if pivot < 0:
+            contrasts[:, j] = -contrasts[:, j]
+    return contrasts
+
+
+class _ContrastCodeUDF(TableUDF):
+    """Shared machinery: replace recoded columns with K-1 contrast columns."""
+
+    #: subclass hooks
+    suffixes: str = "c"
+    out_type: DataType = DataType.INT
+
+    def __init__(self, transforms: TransformService):
+        self._transforms = transforms
+
+    def output_schema(self, input_schema: Schema, args: tuple) -> Schema:
+        handle, columns = self._parse_args(args)
+        recode_map: RecodeMap = self._transforms.get(handle)
+        targets = {c.lower() for c in columns}
+        out: list[Column] = []
+        for column in input_schema:
+            if column.name.lower() in targets:
+                k = len(recode_map.mapping_or_empty(column.name))
+                for j in range(max(k - 1, 0)):
+                    out.append(
+                        Column(
+                            f"{column.name}_{self.suffixes}{j + 1}",
+                            self.out_type,
+                            column.qualifier,
+                        )
+                    )
+            else:
+                out.append(column)
+        return Schema(out)
+
+    def process_partition(
+        self, rows: Iterable[tuple], input_schema: Schema, args: tuple, ctx: UdfContext
+    ) -> Iterable[tuple]:
+        handle, columns = self._parse_args(args)
+        recode_map: RecodeMap = self._transforms.get(handle)
+        targets = {c.lower() for c in columns}
+        layout: list[tuple[int | None, int]] = []
+        cardinalities: dict[int, int] = {}
+        for i, column in enumerate(input_schema):
+            if column.name.lower() in targets:
+                cardinalities[i] = len(recode_map.mapping_or_empty(column.name))
+                layout.append((cardinalities[i], i))
+            else:
+                layout.append((None, i))
+        for row in rows:
+            out: list = []
+            for k, index in layout:
+                if k is None:
+                    out.append(row[index])
+                    continue
+                code = row[index]
+                if code is None:
+                    out.extend([None] * (k - 1))
+                else:
+                    out.extend(self._encode(int(code), k))
+            yield tuple(out)
+
+    def _encode(self, code: int, k: int) -> list:
+        raise NotImplementedError
+
+    @staticmethod
+    def _parse_args(args: tuple) -> tuple[str, list[str]]:
+        if len(args) < 2:
+            raise ExecutionError("contrast coding needs a map handle and >=1 column")
+        return str(args[0]), [str(a) for a in args[1:]]
+
+
+class EffectCodeUDF(_ContrastCodeUDF):
+    """``TABLE(effect_code(input, 'map_handle', col, ...))``."""
+
+    name = "effect_code"
+    suffixes = "e"
+    out_type = DataType.INT
+
+    def _encode(self, code: int, k: int) -> list:
+        return effect_row(code, k)
+
+
+class OrthogonalCodeUDF(_ContrastCodeUDF):
+    """``TABLE(orthogonal_code(input, 'map_handle', col, ...))``."""
+
+    name = "orthogonal_code"
+    suffixes = "o"
+    out_type = DataType.DOUBLE
+
+    def __init__(self, transforms: TransformService):
+        super().__init__(transforms)
+        self._matrices: dict[int, np.ndarray] = {}
+
+    def _encode(self, code: int, k: int) -> list:
+        matrix = self._matrices.get(k)
+        if matrix is None:
+            matrix = orthogonal_contrast_matrix(k)
+            self._matrices[k] = matrix
+        if not 1 <= code <= k:
+            raise ExecutionError(f"orthogonal coding expects 1..{k}, got {code}")
+        return [float(x) for x in matrix[code - 1]]

@@ -1,0 +1,223 @@
+"""Recoding of categorical variables (§2.1): two-phase, distributed.
+
+Phase 1 — each worker computes its *local* distinct ``(column, value)``
+pairs in one scan over its partition (:class:`LocalDistinctUDF`), the engine
+globalizes them with ``SELECT DISTINCT``, and a deterministic assignment
+turns them into consecutive integers starting at 1 (what SystemML-style
+consumers require; sorted order keeps runs reproducible).
+
+Phase 2 — apply the map.  Two interchangeable implementations:
+
+* the paper's SQL formulation (:func:`recode_join_sql`): register the map as
+  a table ``M(colName, colVal, recodeVal)`` and join once per recoded
+  column;
+* the broadcast-map :class:`RecodeUDF`: one pipelined pass per partition,
+  resolving the map through the :class:`~repro.transform.service.TransformService`.
+"""
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.common.errors import ExecutionError
+from repro.sql.types import Column, DataType, Schema
+from repro.sql.udf import TableUDF, UdfContext
+from repro.transform.service import TransformService
+
+
+@dataclass(frozen=True)
+class RecodeMap:
+    """Per-column value -> consecutive-integer code mappings."""
+
+    mappings: tuple[tuple[str, tuple[tuple[str, int], ...]], ...]
+
+    @staticmethod
+    def from_distinct_rows(rows: Iterable[tuple]) -> "RecodeMap":
+        """Build from global ``(colName, colVal)`` rows (phase-1 output).
+
+        Values are sorted per column and assigned 1..K — the deterministic
+        stand-in for the paper's recode-value-assignment UDF.
+        """
+        per_column: dict[str, set[str]] = {}
+        for col_name, col_val in rows:
+            if col_val is None:
+                continue
+            per_column.setdefault(col_name.lower(), set()).add(col_val)
+        mappings = []
+        for col_name in sorted(per_column):
+            values = sorted(per_column[col_name])
+            mappings.append(
+                (col_name, tuple((v, i + 1) for i, v in enumerate(values)))
+            )
+        return RecodeMap(tuple(mappings))
+
+    def columns(self) -> list[str]:
+        return [name for name, _ in self.mappings]
+
+    def mapping(self, column: str) -> dict[str, int]:
+        for name, pairs in self.mappings:
+            if name == column.lower():
+                return dict(pairs)
+        raise KeyError(f"no recode mapping for column {column!r}")
+
+    def mapping_or_empty(self, column: str) -> dict[str, int]:
+        """Like :meth:`mapping`, but an all-NULL column (which phase 1 never
+        observed) yields an empty mapping instead of an error — every value
+        recodes to NULL, which is the only sound answer."""
+        try:
+            return self.mapping(column)
+        except KeyError:
+            return {}
+
+    def cardinality(self, column: str) -> int:
+        return len(self.mapping(column))
+
+    def values_in_code_order(self, column: str) -> list[str]:
+        mapping = self.mapping(column)
+        return [v for v, _c in sorted(mapping.items(), key=lambda kv: kv[1])]
+
+    def code(self, column: str, value) -> int | None:
+        """Code for a value; None for NULL or unseen values."""
+        if value is None:
+            return None
+        return self.mapping(column).get(value)
+
+    def as_table_rows(self) -> list[tuple]:
+        """``(colName, colVal, recodeVal)`` rows, for the join formulation."""
+        rows = []
+        for name, pairs in self.mappings:
+            for value, code in pairs:
+                rows.append((name, value, code))
+        return rows
+
+    @staticmethod
+    def table_schema() -> Schema:
+        """Schema of :meth:`as_table_rows`."""
+        return Schema.of(
+            ("colName", DataType.VARCHAR),
+            ("colVal", DataType.VARCHAR),
+            ("recodeVal", DataType.INT),
+        )
+
+
+class LocalDistinctUDF(TableUDF):
+    """Phase-1 table UDF: local distincts of every listed column, one scan.
+
+    ``TABLE(local_distinct(input, 'gender', 'abandoned'))`` yields rows
+    ``(colName, colVal)`` — the paper's example output
+    ``{('gender','F'), ('gender','M'), ('abandoned','Yes')}``.  One scan
+    covers *all* columns; the paper contrasts this with the one-SQL-query-
+    per-column alternative that would rescan the data K times.
+    """
+
+    name = "local_distinct"
+
+    def output_schema(self, input_schema: Schema, args: tuple) -> Schema:
+        self._column_indexes(input_schema, args)  # validate early
+        return Schema.of(
+            ("colName", DataType.VARCHAR), ("colVal", DataType.VARCHAR)
+        )
+
+    def process_partition(
+        self, rows: Iterable[tuple], input_schema: Schema, args: tuple, ctx: UdfContext
+    ) -> Iterable[tuple]:
+        indexes = self._column_indexes(input_schema, args)
+        seen: set[tuple[str, str]] = set()
+        for row in rows:
+            for col_name, index in indexes:
+                value = row[index]
+                if value is None:
+                    continue
+                seen.add((col_name, value))
+        return sorted(seen)
+
+    @staticmethod
+    def _column_indexes(schema: Schema, args: tuple) -> list[tuple[str, int]]:
+        if not args:
+            raise ExecutionError("local_distinct needs at least one column name")
+        return [(str(a).lower(), schema.resolve(None, str(a))) for a in args]
+
+
+class RecodeUDF(TableUDF):
+    """Phase-2 table UDF: map listed categorical columns to their codes.
+
+    ``TABLE(recode(input, 'map_handle', 'gender', 'abandoned'))`` replaces
+    each listed column's string value with its integer code (NULL for NULL
+    or unseen values), leaving other columns untouched.
+    """
+
+    name = "recode"
+
+    def __init__(self, transforms: TransformService):
+        self._transforms = transforms
+
+    def output_schema(self, input_schema: Schema, args: tuple) -> Schema:
+        _handle, columns = self._parse_args(args)
+        targets = {c.lower() for c in columns}
+        out = []
+        for column in input_schema:
+            if column.name.lower() in targets:
+                out.append(Column(column.name, DataType.INT, column.qualifier))
+            else:
+                out.append(column)
+        return Schema(out)
+
+    def process_partition(
+        self, rows: Iterable[tuple], input_schema: Schema, args: tuple, ctx: UdfContext
+    ) -> Iterable[tuple]:
+        handle, columns = self._parse_args(args)
+        recode_map: RecodeMap = self._transforms.get(handle)
+        col_maps: list[tuple[int, dict]] = [
+            (input_schema.resolve(None, c), recode_map.mapping_or_empty(c))
+            for c in columns
+        ]
+        for row in rows:
+            out = list(row)
+            for index, mapping in col_maps:
+                value = out[index]
+                out[index] = mapping.get(value) if value is not None else None
+            yield tuple(out)
+
+    @staticmethod
+    def _parse_args(args: tuple) -> tuple[str, list[str]]:
+        if len(args) < 2:
+            raise ExecutionError("recode needs a map handle and >=1 column")
+        return str(args[0]), [str(a) for a in args[1:]]
+
+
+def recode_join_sql(
+    source: str,
+    map_table: str,
+    recode_columns: list[str],
+    output_columns: list[str],
+) -> str:
+    """The paper's §2.1 join formulation of phase 2, as SQL text.
+
+    ``source`` is the (aliased-as-T) table holding the data; ``map_table``
+    the recode map registered as ``M(colName, colVal, recodeVal)``.  Each
+    recoded column contributes one self-joined instance of M, exactly like
+    the paper's example::
+
+       SELECT T.age, Mg.recodeVal AS gender, T.amount, Ma.recodeVal AS abandoned
+       FROM T, M AS Mg, M AS Ma
+       WHERE Mg.colName='gender' AND T.gender=Mg.colVal
+         AND Ma.colName='abandoned' AND T.abandoned=Ma.colVal
+    """
+    recode_set = {c.lower() for c in recode_columns}
+    aliases = {c.lower(): f"M{i}" for i, c in enumerate(recode_columns)}
+    select_parts = []
+    for column in output_columns:
+        if column.lower() in recode_set:
+            select_parts.append(f"{aliases[column.lower()]}.recodeVal AS {column}")
+        else:
+            select_parts.append(f"T.{column}")
+    from_parts = [f"{source} AS T"]
+    where_parts = []
+    for column in recode_columns:
+        alias = aliases[column.lower()]
+        from_parts.append(f"{map_table} AS {alias}")
+        where_parts.append(f"{alias}.colName = '{column.lower()}'")
+        where_parts.append(f"T.{column} = {alias}.colVal")
+    sql = f"SELECT {', '.join(select_parts)} FROM {', '.join(from_parts)}"
+    if where_parts:
+        sql += " WHERE " + " AND ".join(where_parts)
+    return sql

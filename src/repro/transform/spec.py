@@ -1,0 +1,70 @@
+"""Declarative description of the transformation a pipeline should apply."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransformSpec:
+    """Which columns get which treatment before handover to ML.
+
+    * ``recode`` — categorical columns mapped to consecutive integers (§2.1);
+    * ``dummy`` — categorical columns additionally expanded one-hot (§2.2);
+      they are recoded first (dummy coding assumes recoded input);
+    * ``effect`` — categorical columns expanded into K-1 effect-coded
+      contrast columns (§2.2's "less common transformations");
+    * ``orthogonal`` — categorical columns expanded into K-1 orthogonal
+      polynomial contrast columns;
+    * ``label`` — the target column for supervised learning (recoded if it
+      is categorical, i.e. listed in ``recode``);
+    * numeric feature columns pass through untouched.
+
+    A column may carry at most one expansion treatment (dummy, effect, or
+    orthogonal); expansions imply recoding.
+    """
+
+    recode: tuple[str, ...] = ()
+    dummy: tuple[str, ...] = ()
+    effect: tuple[str, ...] = ()
+    orthogonal: tuple[str, ...] = ()
+    label: str | None = None
+
+    def __post_init__(self):
+        for field_name in ("recode", "dummy", "effect", "orthogonal"):
+            values = [c.lower() for c in getattr(self, field_name)]
+            if len(set(values)) != len(values):
+                raise ValueError(
+                    f"duplicate {field_name} columns: {getattr(self, field_name)}"
+                )
+        expansions = (
+            [c.lower() for c in self.dummy]
+            + [c.lower() for c in self.effect]
+            + [c.lower() for c in self.orthogonal]
+        )
+        if len(set(expansions)) != len(expansions):
+            raise ValueError(
+                "a column may carry at most one of dummy/effect/orthogonal"
+            )
+        if self.label is not None and self.label.lower() in set(expansions):
+            raise ValueError(f"label column {self.label!r} cannot be expanded away")
+
+    @property
+    def all_recoded(self) -> tuple[str, ...]:
+        """Every column needing a recode map: recode plus all expansions."""
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for group in (self.recode, self.dummy, self.effect, self.orthogonal):
+            for column in group:
+                if column.lower() not in seen:
+                    seen.add(column.lower())
+                    ordered.append(column)
+        return tuple(ordered)
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity for cache keys."""
+        return (
+            tuple(c.lower() for c in self.recode),
+            tuple(c.lower() for c in self.dummy),
+            tuple(c.lower() for c in self.effect),
+            tuple(c.lower() for c in self.orthogonal),
+            self.label.lower() if self.label else None,
+        )

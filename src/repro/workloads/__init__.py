@@ -1,0 +1,24 @@
+"""Synthetic workload generators for the paper's experiments."""
+
+from repro.workloads.clickstream import ClickstreamWorkload, generate_clickstream
+from repro.workloads.retail import (
+    RetailWorkload,
+    generate_retail,
+    PAPER_CARTS_BYTES,
+    PAPER_CARTS_ROWS,
+    PAPER_TRANSFORMED_BYTES,
+    PAPER_USERS_BYTES,
+    PAPER_USERS_ROWS,
+)
+
+__all__ = [
+    "ClickstreamWorkload",
+    "generate_clickstream",
+    "PAPER_CARTS_BYTES",
+    "PAPER_CARTS_ROWS",
+    "PAPER_TRANSFORMED_BYTES",
+    "PAPER_USERS_BYTES",
+    "PAPER_USERS_ROWS",
+    "RetailWorkload",
+    "generate_retail",
+]

@@ -1,0 +1,174 @@
+"""A second warehouse workload: web clickstream sessions.
+
+Exercises the parts of the system the retail scenario does not: a
+categorical with more than two levels (``device``: 4 levels, so dummy/effect
+coding expands wider), an unsupervised preparation query (visitor
+segmentation by k-means, no label column), and a different join shape
+(sessions x visitors).
+
+Schema:
+
+* ``visitors(userid, plan, tenure, region)`` — ``plan`` in
+  {free, basic, pro}, the churn-relevant attribute;
+* ``sessions(sessionid, userid, device, referrer, pages, duration,
+  bounced)`` — one row per site visit; ``bounced`` is the supervised label.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import derive_seed, make_rng
+from repro.hdfs.filesystem import DistributedFileSystem
+from repro.sql.engine import BigSQL
+from repro.sql.types import DataType, Schema
+from repro.transform.spec import TransformSpec
+
+VISITORS_SCHEMA = Schema.of(
+    ("userid", DataType.BIGINT),
+    ("plan", DataType.VARCHAR),
+    ("tenure", DataType.INT),
+    ("region", DataType.VARCHAR),
+)
+
+SESSIONS_SCHEMA = Schema.of(
+    ("sessionid", DataType.BIGINT),
+    ("userid", DataType.BIGINT),
+    ("device", DataType.VARCHAR),
+    ("referrer", DataType.VARCHAR),
+    ("pages", DataType.INT),
+    ("duration", DataType.DOUBLE),
+    ("bounced", DataType.VARCHAR),
+)
+
+PLANS = ("free", "basic", "pro")
+DEVICES = ("desktop", "phone", "tablet", "tv")
+REFERRERS = ("search", "social", "direct", "email", "ads")
+REGIONS = ("NA", "EU", "APAC")
+
+#: Supervised preparation: predict bounce from session + visitor attributes.
+BOUNCE_PREP_SQL = (
+    "SELECT V.tenure, V.plan, S.device, S.pages, S.duration / 60.0 AS duration, S.bounced "
+    "FROM sessions S, visitors V "
+    "WHERE S.userid = V.userid AND S.referrer = 'search'"
+)
+
+BOUNCE_SPEC = TransformSpec(
+    recode=("plan", "device", "bounced"), dummy=("device",), label="bounced"
+)
+
+#: Unsupervised preparation: behavioural features for visitor segmentation.
+#: Numeric columns are scaled into comparable ranges in SQL — feature
+#: preparation exactly where the paper puts it.
+SEGMENT_PREP_SQL = (
+    "SELECT V.tenure / 60.0 AS tenure, V.plan, S.pages / 10.0 AS pages, "
+    "S.duration / 60.0 AS duration "
+    "FROM sessions S, visitors V WHERE S.userid = V.userid"
+)
+
+SEGMENT_SPEC = TransformSpec(recode=("plan",), dummy=("plan",), label=None)
+
+
+@dataclass
+class ClickstreamWorkload:
+    """Everything a test or example needs about one generated workload."""
+
+    visitors_path: str
+    sessions_path: str
+    num_visitors: int
+    num_sessions: int
+    sessions_bytes: int
+    byte_scale: float
+    bounce_sql: str = BOUNCE_PREP_SQL
+    bounce_spec: TransformSpec = BOUNCE_SPEC
+    segment_sql: str = SEGMENT_PREP_SQL
+    segment_spec: TransformSpec = SEGMENT_SPEC
+
+
+def generate_clickstream(
+    engine: BigSQL,
+    dfs: DistributedFileSystem,
+    num_visitors: int = 1_000,
+    num_sessions: int = 10_000,
+    seed: int = 13,
+    base_dir: str = "/clickstream",
+) -> ClickstreamWorkload:
+    """Generate, store on the DFS, and register the two tables.
+
+    Bounce probability is a logistic in device, pages, and plan, so the
+    supervised task has learnable signal; session behaviour clusters by plan
+    so segmentation finds real structure.
+    """
+    visitors_dir = f"{base_dir}/visitors"
+    sessions_dir = f"{base_dir}/sessions"
+    worker_ips = [n.ip for n in engine.cluster.workers]
+    num_parts = len(worker_ips)
+
+    rng = make_rng(seed)
+    plans = rng.choice(PLANS, size=num_visitors, p=(0.6, 0.3, 0.1))
+    tenures = rng.integers(0, 60, size=num_visitors)
+    regions = rng.choice(REGIONS, size=num_visitors, p=(0.5, 0.3, 0.2))
+
+    dfs.mkdirs(visitors_dir)
+    for part in range(num_parts):
+        lines = [
+            f"{uid},{plans[uid]},{tenures[uid]},{regions[uid]}"
+            for uid in range(part, num_visitors, num_parts)
+        ]
+        if lines:
+            dfs.write_text(
+                f"{visitors_dir}/part-{part:05d}",
+                "\n".join(lines) + "\n",
+                client_ip=worker_ips[part],
+            )
+
+    session_rng = make_rng(derive_seed(seed, "sessions"))
+    user_ids = session_rng.integers(0, num_visitors, size=num_sessions)
+    devices = session_rng.choice(DEVICES, size=num_sessions, p=(0.45, 0.35, 0.15, 0.05))
+    referrers = session_rng.choice(REFERRERS, size=num_sessions, p=(0.35, 0.25, 0.2, 0.1, 0.1))
+    plan_level = np.array([PLANS.index(p) for p in plans])[user_ids]
+    # engagement scales with plan: pro users browse more and longer
+    pages = 1 + session_rng.poisson(2 + 3 * plan_level, size=num_sessions)
+    durations = np.round(
+        np.exp(session_rng.normal(3.0 + 0.8 * plan_level, 0.6, size=num_sessions)), 1
+    )
+    logits = (
+        1.0
+        - 0.5 * plan_level
+        - 0.35 * pages
+        + 0.9 * (devices == "phone").astype(float)
+        + 0.5 * (devices == "tv").astype(float)
+    )
+    probs = 1.0 / (1.0 + np.exp(-logits))
+    bounced = session_rng.random(num_sessions) < probs
+
+    sessions_bytes = 0
+    dfs.mkdirs(sessions_dir)
+    for part in range(num_parts):
+        lines = []
+        for sid in range(part, num_sessions, num_parts):
+            label = "Yes" if bounced[sid] else "No"
+            lines.append(
+                f"{sid},{user_ids[sid]},{devices[sid]},{referrers[sid]},"
+                f"{pages[sid]},{durations[sid]},{label}"
+            )
+        if lines:
+            text = "\n".join(lines) + "\n"
+            dfs.write_text(
+                f"{sessions_dir}/part-{part:05d}", text, client_ip=worker_ips[part]
+            )
+            sessions_bytes += len(text.encode("utf-8"))
+
+    engine.register_external_table("visitors", VISITORS_SCHEMA, visitors_dir)
+    engine.register_external_table("sessions", SESSIONS_SCHEMA, sessions_dir)
+
+    from repro.workloads.retail import PAPER_CARTS_BYTES
+
+    return ClickstreamWorkload(
+        visitors_path=visitors_dir,
+        sessions_path=sessions_dir,
+        num_visitors=num_visitors,
+        num_sessions=num_sessions,
+        sessions_bytes=sessions_bytes,
+        byte_scale=PAPER_CARTS_BYTES / sessions_bytes if sessions_bytes else 1.0,
+    )

@@ -1,0 +1,121 @@
+"""Cache manager: storage, lookup via the §5 rules, invalidation."""
+
+import pytest
+
+from repro.caching.cache import CacheManager
+from repro.common.errors import CacheError
+from repro.sql.types import DataType, Schema
+from repro.transform.recode import RecodeMap
+from repro.transform.service import TransformService
+from repro.transform.spec import TransformSpec
+
+PREP = (
+    "SELECT U.age, U.gender, C.amount, C.abandoned "
+    "FROM carts C, users U WHERE C.userid = U.userid AND U.country = 'USA'"
+)
+SPEC = TransformSpec(recode=("gender", "abandoned"), dummy=("gender",), label="abandoned")
+
+
+@pytest.fixture()
+def cache_env(users_carts):
+    transforms = TransformService()
+    cache = CacheManager(users_carts, transforms)
+    recode_map = RecodeMap.from_distinct_rows(
+        [("gender", "F"), ("gender", "M"), ("abandoned", "Yes"), ("abandoned", "No")]
+    )
+    return users_carts, transforms, cache, recode_map
+
+
+class TestRecodeMapCache:
+    def test_store_and_hit(self, cache_env):
+        engine, transforms, cache, recode_map = cache_env
+        handle = cache.store_recode_map(PREP, SPEC, recode_map)
+        assert transforms.get(handle) is recode_map
+        assert cache.lookup_recode_map(PREP, SPEC) == handle
+        assert cache.stats.recode_map_hits == 1
+
+    def test_miss_on_unrelated_query(self, cache_env):
+        engine, _t, cache, recode_map = cache_env
+        cache.store_recode_map(PREP, SPEC, recode_map)
+        assert cache.lookup_recode_map("SELECT age FROM users", SPEC) is None
+        assert cache.stats.recode_map_misses == 1
+
+    def test_hit_with_extra_conjunct(self, cache_env):
+        engine, _t, cache, recode_map = cache_env
+        cache.store_recode_map(PREP, SPEC, recode_map)
+        follow_up = PREP + " AND C.year = 2014"
+        assert cache.lookup_recode_map(follow_up, SPEC) is not None
+
+    def test_uncacheable_query_rejected(self, cache_env):
+        engine, _t, cache, recode_map = cache_env
+        with pytest.raises(CacheError, match="not cacheable"):
+            cache.store_recode_map("SELECT DISTINCT gender FROM users", SPEC, recode_map)
+
+
+class TestTransformedCache:
+    def test_store_and_hit(self, cache_env):
+        engine, transforms, cache, recode_map = cache_env
+        handle = cache.store_recode_map(PREP, SPEC, recode_map)
+        engine.create_materialized_view("v1", PREP)  # stand-in recoded view
+        cache.store_transformed(PREP, SPEC, "v1", handle)
+        hit = cache.lookup_transformed(PREP, SPEC)
+        assert hit is not None
+        assert hit.view_name == "v1"
+        assert hit.match.extra_predicates == ()
+
+    def test_view_must_exist(self, cache_env):
+        engine, _t, cache, recode_map = cache_env
+        with pytest.raises(CacheError, match="not in the catalog"):
+            cache.store_transformed(PREP, SPEC, "ghost_view", "h")
+
+    def test_spec_compatibility(self, cache_env):
+        """A cached recoded view serves a narrower spec, not a wider one."""
+        engine, _t, cache, recode_map = cache_env
+        handle = cache.store_recode_map(PREP, SPEC, recode_map)
+        engine.create_materialized_view("v2", PREP)
+        cache.store_transformed(PREP, SPEC, "v2", handle)
+        narrower = TransformSpec(recode=("abandoned",), label="abandoned")
+        assert cache.lookup_transformed(PREP, narrower) is not None
+        wider = TransformSpec(
+            recode=("gender", "abandoned", "amount"), label="abandoned"
+        )
+        assert cache.lookup_transformed(PREP, wider) is None
+
+    def test_counts(self, cache_env):
+        engine, _t, cache, recode_map = cache_env
+        handle = cache.store_recode_map(PREP, SPEC, recode_map)
+        engine.create_materialized_view("v3", PREP)
+        cache.store_transformed(PREP, SPEC, "v3", handle)
+        assert cache.entry_counts() == (1, 1)
+
+
+class TestInvalidation:
+    def test_insert_invalidates_via_version(self, cache_env):
+        """§5 'assuming there is no data update' — an update silently
+        invalidates entries built over the old contents."""
+        engine, _t, cache, recode_map = cache_env
+        cache.store_recode_map(PREP, SPEC, recode_map)
+        assert cache.lookup_recode_map(PREP, SPEC) is not None
+        engine.insert_rows("users", [(99, 30, "X", "USA")])
+        assert cache.lookup_recode_map(PREP, SPEC) is None
+
+    def test_insert_into_unrelated_table_keeps_entry(self, cache_env):
+        engine, _t, cache, recode_map = cache_env
+        engine.create_table("other", Schema.of(("x", DataType.INT)), [(1,)])
+        cache.store_recode_map(PREP, SPEC, recode_map)
+        engine.insert_rows("other", [(2,)])
+        assert cache.lookup_recode_map(PREP, SPEC) is not None
+
+    def test_explicit_invalidation(self, cache_env):
+        engine, _t, cache, recode_map = cache_env
+        cache.store_recode_map(PREP, SPEC, recode_map)
+        dropped = cache.invalidate_table("carts")
+        assert dropped == 1
+        assert cache.entry_counts() == (0, 0)
+        assert cache.lookup_recode_map(PREP, SPEC) is None
+
+    def test_dropped_base_table_invalidates(self, cache_env):
+        engine, _t, cache, recode_map = cache_env
+        cache.store_recode_map(PREP, SPEC, recode_map)
+        engine.drop_table("carts")
+        assert cache.lookup_recode_map(PREP, SPEC) is None

@@ -1,0 +1,106 @@
+"""Clickstream workload: generation, supervised + unsupervised pipelines."""
+
+import numpy as np
+import pytest
+
+from repro import make_deployment
+from repro.ml import metrics
+from repro.workloads.clickstream import generate_clickstream
+
+
+@pytest.fixture(scope="module")
+def clicks():
+    deployment = make_deployment(block_size=64 * 1024)
+    workload = generate_clickstream(
+        deployment.engine, deployment.dfs, num_visitors=300, num_sessions=3_000, seed=2
+    )
+    deployment.pipeline.byte_scale = workload.byte_scale
+    return deployment, workload
+
+
+class TestGeneration:
+    def test_row_counts(self, clicks):
+        deployment, wl = clicks
+        (visitors,) = deployment.engine.query_rows("SELECT COUNT(*) FROM visitors")
+        (sessions,) = deployment.engine.query_rows("SELECT COUNT(*) FROM sessions")
+        assert visitors == (300,)
+        assert sessions == (3000,)
+
+    def test_referential_integrity(self, clicks):
+        deployment, _wl = clicks
+        (orphans,) = deployment.engine.query_rows(
+            "SELECT COUNT(*) FROM sessions S LEFT JOIN visitors V "
+            "ON S.userid = V.userid WHERE V.userid IS NULL"
+        )
+        assert orphans == (0,)
+
+    def test_device_has_four_levels(self, clicks):
+        deployment, _wl = clicks
+        (count,) = deployment.engine.query_rows(
+            "SELECT COUNT(DISTINCT device) FROM sessions"
+        )
+        assert count == (4,)
+
+    def test_engagement_scales_with_plan(self, clicks):
+        deployment, _wl = clicks
+        rows = deployment.engine.query_rows(
+            "SELECT V.plan, AVG(S.pages) FROM sessions S, visitors V "
+            "WHERE S.userid = V.userid GROUP BY V.plan"
+        )
+        pages = {plan: avg for plan, avg in rows}
+        assert pages["free"] < pages["basic"] < pages["pro"]
+
+
+class TestSupervisedPipeline:
+    def test_bounce_model_learns(self, clicks):
+        deployment, wl = clicks
+        result = deployment.pipeline.run_insql_stream(
+            wl.bounce_sql,
+            wl.bounce_spec,
+            "decision_tree",
+            {"max_depth": 5},
+        )
+        X, y = result.ml_result.dataset.to_arrays()
+        predictions = np.asarray(result.ml_result.model.predict_many(X))
+        baseline = max(y.mean(), 1 - y.mean())
+        assert metrics.accuracy(y, predictions) > baseline + 0.02
+
+    def test_four_level_dummy_expansion(self, clicks):
+        """device (4 levels) expands to 4 indicator columns; plan stays
+        recoded (3 codes) since it is recode-only in the spec."""
+        deployment, wl = clicks
+        result = deployment.pipeline.run_insql_stream(
+            wl.bounce_sql, wl.bounce_spec, "noop"
+        )
+        point = result.ml_result.dataset.first()
+        # features: tenure, plan(code), device x4, pages, duration = 8
+        assert point.features.shape == (8,)
+        indicator_block = point.features[2:6]
+        assert sorted(set(indicator_block)) in ([0.0, 1.0], [0.0])
+        assert indicator_block.sum() == 1.0
+
+
+class TestUnsupervisedPipeline:
+    def test_segments_recover_plans(self, clicks):
+        """k-means over the SQL-prepared features recovers the three plan
+        tiers the generator planted."""
+        deployment, wl = clicks
+        result = deployment.pipeline.run_insql_stream(
+            wl.segment_sql, wl.segment_spec, "kmeans",
+            {"k": 3, "seed": 4, "n_init": 5},
+        )
+        model = result.ml_result.model
+        # columns: tenure, plan_basic, plan_free, plan_pro, pages, duration
+        dominant = {int(np.argmax(center[1:4])) for center in model.centers}
+        assert dominant == {0, 1, 2}  # each segment dominated by one plan
+
+    def test_cache_composes_with_unsupervised_spec(self, clicks):
+        deployment, wl = clicks
+        deployment.pipeline.populate_caches(
+            wl.segment_sql, wl.segment_spec, cache_recode_map=True
+        )
+        cached = deployment.pipeline.run_insql_stream(
+            wl.segment_sql, wl.segment_spec, "kmeans", {"k": 2}, use_cache=True
+        )
+        assert cached.rewrite_kind == "recode_map_cache"
+        assert cached.ml_result.model.centers.shape == (2, 6)

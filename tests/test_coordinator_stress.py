@@ -1,0 +1,69 @@
+"""Concurrency stress: many transfer sessions in flight at once."""
+
+import threading
+
+from repro import make_deployment
+from repro.sql.types import DataType, Schema
+
+
+def test_many_concurrent_sessions_deliver_disjoint_data():
+    """Eight sessions stream different query results concurrently through
+    one coordinator; every session's ML job must receive exactly its own
+    rows (no cross-talk, no loss)."""
+    deployment = make_deployment(block_size=64 * 1024)
+    engine = deployment.engine
+    engine.create_table(
+        "events",
+        Schema.of(("id", DataType.BIGINT), ("bucket", DataType.INT)),
+        [(i, i % 8) for i in range(800)],
+    )
+
+    errors: list[BaseException] = []
+    results: dict[int, list] = {}
+
+    def run_session(bucket: int) -> None:
+        try:
+            session_id = f"stress_{bucket}"
+            deployment.coordinator.create_session(
+                session_id, command="noop", conf_props={"record.format": "raw"}
+            )
+            engine.query_rows(
+                "SELECT * FROM TABLE(stream_transfer((SELECT id, bucket FROM "
+                f"events WHERE bucket = {bucket}), '{session_id}')) AS s"
+            )
+            result = deployment.coordinator.wait_result(session_id)
+            results[bucket] = result.dataset.collect()
+            deployment.coordinator.close_session(session_id)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run_session, args=(b,)) for b in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, errors
+    assert len(results) == 8
+    for bucket, rows in results.items():
+        assert len(rows) == 100
+        assert all(row[1] == bucket for row in rows)
+        assert sorted(row[0] for row in rows) == list(range(bucket, 800, 8))
+
+
+def test_sequential_session_churn_leaks_nothing():
+    """Opening and closing many sessions leaves the coordinator clean."""
+    deployment = make_deployment(block_size=64 * 1024)
+    engine = deployment.engine
+    engine.create_table("t", Schema.of(("x", DataType.INT)), [(i,) for i in range(20)])
+    for i in range(20):
+        session_id = f"churn_{i}"
+        deployment.coordinator.create_session(
+            session_id, command="noop", conf_props={"record.format": "raw"}
+        )
+        engine.query_rows(
+            f"SELECT * FROM TABLE(stream_transfer((SELECT x FROM t), '{session_id}')) AS s"
+        )
+        result = deployment.coordinator.wait_result(session_id)
+        assert result.dataset.count() == 20
+        deployment.coordinator.close_session(session_id)
+    assert deployment.coordinator._sessions == {}

@@ -1,0 +1,89 @@
+"""The top-level deployment facade and fault-tolerance integration (§6)."""
+
+import pytest
+
+from repro import make_deployment, paper_cost_model
+from repro.common.errors import TransferError
+from repro.sql.types import DataType, Schema
+
+
+class TestMakeDeployment:
+    def test_paper_topology(self):
+        deployment = make_deployment()
+        assert len(deployment.cluster) == 5
+        assert deployment.engine.num_workers == 4
+        assert deployment.ml.default_parallelism == 24  # 6 per server x 4
+        assert deployment.dfs.replication == 3
+        assert deployment.coordinator.buffer_bytes == 4096  # paper setting
+
+    def test_custom_topology(self):
+        deployment = make_deployment(num_workers=2, workers_per_node=3, replication=2)
+        assert deployment.engine.num_workers == 2
+        assert deployment.ml.default_parallelism == 6
+        assert deployment.dfs.replication == 2
+
+    def test_pipeline_udfs_preregistered(self):
+        deployment = make_deployment()
+        for name in (
+            "local_distinct",
+            "recode",
+            "dummy_code",
+            "effect_code",
+            "orthogonal_code",
+            "stream_transfer",
+        ):
+            assert deployment.engine.catalog.get_table_udf(name) is not None
+
+    def test_coordinator_service_wired(self):
+        deployment = make_deployment()
+        assert deployment.engine.services["coordinator"] is deployment.coordinator
+        assert deployment.coordinator.launcher is not None
+
+    def test_cost_model_injectable(self):
+        model = paper_cost_model()
+        deployment = make_deployment(cost_model=model)
+        assert deployment.pipeline.cost is model
+
+
+class TestFaultToleranceIntegration:
+    """§6: coordinated restart of a SQL worker and its ML workers."""
+
+    def test_failure_mid_transfer_produces_restart_plan(self):
+        deployment = make_deployment()
+        engine = deployment.engine
+        engine.create_table(
+            "points",
+            Schema.of(("x", DataType.DOUBLE), ("y", DataType.DOUBLE)),
+            [(float(i), float(i % 2)) for i in range(100)],
+        )
+        coordinator = deployment.coordinator
+        coordinator.default_k = 2
+        coordinator.create_session(
+            "ft", command="noop", conf_props={"record.format": "raw"}
+        )
+        engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT x, y FROM points), 'ft')) AS s"
+        )
+        coordinator.wait_result("ft")
+        # A channel of SQL worker 1 "fails"; the restart plan pairs it with
+        # exactly its k=2 ML consumers.
+        plan = coordinator.notify_channel_failure("ft", 1, "connection reset")
+        assert plan["restart_sql_worker"] == 1
+        assert len(plan["restart_ml_workers"]) == 2
+        session = coordinator.session("ft")
+        assert session.failed
+
+    def test_failed_session_reported_in_wait(self):
+        deployment = make_deployment()
+        coordinator = deployment.coordinator
+
+        def exploding_launcher(session):
+            raise RuntimeError("ml system crashed")
+
+        coordinator.launcher = exploding_launcher
+        coordinator.create_session("boom", command="noop")
+        ips = [n.ip for n in deployment.cluster.workers]
+        for worker_id in range(4):
+            coordinator.register_sql_worker("boom", worker_id, ips[worker_id], 4)
+        with pytest.raises(TransferError, match="ml system crashed"):
+            coordinator.wait_result("boom", timeout=2)

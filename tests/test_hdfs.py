@@ -1,0 +1,220 @@
+"""Distributed file system: namespace, blocks, replication, readers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.common.errors import (
+    FileAlreadyExists,
+    FileNotFoundInDfs,
+    HdfsError,
+)
+from repro.hdfs.filesystem import DistributedFileSystem
+
+
+@pytest.fixture()
+def small_dfs():
+    cluster = make_paper_cluster()
+    return DistributedFileSystem(cluster, block_size=64, replication=3)
+
+
+class TestRoundtrip:
+    def test_write_read_bytes(self, small_dfs):
+        payload = bytes(range(256)) * 3
+        small_dfs.write_bytes("/data/x.bin", payload)
+        assert small_dfs.read_bytes("/data/x.bin") == payload
+
+    def test_write_read_text(self, small_dfs):
+        small_dfs.write_text("/t.txt", "hello\nwörld\n")
+        assert small_dfs.read_text("/t.txt") == "hello\nwörld\n"
+
+    def test_empty_file(self, small_dfs):
+        small_dfs.write_bytes("/empty", b"")
+        assert small_dfs.read_bytes("/empty") == b""
+        assert small_dfs.status("/empty").length == 0
+
+    def test_multi_block_file(self, small_dfs):
+        payload = b"a" * 1000  # ~16 blocks of 64 bytes
+        small_dfs.write_bytes("/big", payload)
+        status = small_dfs.status("/big")
+        assert status.num_blocks == 16
+        assert status.length == 1000
+        assert small_dfs.read_bytes("/big") == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=2000), st.integers(min_value=1, max_value=257))
+    def test_roundtrip_any_content_any_block_size(self, payload, block_size):
+        cluster = make_paper_cluster()
+        dfs = DistributedFileSystem(cluster, block_size=block_size)
+        dfs.write_bytes("/f", payload)
+        assert dfs.read_bytes("/f") == payload
+
+    def test_streaming_writer(self, small_dfs):
+        with small_dfs.create("/stream") as writer:
+            for i in range(50):
+                writer.write(f"line-{i}\n")
+        text = small_dfs.read_text("/stream")
+        assert text.splitlines()[0] == "line-0"
+        assert text.splitlines()[-1] == "line-49"
+
+    def test_partial_reads(self, small_dfs):
+        small_dfs.write_bytes("/p", b"0123456789" * 20)
+        with small_dfs.open("/p") as reader:
+            assert reader.read(5) == b"01234"
+            assert reader.read(7) == b"5678901"
+            rest = reader.read()
+            assert len(rest) == 200 - 12
+
+    def test_seek(self, small_dfs):
+        small_dfs.write_bytes("/s", bytes(range(200)))
+        with small_dfs.open("/s") as reader:
+            reader.seek(100)
+            assert reader.read(3) == bytes([100, 101, 102])
+            reader.seek(0)
+            assert reader.read(2) == bytes([0, 1])
+            reader.seek(199)
+            assert reader.read() == bytes([199])
+
+    def test_seek_to_eof(self, small_dfs):
+        small_dfs.write_bytes("/s", b"abc")
+        with small_dfs.open("/s") as reader:
+            reader.seek(3)
+            assert reader.read() == b""
+
+    def test_seek_past_eof_raises(self, small_dfs):
+        small_dfs.write_bytes("/s", b"abc")
+        with small_dfs.open("/s") as reader:
+            with pytest.raises(HdfsError):
+                reader.seek(4)
+
+
+class TestReplication:
+    def test_replica_count(self, small_dfs):
+        small_dfs.write_bytes("/r", b"x" * 200)
+        for location in small_dfs.block_locations("/r"):
+            assert len(location.hosts) == 3
+            assert len(set(location.hosts)) == 3
+
+    def test_replication_capped_by_datanodes(self):
+        cluster = make_paper_cluster(2)  # only 2 worker datanodes
+        dfs = DistributedFileSystem(cluster, block_size=64, replication=3)
+        dfs.write_bytes("/r", b"x" * 100)
+        for location in dfs.block_locations("/r"):
+            assert len(location.hosts) == 2
+
+    def test_first_replica_local_to_client(self, small_dfs):
+        client = small_dfs.cluster.workers[1].ip
+        small_dfs.write_bytes("/local", b"y" * 500, client_ip=client)
+        for location in small_dfs.block_locations("/local"):
+            assert client in location.hosts
+
+    def test_write_accounting(self, small_dfs):
+        ledger = small_dfs.ledger
+        before = ledger.snapshot()
+        client = small_dfs.cluster.workers[0].ip
+        small_dfs.write_bytes("/acct", b"z" * 128, client_ip=client)
+        delta = ledger.delta(before, ledger.snapshot())
+        assert delta["dfs.write.local"] == 128 * 3  # three replicas
+        assert delta["dfs.write.replica_net"] == 128 * 2  # two remote
+
+    def test_read_accounting(self, small_dfs):
+        small_dfs.write_bytes("/racct", b"z" * 128)
+        before = small_dfs.ledger.snapshot()
+        small_dfs.read_bytes("/racct")
+        delta = small_dfs.ledger.delta(before, small_dfs.ledger.snapshot())
+        assert delta["dfs.read"] == 128
+
+    def test_reader_prefers_local_replica(self, small_dfs):
+        client = small_dfs.cluster.workers[2].ip
+        small_dfs.write_bytes("/pref", b"q" * 64, client_ip=client)
+        before = small_dfs.ledger.snapshot()
+        small_dfs.read_bytes("/pref", client_ip=client)
+        delta = small_dfs.ledger.delta(before, small_dfs.ledger.snapshot())
+        assert delta.get("dfs.read.remote_net", 0) == 0
+
+
+class TestNamespace:
+    def test_exists(self, small_dfs):
+        assert not small_dfs.exists("/nope")
+        small_dfs.write_bytes("/yes", b"1")
+        assert small_dfs.exists("/yes")
+
+    def test_incomplete_file_invisible(self, small_dfs):
+        writer = small_dfs.create("/wip")
+        writer.write(b"x")
+        assert not small_dfs.exists("/wip")
+        writer.close()
+        assert small_dfs.exists("/wip")
+
+    def test_create_existing_raises(self, small_dfs):
+        small_dfs.write_bytes("/dup", b"1")
+        with pytest.raises(FileAlreadyExists):
+            small_dfs.create("/dup")
+
+    def test_read_missing_raises(self, small_dfs):
+        with pytest.raises(FileNotFoundInDfs):
+            small_dfs.read_bytes("/missing")
+
+    def test_mkdirs_and_listdir(self, small_dfs):
+        small_dfs.mkdirs("/a/b/c")
+        small_dfs.write_bytes("/a/b/f1", b"1")
+        small_dfs.write_bytes("/a/b/f2", b"2")
+        assert small_dfs.listdir("/a/b") == ["/a/b/c", "/a/b/f1", "/a/b/f2"]
+        assert small_dfs.is_dir("/a/b/c")
+
+    def test_parents_created_implicitly(self, small_dfs):
+        small_dfs.write_bytes("/x/y/z.txt", b"1")
+        assert small_dfs.is_dir("/x/y")
+        assert small_dfs.listdir("/x") == ["/x/y"]
+
+    def test_list_files_recursive(self, small_dfs):
+        small_dfs.write_bytes("/d/one", b"1")
+        small_dfs.write_bytes("/d/sub/two", b"2")
+        assert small_dfs.list_files("/d") == ["/d/one", "/d/sub/two"]
+
+    def test_delete_file_reclaims_blocks(self, small_dfs):
+        small_dfs.write_bytes("/del", b"x" * 500)
+        used_before = sum(d.used_bytes() for d in small_dfs.datanodes.values())
+        small_dfs.delete("/del")
+        used_after = sum(d.used_bytes() for d in small_dfs.datanodes.values())
+        assert used_after < used_before
+        assert not small_dfs.exists("/del")
+
+    def test_delete_nonempty_dir_needs_recursive(self, small_dfs):
+        small_dfs.write_bytes("/dir/f", b"1")
+        with pytest.raises(HdfsError):
+            small_dfs.delete("/dir")
+        small_dfs.delete("/dir", recursive=True)
+        assert not small_dfs.exists("/dir")
+
+    def test_rename(self, small_dfs):
+        small_dfs.write_bytes("/old", b"data")
+        small_dfs.rename("/old", "/new/name")
+        assert not small_dfs.exists("/old")
+        assert small_dfs.read_bytes("/new/name") == b"data"
+
+    def test_rename_to_existing_raises(self, small_dfs):
+        small_dfs.write_bytes("/a1", b"1")
+        small_dfs.write_bytes("/a2", b"2")
+        with pytest.raises(FileAlreadyExists):
+            small_dfs.rename("/a1", "/a2")
+
+    def test_relative_path_rejected(self, small_dfs):
+        with pytest.raises(HdfsError):
+            small_dfs.write_bytes("relative", b"1")
+        with pytest.raises(HdfsError):
+            small_dfs.write_bytes("/a/../b", b"1")
+
+    def test_total_size(self, small_dfs):
+        small_dfs.write_bytes("/sz/a", b"x" * 10)
+        small_dfs.write_bytes("/sz/b", b"x" * 32)
+        assert small_dfs.total_size("/sz") == 42
+
+    def test_block_locations_offsets(self, small_dfs):
+        small_dfs.write_bytes("/off", b"x" * 150)  # blocks: 64, 64, 22
+        locations = small_dfs.block_locations("/off")
+        assert [(l.offset, l.length) for l in locations] == [
+            (0, 64),
+            (64, 64),
+            (128, 22),
+        ]

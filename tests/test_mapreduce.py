@@ -1,0 +1,153 @@
+"""MapReduce framework: the classic jobs plus accounting and edge cases."""
+
+import pytest
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.common.errors import ExecutionError
+from repro.hdfs.filesystem import DistributedFileSystem
+from repro.mapreduce.framework import MapReduceJob
+
+
+@pytest.fixture()
+def env():
+    cluster = make_paper_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=256)
+    return cluster, dfs
+
+
+def read_output(dfs, out_dir):
+    lines = []
+    for path in dfs.list_files(out_dir):
+        lines.extend(dfs.read_text(path).splitlines())
+    return lines
+
+
+class TestWordCount:
+    def test_counts_are_correct(self, env):
+        cluster, dfs = env
+        dfs.write_text("/in/doc", "the quick fox\nthe lazy dog\nthe fox\n")
+
+        def mapper(line):
+            for word in line.split():
+                yield word, 1
+
+        def reducer(word, counts):
+            yield f"{word}\t{sum(counts)}"
+
+        job = MapReduceJob("wc", mapper, reducer, num_reducers=3)
+        counters = job.run(cluster, dfs, "/in", "/out")
+        results = dict(
+            line.split("\t") for line in read_output(dfs, "/out")
+        )
+        assert results == {"the": "3", "quick": "1", "fox": "2", "lazy": "1", "dog": "1"}
+        assert counters.map_input_records == 3
+        assert counters.map_output_records == 8
+        assert counters.reduce_input_groups == 5
+        assert counters.output_records == 5
+
+    def test_combiner_reduces_shuffle(self, env):
+        cluster, dfs = env
+        dfs.write_text("/in/doc", ("word " * 50 + "\n") * 20)
+
+        def mapper(line):
+            for word in line.split():
+                yield word, 1
+
+        def reducer(word, counts):
+            yield f"{word}\t{sum(counts)}"
+
+        def combiner(word, counts):
+            yield sum(counts)
+
+        plain = MapReduceJob("wc", mapper, reducer, num_reducers=2)
+        combined = MapReduceJob("wcc", mapper, reducer, combiner=combiner, num_reducers=2)
+        c1 = plain.run(cluster, dfs, "/in", "/out1")
+        c2 = combined.run(cluster, dfs, "/in", "/out2")
+        assert read_output(dfs, "/out1") == read_output(dfs, "/out2")
+        assert c2.shuffle_bytes < c1.shuffle_bytes
+
+    def test_output_sorted_within_reducer(self, env):
+        cluster, dfs = env
+        dfs.write_text("/in/doc", "b\na\nc\n")
+        job = MapReduceJob(
+            "sort",
+            mapper=lambda line: [(line, 1)],
+            reducer=lambda k, v: [k],
+            num_reducers=1,
+        )
+        job.run(cluster, dfs, "/in", "/out")
+        assert read_output(dfs, "/out") == ["a", "b", "c"]
+
+
+class TestMapOnly:
+    def test_values_written(self, env):
+        cluster, dfs = env
+        dfs.write_text("/in/doc", "1\n2\n3\n")
+        job = MapReduceJob(
+            "ident", mapper=lambda line: [(line, f"v{line}")], num_reducers=2
+        )
+        counters = job.run(cluster, dfs, "/in", "/out")
+        assert sorted(read_output(dfs, "/out")) == ["v1", "v2", "v3"]
+        assert counters.output_records == 3
+
+
+class TestEdgeCases:
+    def test_existing_output_dir_rejected(self, env):
+        cluster, dfs = env
+        dfs.write_text("/in/doc", "x\n")
+        dfs.mkdirs("/out")
+        job = MapReduceJob("j", mapper=lambda line: [(line, 1)])
+        with pytest.raises(ExecutionError):
+            job.run(cluster, dfs, "/in", "/out")
+
+    def test_zero_reducers_rejected(self):
+        with pytest.raises(ValueError):
+            MapReduceJob("j", mapper=lambda l: [], num_reducers=0)
+
+    def test_empty_input(self, env):
+        cluster, dfs = env
+        dfs.write_text("/in/doc", "")
+        job = MapReduceJob("j", mapper=lambda line: [(line, 1)], reducer=lambda k, v: [k])
+        counters = job.run(cluster, dfs, "/in", "/out")
+        assert counters.map_input_records == 0
+        assert counters.output_files == []
+
+    def test_mixed_key_types(self, env):
+        cluster, dfs = env
+        dfs.write_text("/in/doc", "1\n2\nx\n")
+
+        def mapper(line):
+            key = int(line) if line.isdigit() else line
+            yield key, line
+
+        job = MapReduceJob("mixed", mapper, reducer=lambda k, v: v, num_reducers=1)
+        counters = job.run(cluster, dfs, "/in", "/out")
+        assert counters.output_records == 3
+
+    def test_ledger_accounting(self, env):
+        cluster, dfs = env
+        dfs.write_text("/in/doc", "abc\n" * 100)
+        before = cluster.ledger.snapshot()
+        job = MapReduceJob(
+            "acct", mapper=lambda l: [(l, 1)], reducer=lambda k, v: [k]
+        )
+        job.run(cluster, dfs, "/in", "/out")
+        delta = cluster.ledger.delta(before, cluster.ledger.snapshot())
+        assert delta["mr.read"] == 400
+        assert delta["mr.shuffle"] > 0
+        assert delta["mr.write"] > 0
+
+    def test_many_mappers_over_blocks(self, env):
+        cluster, dfs = env
+        # File spans many 256-byte blocks; all rows must survive the splits.
+        rows = [f"{i},{i * i}" for i in range(500)]
+        dfs.write_text("/in/doc", "\n".join(rows) + "\n")
+        job = MapReduceJob(
+            "span",
+            mapper=lambda line: [(int(line.split(",")[0]) % 7, line)],
+            reducer=lambda k, v: sorted(v),
+            num_reducers=3,
+        )
+        counters = job.run(cluster, dfs, "/in", "/out")
+        assert counters.map_input_records == 500
+        assert sorted(read_output(dfs, "/out")) == sorted(rows)

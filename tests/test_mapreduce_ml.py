@@ -1,0 +1,159 @@
+"""Mahout-style MapReduce ML: equivalence with in-memory trainers and the
+§1 'write to HDFS, run MR algorithm' integration path."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import make_deployment
+from repro.cluster.cluster import make_paper_cluster
+from repro.common.errors import MLError
+from repro.hdfs.filesystem import DistributedFileSystem
+from repro.ml.algorithms import KMeans, NaiveBayes
+from repro.ml.dataset import Dataset, LabeledPoint
+from repro.ml.mapreduce_ml import MapReduceKMeans, MapReduceNaiveBayes
+from repro.workloads import generate_retail
+
+
+@pytest.fixture()
+def env():
+    cluster = make_paper_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=512)
+    return cluster, dfs
+
+
+def write_csv(dfs, path, rows):
+    text = "\n".join(",".join(str(v) for v in row) for row in rows) + "\n"
+    dfs.write_text(path, text)
+
+
+class TestMapReduceNaiveBayes:
+    def make_data(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        rows = []
+        for _ in range(n):
+            label = int(rng.random() < 0.5)
+            f0 = 1 if (label and rng.random() < 0.85) or (not label and rng.random() < 0.15) else 0
+            f1 = 1 - f0
+            rows.append((f0, f1, 1, label))
+        return rows
+
+    def test_matches_in_memory_trainer(self, env):
+        cluster, dfs = env
+        rows = self.make_data()
+        write_csv(dfs, "/mrml/nb/data.csv", rows)
+        mr_model = MapReduceNaiveBayes.train(cluster, dfs, "/mrml/nb")
+        points = [
+            LabeledPoint(float(r[3]), np.array(r[:3], float)) for r in rows
+        ]
+        mem_model = NaiveBayes.train(Dataset.from_records(points, 4))
+        assert np.allclose(mr_model.log_prior, mem_model.log_prior)
+        assert np.allclose(mr_model.log_likelihood, mem_model.log_likelihood)
+        assert list(mr_model.labels) == list(mem_model.labels)
+
+    def test_model_persisted_to_dfs(self, env):
+        cluster, dfs = env
+        write_csv(dfs, "/mrml/nb2/data.csv", self.make_data(n=50))
+        MapReduceNaiveBayes.train(
+            cluster, dfs, "/mrml/nb2", model_path="/models/nb.json"
+        )
+        model = json.loads(dfs.read_text("/models/nb.json"))
+        assert model["kind"] == "naive_bayes"
+        assert len(model["labels"]) == 2
+
+    def test_empty_input_rejected(self, env):
+        cluster, dfs = env
+        dfs.write_text("/mrml/empty/data.csv", "")
+        with pytest.raises(MLError, match="empty"):
+            MapReduceNaiveBayes.train(cluster, dfs, "/mrml/empty")
+
+    def test_label_index(self, env):
+        cluster, dfs = env
+        rows = [(r[3], r[0], r[1], r[2]) for r in self.make_data(n=80)]  # label first
+        write_csv(dfs, "/mrml/nb3/data.csv", rows)
+        model = MapReduceNaiveBayes.train(cluster, dfs, "/mrml/nb3", label_index=0)
+        assert model.log_likelihood.shape == (2, 3)
+
+
+class TestMapReduceKMeans:
+    def test_finds_blobs(self, env):
+        cluster, dfs = env
+        rng = np.random.default_rng(3)
+        blob_centers = np.array([[0.0, 0.0], [20.0, 20.0]])
+        rows = [
+            tuple(np.round(rng.normal(blob_centers[i % 2], 0.5), 4))
+            for i in range(200)
+        ]
+        write_csv(dfs, "/mrml/km/data.csv", rows)
+        model = MapReduceKMeans.train(cluster, dfs, "/mrml/km", k=2, seed=5)
+        found = model.centers[np.argsort(model.centers[:, 0])]
+        assert np.allclose(found, blob_centers, atol=0.5)
+
+    def test_cost_comparable_to_in_memory(self, env):
+        cluster, dfs = env
+        rng = np.random.default_rng(9)
+        rows = [tuple(np.round(rng.random(2) * 10, 4)) for _ in range(150)]
+        write_csv(dfs, "/mrml/km2/data.csv", rows)
+        mr_model = MapReduceKMeans.train(cluster, dfs, "/mrml/km2", k=3, seed=2,
+                                         max_iterations=15)
+        records = [np.array(r) for r in rows]
+        mem_model = KMeans.train(
+            Dataset.from_records(records, 4), k=3, seed=2, n_init=3
+        )
+        assert mr_model.cost <= 1.5 * mem_model.cost
+
+    def test_too_few_points_rejected(self, env):
+        cluster, dfs = env
+        write_csv(dfs, "/mrml/km3/data.csv", [(1.0, 1.0)])
+        with pytest.raises(MLError, match="distinct"):
+            MapReduceKMeans.train(cluster, dfs, "/mrml/km3", k=5)
+
+    def test_model_persisted(self, env):
+        cluster, dfs = env
+        rng = np.random.default_rng(4)
+        write_csv(
+            dfs, "/mrml/km4/data.csv",
+            [tuple(np.round(rng.random(2), 3)) for _ in range(60)],
+        )
+        MapReduceKMeans.train(
+            cluster, dfs, "/mrml/km4", k=2, model_path="/models/km.json"
+        )
+        model = json.loads(dfs.read_text("/models/km.json"))
+        assert model["kind"] == "kmeans"
+        assert len(model["centers"]) == 2
+
+
+class TestSection1MahoutPath:
+    def test_insql_transform_feeds_mapreduce_ml(self):
+        """The full §1 scenario for an MR-based ML system: In-SQL transform
+        writes the prepared data to the DFS, the MapReduce algorithm reads
+        it from there, and the fitted model lands back on the DFS."""
+        deployment = make_deployment(block_size=64 * 1024)
+        wl = generate_retail(
+            deployment.engine, deployment.dfs, num_users=200, num_carts=2_000
+        )
+        deployment.pipeline.byte_scale = wl.byte_scale
+        # insql writes the transformed text to the DFS (the one hop an
+        # MR-based ML system requires)...
+        result = deployment.pipeline.run_insql(wl.prep_sql, wl.spec, "noop")
+        transformed_dirs = [
+            p
+            for p in deployment.dfs.listdir("/pipeline")
+            if deployment.dfs.is_dir(p)
+        ]
+        data_dir = sorted(transformed_dirs)[-1] + "/transformed"
+        # ...which the Mahout-style trainer consumes directly.
+        model = MapReduceNaiveBayes.train(
+            deployment.cluster,
+            deployment.dfs,
+            data_dir,
+            label_index=-1,
+            model_path="/models/abandonment_nb.json",
+        )
+        assert deployment.dfs.exists("/models/abandonment_nb.json")
+        # Same data in memory gives the same sufficient statistics.
+        X, y = result.ml_result.dataset.to_arrays()
+        # MR path saw raw recoded labels (1/2); in-memory path offset them.
+        assert sorted(model.labels) == [1.0, 2.0]
+        assert model.log_likelihood.shape[1] == X.shape[1]

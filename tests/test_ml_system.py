@@ -1,0 +1,117 @@
+"""MLSystem facade: command registry, job execution, record parsing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import make_paper_cluster
+from repro.common.errors import MLError
+from repro.hdfs.filesystem import DistributedFileSystem
+from repro.iofmt.inputformat import JobConf
+from repro.iofmt.text import CsvInputFormat
+from repro.ml.dataset import LabeledPoint
+from repro.ml.system import MLSystem
+
+
+@pytest.fixture()
+def env():
+    cluster = make_paper_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=512)
+    ml = MLSystem(cluster)
+    return cluster, dfs, ml
+
+
+def write_labeled_csv(dfs, path, n=120):
+    lines = "\n".join(f"{i % 7},{i % 3},{i % 2}" for i in range(n)) + "\n"
+    dfs.write_text(path, lines)
+
+
+class TestRegistry:
+    def test_default_commands_present(self, env):
+        _c, _d, ml = env
+        for command in (
+            "svm_with_sgd",
+            "logistic_regression",
+            "naive_bayes",
+            "decision_tree",
+            "kmeans",
+            "linear_regression",
+            "noop",
+        ):
+            assert command in ml.known_commands()
+
+    def test_trainer_accessor(self, env):
+        _c, _d, ml = env
+        assert callable(ml.trainer("svm_with_sgd"))
+        with pytest.raises(MLError, match="known"):
+            ml.trainer("nope")
+
+    def test_register_replaces(self, env):
+        _c, _d, ml = env
+        ml.register_algorithm("noop", lambda ds, args: "replaced")
+        assert ml.trainer("noop")(None, {}) == "replaced"
+
+    def test_default_parallelism(self, env):
+        cluster, _d, _ml = env
+        assert MLSystem(cluster, workers_per_node=6).default_parallelism == 24
+        assert MLSystem(cluster, workers_per_node=2).default_parallelism == 8
+
+
+class TestRunJob:
+    def test_labeled_csv_job(self, env):
+        cluster, dfs, ml = env
+        write_labeled_csv(dfs, "/j/data.csv")
+        conf = JobConf({"input.path": "/j/data.csv"}, dfs=dfs)
+        result = ml.run_job("logistic_regression", {"iterations": 5}, CsvInputFormat(), conf)
+        assert result.command == "logistic_regression"
+        assert result.dataset.count() == 120
+        assert isinstance(result.dataset.first(), LabeledPoint)
+        assert result.ingest_stats.bytes == dfs.status("/j/data.csv").length
+
+    def test_label_index_and_offset(self, env):
+        cluster, dfs, ml = env
+        dfs.write_text("/j/o.csv", "2,10,20\n1,30,40\n")
+        conf = JobConf(
+            {"input.path": "/j/o.csv", "label.index": 0, "label.offset": 1.0},
+            dfs=dfs,
+        )
+        result = ml.run_job("noop", {}, CsvInputFormat(), conf)
+        labels = sorted(lp.label for lp in result.dataset.collect())
+        assert labels == [0.0, 1.0]
+
+    def test_vector_format(self, env):
+        cluster, dfs, ml = env
+        dfs.write_text("/j/v.csv", "1,2\n3,4\n")
+        conf = JobConf({"input.path": "/j/v.csv", "record.format": "vector_csv"}, dfs=dfs)
+        result = ml.run_job("noop", {}, CsvInputFormat(), conf)
+        records = result.dataset.collect()
+        assert all(isinstance(r, np.ndarray) for r in records)
+
+    def test_raw_format(self, env):
+        cluster, dfs, ml = env
+        dfs.write_text("/j/r.csv", "a,b\n")
+        conf = JobConf({"input.path": "/j/r.csv", "record.format": "raw"}, dfs=dfs)
+        result = ml.run_job("noop", {}, CsvInputFormat(), conf)
+        assert result.dataset.collect() == [["a", "b"]]
+
+    def test_unknown_format_rejected(self, env):
+        cluster, dfs, ml = env
+        dfs.write_text("/j/x.csv", "1\n")
+        conf = JobConf({"input.path": "/j/x.csv", "record.format": "avro"}, dfs=dfs)
+        with pytest.raises(MLError, match="record.format"):
+            ml.run_job("noop", {}, CsvInputFormat(), conf)
+
+    def test_unknown_command_rejected(self, env):
+        cluster, dfs, ml = env
+        conf = JobConf({"input.path": "/nowhere"}, dfs=dfs)
+        with pytest.raises(MLError, match="unknown ML command"):
+            ml.run_job("alchemy", {}, CsvInputFormat(), conf)
+
+    def test_custom_record_parser_wins(self, env):
+        cluster, dfs, ml = env
+        dfs.write_text("/j/c.csv", "5,6\n")
+        conf = JobConf({"input.path": "/j/c.csv"}, dfs=dfs)
+        result = ml.run_job(
+            "noop", {}, CsvInputFormat(), conf,
+            record_parser=lambda fields: sum(int(v) for v in fields),
+        )
+        assert result.dataset.collect() == [11]

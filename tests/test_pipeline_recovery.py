@@ -1,0 +1,131 @@
+"""§6 recovery: restart-from-scratch retries and the unsupervised path."""
+
+import pytest
+
+from repro import make_deployment
+from repro.common.errors import MLError, TransferError
+from repro.transform.spec import TransformSpec
+from repro.workloads import generate_retail
+
+
+@pytest.fixture()
+def retail():
+    deployment = make_deployment(block_size=64 * 1024)
+    workload = generate_retail(
+        deployment.engine, deployment.dfs, num_users=200, num_carts=2_000, seed=5
+    )
+    deployment.pipeline.byte_scale = workload.byte_scale
+    return deployment, workload
+
+
+def flaky_trainer(fail_times: int):
+    """A trainer that fails its first ``fail_times`` invocations."""
+    state = {"calls": 0}
+
+    def train(dataset, args):
+        state["calls"] += 1
+        if state["calls"] <= fail_times:
+            raise MLError(f"injected failure #{state['calls']}")
+        return {"trained_after": state["calls"], "rows": dataset.count()}
+
+    return train, state
+
+
+class TestStreamingRetry:
+    def test_retry_recovers_from_transient_ml_failure(self, retail):
+        """§6: 'the whole integration pipeline has to be restarted from
+        scratch in case of a failure' — and with an attempt budget it is."""
+        deployment, wl = retail
+        trainer, state = flaky_trainer(fail_times=2)
+        deployment.ml.register_algorithm("flaky", trainer)
+        result = deployment.pipeline.run_insql_stream(
+            wl.prep_sql, wl.spec, "flaky", max_attempts=3
+        )
+        assert result.attempts == 3
+        assert state["calls"] == 3
+        assert result.ml_result.model["rows"] > 0
+
+    def test_attempt_budget_exhausted_raises(self, retail):
+        deployment, wl = retail
+        trainer, state = flaky_trainer(fail_times=10)
+        deployment.ml.register_algorithm("always_down", trainer)
+        with pytest.raises(TransferError, match="injected failure"):
+            deployment.pipeline.run_insql_stream(
+                wl.prep_sql, wl.spec, "always_down", max_attempts=2
+            )
+        assert state["calls"] == 2
+
+    def test_default_is_single_attempt(self, retail):
+        deployment, wl = retail
+        trainer, state = flaky_trainer(fail_times=1)
+        deployment.ml.register_algorithm("once_down", trainer)
+        with pytest.raises(TransferError):
+            deployment.pipeline.run_insql_stream(wl.prep_sql, wl.spec, "once_down")
+        assert state["calls"] == 1
+
+    def test_retry_delivers_complete_data(self, retail):
+        """The successful attempt's dataset equals a clean run's."""
+        deployment, wl = retail
+        trainer, _state = flaky_trainer(fail_times=1)
+        deployment.ml.register_algorithm("flaky2", trainer)
+        retried = deployment.pipeline.run_insql_stream(
+            wl.prep_sql, wl.spec, "flaky2", max_attempts=2
+        )
+        clean = deployment.pipeline.run_insql_stream(wl.prep_sql, wl.spec, "noop")
+        sig = lambda r: sorted(
+            (lp.label, tuple(lp.features)) for lp in r.ml_result.dataset.collect()
+        )
+        assert sig(retried) == sig(clean)
+
+    def test_restart_cost_accounted(self, retail):
+        """Failed attempts' bytes count into the stage's simulated time —
+        restarting from scratch is not free."""
+        deployment, wl = retail
+        clean = deployment.pipeline.run_insql_stream(wl.prep_sql, wl.spec, "noop")
+        trainer, _state = flaky_trainer(fail_times=1)
+        deployment.ml.register_algorithm("flaky3", trainer)
+        retried = deployment.pipeline.run_insql_stream(
+            wl.prep_sql, wl.spec, "flaky3", max_attempts=2
+        )
+        clean_stage = clean.stage("prep+trsfm+input").sim_seconds
+        retried_stage = retried.stage("prep+trsfm+input").sim_seconds
+        assert retried_stage > 1.5 * clean_stage
+
+
+class TestUnsupervisedPath:
+    def test_kmeans_over_stream_without_label(self, retail):
+        """spec.label=None flows feature vectors (not labeled points) to an
+        unsupervised algorithm."""
+        deployment, wl = retail
+        spec = TransformSpec(recode=("gender",), dummy=("gender",), label=None)
+        sql = (
+            "SELECT U.age, U.gender, C.amount FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.country = 'USA'"
+        )
+        result = deployment.pipeline.run_insql_stream(
+            sql, spec, "kmeans", {"k": 3, "seed": 7}
+        )
+        model = result.ml_result.model
+        assert model.centers.shape == (3, 4)  # age, gender_F, gender_M, amount
+        first = result.ml_result.dataset.first()
+        assert not hasattr(first, "label")  # plain vectors, not LabeledPoint
+
+    def test_kmeans_over_dfs_without_label(self, retail):
+        deployment, wl = retail
+        spec = TransformSpec(recode=("gender",), label=None)
+        sql = (
+            "SELECT U.age, U.gender, C.amount FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.country = 'USA'"
+        )
+        result = deployment.pipeline.run_insql(sql, spec, "kmeans", {"k": 2})
+        assert result.ml_result.model.centers.shape == (2, 3)
+
+    def test_kmeans_over_broker_without_label(self, retail):
+        deployment, wl = retail
+        spec = TransformSpec(recode=("gender",), label=None)
+        sql = (
+            "SELECT U.age, U.gender, C.amount FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.country = 'USA'"
+        )
+        result = deployment.pipeline.run_insql_broker(sql, spec, "kmeans", {"k": 2})
+        assert result.ml_result.model.centers.shape == (2, 3)

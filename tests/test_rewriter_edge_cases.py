@@ -1,0 +1,150 @@
+"""Rewriter and matching edge cases beyond the paper's examples."""
+
+import pytest
+
+from repro.caching.cache import CacheManager
+from repro.rewriter.matching import extract_shape, match_full_cache, match_recode_map
+from repro.rewriter.rewriter import QueryRewriter
+from repro.sql.types import DataType, Schema
+from repro.transform import (
+    DummyCodeUDF,
+    EffectCodeUDF,
+    LocalDistinctUDF,
+    OrthogonalCodeUDF,
+    RecodeMap,
+    RecodeUDF,
+    TransformService,
+)
+from repro.transform.spec import TransformSpec
+
+PREP = (
+    "SELECT U.age, U.gender, C.amount, C.abandoned "
+    "FROM carts C, users U WHERE C.userid = U.userid AND U.country = 'USA'"
+)
+SPEC = TransformSpec(recode=("gender", "abandoned"), dummy=("gender",), label="abandoned")
+
+
+@pytest.fixture()
+def env(users_carts):
+    engine = users_carts
+    transforms = TransformService()
+    cache = CacheManager(engine, transforms)
+    for udf in (
+        LocalDistinctUDF(),
+        RecodeUDF(transforms),
+        DummyCodeUDF(transforms),
+        EffectCodeUDF(transforms),
+        OrthogonalCodeUDF(transforms),
+    ):
+        engine.register_table_udf(udf)
+    return engine, transforms, cache, QueryRewriter(engine, transforms, cache=cache)
+
+
+class TestOrPredicates:
+    def test_identical_or_conjunct_matches(self, env):
+        engine, _t, _c, _r = env
+        sql = (
+            "SELECT U.gender FROM carts C, users U "
+            "WHERE C.userid = U.userid AND (U.country = 'USA' OR U.country = 'DE')"
+        )
+        shape = extract_shape(engine.parse(sql), engine)
+        assert shape is not None
+        assert match_full_cache(shape, shape) is not None
+        assert match_recode_map(shape, SPEC, shape, SPEC) is not None
+
+    def test_different_or_conjunct_misses(self, env):
+        engine, _t, _c, _r = env
+        cached_sql = (
+            "SELECT U.gender FROM carts C, users U "
+            "WHERE C.userid = U.userid AND (U.country = 'USA' OR U.country = 'DE')"
+        )
+        new_sql = (
+            "SELECT U.gender FROM carts C, users U "
+            "WHERE C.userid = U.userid AND (U.country = 'USA' OR U.country = 'FR')"
+        )
+        cached = extract_shape(engine.parse(cached_sql), engine)
+        new = extract_shape(engine.parse(new_sql), engine)
+        # An OR is an opaque conjunct: no implication reasoning, so no reuse.
+        assert match_full_cache(new, cached) is None
+        assert match_recode_map(new, SPEC, cached, SPEC) is None
+
+
+class TestAliasedProjections:
+    def test_projection_alias_does_not_block_matching(self, env):
+        """Matching compares projected *expressions*, not output names."""
+        engine, transforms, cache, rewriter = env
+        plan = rewriter.plan(PREP, SPEC)
+        rows = engine.query_rows(plan.pass1_sql)
+        recode_map = RecodeMap.from_distinct_rows(rows)
+        transforms.register(plan.map_handle, recode_map)
+        cache.store_recode_map(PREP, SPEC, recode_map)
+
+        renamed = (
+            "SELECT U.age AS customer_age, U.gender, C.amount, C.abandoned "
+            "FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.country = 'USA' AND C.year = 2014"
+        )
+        plan2 = rewriter.plan(renamed, SPEC)
+        assert plan2.kind == "recode_map_cache"
+
+
+class TestExpansionCodings:
+    def test_effect_spec_through_rewriter(self, env):
+        engine, transforms, _c, rewriter = env
+        spec = TransformSpec(recode=("abandoned",), effect=("gender",), label="abandoned")
+        plan = rewriter.plan(PREP, spec)
+        assert "effect_code" in plan.inner_sql
+        rows = engine.query_rows(plan.pass1_sql)
+        transforms.register(plan.map_handle, RecodeMap.from_distinct_rows(rows))
+        result = engine.query_rows(plan.inner_sql)
+        # schema: age, gender_e1, amount, abandoned — gender in {1,-1}
+        assert {row[1] for row in result} <= {1, -1}
+
+    def test_orthogonal_spec_through_rewriter(self, env):
+        engine, transforms, _c, rewriter = env
+        spec = TransformSpec(
+            recode=("abandoned",), orthogonal=("gender",), label="abandoned"
+        )
+        plan = rewriter.plan(PREP, spec)
+        assert "orthogonal_code" in plan.inner_sql
+        rows = engine.query_rows(plan.pass1_sql)
+        transforms.register(plan.map_handle, RecodeMap.from_distinct_rows(rows))
+        result = engine.query_rows(plan.inner_sql)
+        values = sorted({round(row[1], 6) for row in result})
+        assert len(values) == 2 and values[0] == -values[1]
+
+    def test_expansion_collision_rejected(self):
+        with pytest.raises(ValueError, match="at most one"):
+            TransformSpec(dummy=("gender",), effect=("gender",))
+
+    def test_label_cannot_be_expanded(self):
+        with pytest.raises(ValueError, match="expanded away"):
+            TransformSpec(dummy=("abandoned",), label="abandoned")
+
+
+class TestFullCacheWithEffectCoding:
+    def test_cached_view_serves_effect_spec(self, env):
+        """The recoded-stage cache composes with any expansion coding."""
+        engine, transforms, cache, rewriter = env
+        base_plan = rewriter.plan(PREP, SPEC)
+        rows = engine.query_rows(base_plan.pass1_sql)
+        recode_map = RecodeMap.from_distinct_rows(rows)
+        transforms.register(base_plan.map_handle, recode_map)
+        handle = cache.store_recode_map(PREP, SPEC, recode_map)
+        recode_sql = (
+            f"SELECT * FROM TABLE(recode(({PREP}), '{handle}', "
+            "'gender', 'abandoned')) AS __r"
+        )
+        engine.create_materialized_view("effect_view", recode_sql)
+        cache.store_transformed(PREP, SPEC, "effect_view", handle)
+
+        effect_spec = TransformSpec(
+            recode=("abandoned",), effect=("gender",), label="abandoned"
+        )
+        plan = rewriter.plan(PREP, effect_spec)
+        assert plan.kind == "full_cache"
+        assert "effect_code" in plan.inner_sql
+        assert "carts" not in plan.inner_sql
+        result = engine.query_rows(plan.inner_sql)
+        assert len(result) == 6
+        assert {row[1] for row in result} <= {1, -1}

@@ -1,0 +1,256 @@
+"""Query-shape extraction and the §5.1 / §5.2 matching conditions.
+
+The central cases are the paper's own example queries, verbatim.
+"""
+
+import pytest
+
+from repro.rewriter.matching import (
+    extract_shape,
+    match_full_cache,
+    match_recode_map,
+)
+from repro.transform.spec import TransformSpec
+
+#: §1's preparation query (the cached one).
+CACHED_SQL = (
+    "SELECT U.age, U.gender, C.amount, C.abandoned "
+    "FROM carts C, users U "
+    "WHERE C.userid = U.userid AND U.country = 'USA'"
+)
+
+#: §5.1's follow-up: subset projection + extra predicate on projected field.
+SUBSET_SQL = (
+    "SELECT U.age, C.amount, C.abandoned "
+    "FROM carts C, users U "
+    "WHERE C.userid = U.userid AND U.country = 'USA' AND U.gender = 'F'"
+)
+
+#: §5.2's follow-up: new projected field + extra predicate on a new field.
+RECODE_SQL = (
+    "SELECT U.age, U.gender, C.amount, C.nItems, C.abandoned "
+    "FROM carts C, users U "
+    "WHERE C.userid = U.userid AND U.country = 'USA' AND C.year = 2014"
+)
+
+SPEC = TransformSpec(recode=("gender", "abandoned"), dummy=("gender",), label="abandoned")
+
+
+@pytest.fixture()
+def shaped(engine):
+    """Engine with the full-width carts/users schemas (incl. nItems, year)."""
+    from repro.sql.types import DataType, Schema
+
+    engine.create_table(
+        "users",
+        Schema.of(
+            ("userid", DataType.BIGINT),
+            ("age", DataType.INT),
+            ("gender", DataType.VARCHAR),
+            ("country", DataType.VARCHAR),
+        ),
+        [],
+    )
+    engine.create_table(
+        "carts",
+        Schema.of(
+            ("cartid", DataType.BIGINT),
+            ("userid", DataType.BIGINT),
+            ("amount", DataType.DOUBLE),
+            ("nItems", DataType.INT),
+            ("year", DataType.INT),
+            ("abandoned", DataType.VARCHAR),
+        ),
+        [],
+    )
+    return engine
+
+
+def shape_of(engine, sql):
+    shape = extract_shape(engine.parse(sql), engine)
+    assert shape is not None
+    return shape
+
+
+class TestShapeExtraction:
+    def test_tables_and_join_conditions(self, shaped):
+        shape = shape_of(shaped, CACHED_SQL)
+        assert shape.tables == frozenset({"carts", "users"})
+        assert len(shape.join_conditions) == 1
+        (jc,) = shape.join_conditions
+        assert "carts.userid" in jc and "users.userid" in jc
+
+    def test_aliases_normalized_away(self, shaped):
+        """The same query under different aliases has the same shape."""
+        other = (
+            "SELECT X.age, X.gender, Y.amount, Y.abandoned "
+            "FROM carts Y, users X "
+            "WHERE Y.userid = X.userid AND X.country = 'USA'"
+        )
+        assert shape_of(shaped, CACHED_SQL) == shape_of(shaped, other)
+
+    def test_explicit_join_same_shape_as_comma(self, shaped):
+        explicit = (
+            "SELECT U.age, U.gender, C.amount, C.abandoned "
+            "FROM carts C JOIN users U ON C.userid = U.userid "
+            "WHERE U.country = 'USA'"
+        )
+        assert shape_of(shaped, CACHED_SQL) == shape_of(shaped, explicit)
+
+    def test_unqualified_columns_resolved(self, shaped):
+        shape = shape_of(
+            shaped, "SELECT age, country FROM users WHERE age > 3"
+        )
+        names = dict(shape.projections)
+        assert names["age"].qualifier == "users"
+
+    def test_star_expanded(self, shaped):
+        shape = shape_of(shaped, "SELECT * FROM users")
+        assert [name for name, _ in shape.projections] == [
+            "userid",
+            "age",
+            "gender",
+            "country",
+        ]
+
+    def test_uncacheable_constructs_return_none(self, shaped):
+        for sql in (
+            "SELECT gender, COUNT(*) FROM users GROUP BY gender",
+            "SELECT DISTINCT gender FROM users",
+            "SELECT age FROM users ORDER BY age",
+            "SELECT age FROM users LIMIT 3",
+            "SELECT s.age FROM (SELECT age FROM users) AS s",
+            "SELECT U.age FROM users U LEFT JOIN carts C ON U.userid = C.userid",
+        ):
+            assert extract_shape(shaped.parse(sql), shaped) is None
+
+    def test_unknown_table_returns_none(self, shaped):
+        assert extract_shape(shaped.parse("SELECT x FROM ghost"), shaped) is None
+
+
+class TestFullCacheMatch:
+    def test_identical_query_matches(self, shaped):
+        cached = shape_of(shaped, CACHED_SQL)
+        match = match_full_cache(cached, cached)
+        assert match is not None
+        assert match.projected == ("age", "gender", "amount", "abandoned")
+        assert match.extra_predicates == ()
+
+    def test_paper_51_example_matches(self, shaped):
+        """'we can fully utilize the cached data' — §5.1's follow-up."""
+        cached = shape_of(shaped, CACHED_SQL)
+        new = shape_of(shaped, SUBSET_SQL)
+        match = match_full_cache(new, cached)
+        assert match is not None
+        assert match.projected == ("age", "amount", "abandoned")
+        (extra,) = match.extra_predicates
+        # Rewritten against cached output columns, as in the paper's
+        # "SELECT age, amount, abandoned FROM T WHERE gender = 'F'".
+        assert extra.to_sql() == "gender = 'F'"
+
+    def test_paper_52_example_does_not_match_full(self, shaped):
+        """'the cached data cannot be used at all' — §5.2's query projects
+        nItems, which the cache does not contain."""
+        cached = shape_of(shaped, CACHED_SQL)
+        new = shape_of(shaped, RECODE_SQL)
+        assert match_full_cache(new, cached) is None
+
+    def test_dropped_cached_predicate_misses(self, shaped):
+        no_country = (
+            "SELECT U.age, C.amount FROM carts C, users U WHERE C.userid = U.userid"
+        )
+        cached = shape_of(shaped, CACHED_SQL)
+        assert match_full_cache(shape_of(shaped, no_country), cached) is None
+
+    def test_extra_predicate_on_unprojected_field_misses(self, shaped):
+        new_sql = (
+            "SELECT U.age, C.amount, C.abandoned FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.country = 'USA' AND C.year = 2014"
+        )
+        cached = shape_of(shaped, CACHED_SQL)
+        assert match_full_cache(shape_of(shaped, new_sql), cached) is None
+
+    def test_different_tables_miss(self, shaped):
+        new = shape_of(shaped, "SELECT age FROM users WHERE country = 'USA'")
+        cached = shape_of(shaped, CACHED_SQL)
+        assert match_full_cache(new, cached) is None
+
+    def test_different_join_condition_misses(self, shaped):
+        new_sql = (
+            "SELECT U.age, U.gender, C.amount, C.abandoned "
+            "FROM carts C, users U "
+            "WHERE C.cartid = U.userid AND U.country = 'USA'"
+        )
+        cached = shape_of(shaped, CACHED_SQL)
+        assert match_full_cache(shape_of(shaped, new_sql), cached) is None
+
+
+class TestRecodeMapMatch:
+    def test_paper_52_example_matches(self, shaped):
+        """'this query satisfies a different set of conditions' — the recode
+        maps remain reusable for §5.2's follow-up."""
+        cached = shape_of(shaped, CACHED_SQL)
+        new = shape_of(shaped, RECODE_SQL)
+        match = match_recode_map(new, SPEC, cached, SPEC)
+        assert match is not None
+        assert match.matched_predicates == 1  # country = 'USA'
+        assert match.extra_predicates == 1  # year = 2014
+
+    def test_logically_stronger_predicate_matches(self, shaped):
+        cached_sql = (
+            "SELECT U.age, U.gender, C.abandoned FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.age <= 20"
+        )
+        new_sql = (
+            "SELECT U.age, U.gender, C.abandoned FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.age < 18"
+        )
+        match = match_recode_map(
+            shape_of(shaped, new_sql), SPEC, shape_of(shaped, cached_sql), SPEC
+        )
+        assert match is not None
+
+    def test_weaker_predicate_misses(self, shaped):
+        cached_sql = (
+            "SELECT U.gender, C.abandoned FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.age < 18"
+        )
+        new_sql = (
+            "SELECT U.gender, C.abandoned FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.age <= 20"
+        )
+        assert (
+            match_recode_map(
+                shape_of(shaped, new_sql), SPEC, shape_of(shaped, cached_sql), SPEC
+            )
+            is None
+        )
+
+    def test_new_categorical_column_misses(self, shaped):
+        """A projected categorical absent from the cached projection means
+        its recode map was never built."""
+        cached = shape_of(
+            shaped,
+            "SELECT U.age, C.abandoned FROM carts C, users U "
+            "WHERE C.userid = U.userid AND U.country = 'USA'",
+        )
+        cached_spec = TransformSpec(recode=("abandoned",), label="abandoned")
+        new = shape_of(shaped, CACHED_SQL)  # projects gender too
+        assert match_recode_map(new, SPEC, cached, cached_spec) is None
+
+    def test_missing_cached_predicate_misses(self, shaped):
+        new_sql = (
+            "SELECT U.age, U.gender, C.amount, C.abandoned "
+            "FROM carts C, users U WHERE C.userid = U.userid"
+        )
+        cached = shape_of(shaped, CACHED_SQL)
+        assert match_recode_map(shape_of(shaped, new_sql), SPEC, cached, SPEC) is None
+
+    def test_different_join_misses(self, shaped):
+        new_sql = (
+            "SELECT U.age, U.gender, C.amount, C.abandoned "
+            "FROM carts C, users U "
+            "WHERE C.cartid = U.userid AND U.country = 'USA'"
+        )
+        cached = shape_of(shaped, CACHED_SQL)
+        assert match_recode_map(shape_of(shaped, new_sql), SPEC, cached, SPEC) is None

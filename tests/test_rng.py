@@ -1,0 +1,38 @@
+"""Deterministic RNG helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.rng import derive_seed, make_rng
+
+
+def test_make_rng_deterministic():
+    a = make_rng(42).integers(0, 1000, size=10)
+    b = make_rng(42).integers(0, 1000, size=10)
+    assert list(a) == list(b)
+
+
+def test_make_rng_differs_across_seeds():
+    a = make_rng(1).integers(0, 10**9)
+    b = make_rng(2).integers(0, 10**9)
+    assert a != b
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(7, "carts", 3) == derive_seed(7, "carts", 3)
+
+
+def test_derive_seed_varies_with_parts():
+    seeds = {
+        derive_seed(7),
+        derive_seed(7, "carts"),
+        derive_seed(7, "users"),
+        derive_seed(7, "carts", 0),
+        derive_seed(7, "carts", 1),
+    }
+    assert len(seeds) == 5
+
+
+@given(st.integers(min_value=0, max_value=2**62), st.integers(min_value=0, max_value=100))
+def test_derive_seed_in_valid_range(seed, part):
+    child = derive_seed(seed, part)
+    assert 0 <= child < 2**31

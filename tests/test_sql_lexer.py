@@ -1,0 +1,71 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql.lexer import tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt FROM where")
+        assert [t.value for t in tokens[:-1]] == ["select", "from", "where"]
+        assert all(t.kind == "keyword" for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("myTable Col_1")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("ident", "myTable"),
+            ("ident", "Col_1"),
+        ]
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 .75 1e3 2.5E-2")[:-1]]
+        assert values == ["1", "2.5", ".75", "1e3", "2.5E-2"]
+
+    def test_strings_with_escaped_quote(self):
+        (token, _eof) = tokenize("'it''s'")
+        assert token.kind == "string"
+        assert token.value == "it's"
+
+    def test_empty_string_literal(self):
+        (token, _eof) = tokenize("''")
+        assert token.value == ""
+
+    def test_quoted_identifier(self):
+        (token, _eof) = tokenize('"weird name"')
+        assert token.kind == "ident"
+        assert token.value == "weird name"
+
+    def test_operators(self):
+        ops = [t.value for t in tokenize("= <> != <= >= < > + - * / % ( ) , . ;")[:-1]]
+        assert ops == ["=", "<>", "<>", "<=", ">=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",", ".", ";"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- the select\n1")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("keyword", "select"),
+            ("number", "1"),
+        ]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_positions(self):
+        tokens = tokenize("a = 1")
+        assert [t.position for t in tokens[:-1]] == [0, 2, 4]
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError, match="illegal"):
+            tokenize("SELECT @foo")
+
+    def test_whole_query(self):
+        sql = "SELECT U.age FROM users U WHERE U.country = 'USA'"
+        tokens = tokenize(sql)
+        assert tokens[0].is_keyword("select")
+        assert tokens[-1].kind == "eof"
+        assert any(t.kind == "string" and t.value == "USA" for t in tokens)

@@ -1,0 +1,296 @@
+"""SQL parser: grammar coverage, AST shapes, rendering roundtrip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ParseError
+from repro.sql.ast import Join, NamedTable, SubqueryRef, TableFunction
+from repro.sql.expressions import (
+    AggregateCall,
+    And,
+    Arithmetic,
+    Between,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    Star,
+)
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelect:
+    def test_simple(self):
+        q = parse("SELECT a, b FROM t")
+        assert len(q.items) == 2
+        assert q.items[0].expr == ColumnRef(None, "a")
+        assert q.from_refs == (NamedTable("t", None),)
+
+    def test_star(self):
+        q = parse("SELECT * FROM t")
+        assert isinstance(q.items[0].expr, Star)
+
+    def test_aliases(self):
+        q = parse("SELECT a AS x, b y FROM t")
+        assert q.items[0].alias == "x"
+        assert q.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_table_alias_forms(self):
+        q = parse("SELECT 1 FROM users AS U, carts C")
+        assert q.from_refs[0] == NamedTable("users", "U")
+        assert q.from_refs[1] == NamedTable("carts", "C")
+
+    def test_where(self):
+        q = parse("SELECT a FROM t WHERE a > 3 AND b = 'x'")
+        assert isinstance(q.where, And)
+
+    def test_group_by_having(self):
+        q = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert q.group_by == (ColumnRef(None, "a"),)
+        assert isinstance(q.having, Comparison)
+        assert isinstance(q.items[1].expr, AggregateCall)
+
+    def test_order_by(self):
+        q = parse("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [(o.expr.name, o.ascending) for o in q.order_by] == [
+            ("a", False),
+            ("b", True),
+            ("c", True),
+        ]
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 7").limit == 7
+
+    def test_limit_requires_int(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT 1.5")
+
+    def test_semicolon_tolerated(self):
+        assert parse("SELECT a FROM t;").limit is None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("SELECT a FROM t xyzzy nonsense --")
+
+
+class TestJoins:
+    def test_explicit_join(self):
+        q = parse("SELECT 1 FROM a JOIN b ON a.x = b.y")
+        (ref,) = q.from_refs
+        assert isinstance(ref, Join)
+        assert ref.kind == "inner"
+
+    def test_inner_join_keyword(self):
+        q = parse("SELECT 1 FROM a INNER JOIN b ON a.x = b.y")
+        assert q.from_refs[0].kind == "inner"
+
+    def test_left_join(self):
+        q = parse("SELECT 1 FROM a LEFT JOIN b ON a.x = b.y")
+        assert q.from_refs[0].kind == "left"
+
+    def test_left_outer_join(self):
+        q = parse("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert q.from_refs[0].kind == "left"
+
+    def test_chained_joins(self):
+        q = parse("SELECT 1 FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+        outer = q.from_refs[0]
+        assert isinstance(outer.left, Join)
+        assert outer.right == NamedTable("c", None)
+
+    def test_comma_join(self):
+        q = parse("SELECT 1 FROM a, b, c")
+        assert len(q.from_refs) == 3
+
+
+class TestSubqueriesAndTableFunctions:
+    def test_subquery(self):
+        q = parse("SELECT s.a FROM (SELECT a FROM t) AS s")
+        (ref,) = q.from_refs
+        assert isinstance(ref, SubqueryRef)
+        assert ref.alias == "s"
+
+    def test_table_function_with_table_input(self):
+        q = parse("SELECT * FROM TABLE(recode(t, 'h', 'gender')) AS r")
+        (ref,) = q.from_refs
+        assert isinstance(ref, TableFunction)
+        assert ref.udf_name == "recode"
+        assert ref.input_ref == NamedTable("t", None)
+        assert ref.args == (Literal("h"), Literal("gender"))
+        assert ref.alias == "r"
+
+    def test_table_function_with_subquery_input(self):
+        q = parse("SELECT * FROM TABLE(f((SELECT a FROM t), 1)) x")
+        (ref,) = q.from_refs
+        assert isinstance(ref.input_ref, SubqueryRef)
+        assert ref.args == (Literal(1),)
+
+    def test_nested_table_functions(self):
+        sql = (
+            "SELECT * FROM TABLE(dummy_code((SELECT * FROM "
+            "TABLE(recode(t, 'h', 'g')) AS r), 'h', 'g')) AS d"
+        )
+        q = parse(sql)
+        outer = q.from_refs[0]
+        assert outer.udf_name == "dummy_code"
+        inner = outer.input_ref.query.from_refs[0]
+        assert inner.udf_name == "recode"
+
+
+class TestExpressions:
+    def test_precedence_arith(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, Arithmetic) and e.op == "+"
+        assert isinstance(e.right, Arithmetic) and e.right.op == "*"
+
+    def test_parens(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_and_or_precedence(self):
+        e = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(e, Or)
+        assert isinstance(e.operands[1], And)
+
+    def test_not(self):
+        e = parse_expression("NOT a = 1")
+        assert isinstance(e, Not)
+
+    def test_comparison_ops(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            e = parse_expression(f"a {op} 1")
+            assert isinstance(e, Comparison) and e.op == op
+
+    def test_bang_equals_normalized(self):
+        assert parse_expression("a != 1").op == "<>"
+
+    def test_is_null(self):
+        assert parse_expression("a IS NULL") == IsNull(ColumnRef(None, "a"), False)
+        assert parse_expression("a IS NOT NULL") == IsNull(ColumnRef(None, "a"), True)
+
+    def test_in_list(self):
+        e = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(e, InList) and not e.negated
+        assert len(e.values) == 3
+
+    def test_not_in(self):
+        assert parse_expression("a NOT IN (1)").negated
+
+    def test_between(self):
+        e = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(e, Between)
+        assert e.low == Literal(1) and e.high == Literal(10)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 2").negated
+
+    def test_like(self):
+        e = parse_expression("name LIKE 'Jo%'")
+        assert isinstance(e, Like) and e.pattern == "Jo%"
+
+    def test_like_requires_string(self):
+        with pytest.raises(ParseError):
+            parse_expression("name LIKE 5")
+
+    def test_case_when(self):
+        e = parse_expression("CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END")
+        assert isinstance(e, CaseWhen)
+        assert e.otherwise == Literal("neg")
+
+    def test_function_call(self):
+        e = parse_expression("upper(name)")
+        assert e == FuncCall("upper", (ColumnRef(None, "name"),))
+
+    def test_qualified_column(self):
+        assert parse_expression("U.age") == ColumnRef("U", "age")
+
+    def test_unary_minus(self):
+        assert parse_expression("-a") == Negate(ColumnRef(None, "a"))
+
+    def test_unary_plus_noop(self):
+        assert parse_expression("+a") == ColumnRef(None, "a")
+
+    def test_literals(self):
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+        assert parse_expression("3.5") == Literal(3.5)
+        assert parse_expression("42") == Literal(42)
+        assert parse_expression("'hi'") == Literal("hi")
+
+    def test_aggregates(self):
+        e = parse_expression("COUNT(*)")
+        assert e == AggregateCall("count", Star(), False)
+        e = parse_expression("SUM(DISTINCT x)")
+        assert e == AggregateCall("sum", ColumnRef(None, "x"), True)
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ParseError):
+            parse_expression("SUM(*)")
+
+    def test_paper_example_query(self):
+        """The §1 preparation query parses into the expected shape."""
+        q = parse(
+            "SELECT U.age, U.gender, C.amount, C.abandoned "
+            "FROM carts C, users U "
+            "WHERE C.userid=U.userid AND U.country= 'USA'"
+        )
+        assert len(q.items) == 4
+        assert len(q.from_refs) == 2
+        conj = q.where.operands
+        assert len(conj) == 2
+
+
+class TestRoundtrip:
+    CASES = [
+        "SELECT a, b AS x FROM t WHERE a > 3",
+        "SELECT DISTINCT colName, colVal FROM TABLE(local_distinct(t, 'g')) AS d",
+        "SELECT U.age FROM carts AS C, users AS U WHERE C.userid = U.userid AND U.country = 'USA'",
+        "SELECT a, COUNT(*) AS c FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a LIMIT 3",
+        "SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END AS sign FROM t",
+        "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z IN (1, 2)",
+        "SELECT x FROM t WHERE x BETWEEN 1 AND 5 AND name LIKE 'a%' AND y IS NOT NULL",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_to_sql_reparses_to_same_ast(self, sql):
+        first = parse(sql)
+        second = parse(first.to_sql())
+        assert first == second
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.recursive(
+            st.one_of(
+                st.integers(-100, 100).map(Literal),
+                st.text(alphabet="abxyz", min_size=1, max_size=4).map(Literal),
+                st.sampled_from(["a", "b", "c"]).map(lambda n: ColumnRef(None, n)),
+            ),
+            lambda inner: st.tuples(
+                st.sampled_from(["+", "-", "*"]), inner, inner
+            ).map(lambda t: Arithmetic(*t)),
+            max_leaves=8,
+        ).flatmap(
+            # Comparisons/AND only at the top (SQL does not nest comparisons).
+            lambda arith: st.one_of(
+                st.just(arith),
+                st.sampled_from(["=", "<", ">="]).map(
+                    lambda op: Comparison(op, arith, Literal(1))
+                ),
+                st.just(And((Comparison("=", arith, Literal(0)),) * 2)),
+            )
+        )
+    )
+    def test_expression_roundtrip(self, expr):
+        """Any generated expression renders to SQL that parses back equal."""
+        assert parse_expression(expr.to_sql()) == expr

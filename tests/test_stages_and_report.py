@@ -1,0 +1,89 @@
+"""Stage records, pipeline results, and benchmark reporting plumbing."""
+
+import io
+
+import pytest
+
+from repro.bench.common import format_table, make_bench_setup, seconds
+from repro.integration.stages import PipelineResult, StageTiming
+
+
+class TestStageTiming:
+    def test_counted_flag_controls_totals(self):
+        result = PipelineResult(approach="x")
+        result.stages.append(StageTiming("a", sim_seconds=10.0, wall_seconds=1.0))
+        result.stages.append(StageTiming("b", sim_seconds=5.0, wall_seconds=0.5))
+        result.stages.append(
+            StageTiming("train", sim_seconds=100.0, wall_seconds=9.0, counted=False)
+        )
+        assert result.total_sim_seconds == 15.0
+        assert result.total_wall_seconds == 1.5
+
+    def test_stage_lookup(self):
+        result = PipelineResult(approach="x")
+        result.stages.append(StageTiming("a", 1.0, 0.1))
+        assert result.stage("a").sim_seconds == 1.0
+        with pytest.raises(KeyError, match="have"):
+            result.stage("missing")
+
+    def test_breakdown_marks_excluded(self):
+        result = PipelineResult(approach="demo")
+        result.stages.append(StageTiming("a", 1.0, 0.1))
+        result.stages.append(StageTiming("train", 2.0, 0.2, counted=False))
+        text = result.breakdown()
+        assert "demo" in text
+        assert "[excluded from total]" in text
+
+    def test_defaults(self):
+        result = PipelineResult(approach="x")
+        assert result.attempts == 1
+        assert result.broker_topic is None
+        assert result.rewrite_kind is None
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        # columns align: 'bbb' and '2' start at the same offset
+        assert lines[0].index("bbb") == lines[2].index("2")
+
+    def test_non_string_cells(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+    def test_seconds_helper(self):
+        assert seconds(43.0) == "43.0 s"
+
+
+class TestBenchSetup:
+    def test_setup_is_wired_and_scaled(self):
+        setup = make_bench_setup(num_users=100, num_carts=1_000)
+        assert setup.pipeline is setup.deployment.pipeline
+        assert setup.pipeline.byte_scale == setup.workload.byte_scale
+        assert setup.workload.byte_scale > 1_000  # scaled to 56 GB
+        (count,) = setup.deployment.engine.query_rows("SELECT COUNT(*) FROM carts")
+        assert count == (1_000,)
+
+
+class TestAggregateReport:
+    def test_run_all_produces_every_section(self):
+        from repro.bench.report import run_all
+
+        out = io.StringIO()
+        run_all(fast=True, out=out)
+        text = out.getvalue()
+        for section in (
+            "Figure 3",
+            "Figure 4",
+            "In-text §7",
+            "Ablation A",
+            "Ablation B",
+            "Ablation C",
+            "Ablation D",
+        ):
+            assert section in text, f"missing section {section}"
+        assert "insql speedup over naive" in text

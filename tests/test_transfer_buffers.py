@@ -1,0 +1,168 @@
+"""Spillable buffers and stream channels: FIFO, backpressure, accounting."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cost import CostLedger
+from repro.common.errors import TransferError
+from repro.transfer.buffers import SpillableBuffer, decode_row, encode_row
+from repro.transfer.channel import ChannelId, StreamChannel
+
+
+class TestSpillableBuffer:
+    def test_fifo_within_memory(self):
+        buffer = SpillableBuffer(capacity_bytes=1000)
+        for i in range(5):
+            buffer.put(f"item{i}".encode())
+        buffer.close()
+        assert [b.decode() for b in buffer] == [f"item{i}" for i in range(5)]
+
+    def test_overflow_spills_instead_of_blocking(self):
+        buffer = SpillableBuffer(capacity_bytes=10)
+        for i in range(100):  # far beyond capacity; must never block
+            buffer.put(b"x" * 8)
+        assert buffer.spilled_bytes > 0
+        buffer.close()
+        assert sum(1 for _ in buffer) == 100
+
+    def test_fifo_preserved_across_spill_boundary(self):
+        buffer = SpillableBuffer(capacity_bytes=12)
+        items = [f"{i:04d}".encode() for i in range(50)]
+        for item in items:
+            buffer.put(item)
+        buffer.close()
+        assert list(buffer) == items
+
+    def test_interleaved_put_get_keeps_order(self):
+        buffer = SpillableBuffer(capacity_bytes=10)
+        out = []
+        for i in range(20):
+            buffer.put(f"{i:03d}".encode())
+            if i % 3 == 2:
+                out.append(buffer.get())
+        buffer.close()
+        out.extend(iter(buffer))
+        assert [b.decode() for b in out] == [f"{i:03d}" for i in range(20)]
+
+    def test_get_after_close_drains_then_none(self):
+        buffer = SpillableBuffer(capacity_bytes=100)
+        buffer.put(b"a")
+        buffer.close()
+        assert buffer.get() == b"a"
+        assert buffer.get() is None
+
+    def test_put_after_close_raises(self):
+        buffer = SpillableBuffer(capacity_bytes=100)
+        buffer.close()
+        with pytest.raises(TransferError):
+            buffer.put(b"x")
+
+    def test_get_timeout(self):
+        buffer = SpillableBuffer(capacity_bytes=100)
+        with pytest.raises(TransferError, match="timed out"):
+            buffer.get(timeout=0.05)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SpillableBuffer(capacity_bytes=0)
+
+    def test_file_backed_spill(self, tmp_path):
+        path = str(tmp_path / "spill.bin")
+        buffer = SpillableBuffer(capacity_bytes=8, spill_path=path)
+        items = [f"payload-{i}".encode() for i in range(30)]
+        for item in items:
+            buffer.put(item)
+        buffer.close()
+        assert list(buffer) == items
+        # The spill file is cleaned up once fully drained.
+        import os
+
+        assert not os.path.exists(path)
+
+    def test_spill_accounting_in_ledger(self):
+        ledger = CostLedger()
+        buffer = SpillableBuffer(capacity_bytes=4, ledger=ledger)
+        buffer.put(b"xxxx")
+        buffer.put(b"yyyy")  # spills
+        assert ledger.get("stream.spilled") == 4
+
+    def test_producer_consumer_threads(self):
+        buffer = SpillableBuffer(capacity_bytes=64)
+        items = [f"{i:05d}".encode() for i in range(2000)]
+        received = []
+
+        def producer():
+            for item in items:
+                buffer.put(item)
+            buffer.close()
+
+        def consumer():
+            received.extend(iter(buffer))
+
+        threads = [threading.Thread(target=producer), threading.Thread(target=consumer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert received == items
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        items=st.lists(st.binary(min_size=1, max_size=20), max_size=60),
+        capacity=st.integers(min_value=1, max_value=64),
+    )
+    def test_fifo_property_any_capacity(self, items, capacity):
+        buffer = SpillableBuffer(capacity_bytes=capacity)
+        for item in items:
+            buffer.put(item)
+        buffer.close()
+        assert list(buffer) == items
+
+
+class TestRowCodec:
+    @given(
+        row=st.tuples(
+            st.one_of(st.none(), st.integers(), st.floats(allow_nan=False), st.text(max_size=20)),
+            st.integers(),
+            st.one_of(st.none(), st.text(max_size=5)),
+        )
+    )
+    def test_roundtrip(self, row):
+        assert decode_row(encode_row(row)) == row
+
+
+class TestStreamChannel:
+    def test_send_receive(self):
+        channel = StreamChannel(ChannelId(0, 0), buffer_bytes=4096)
+        channel.send_row((1, "a", 2.5))
+        channel.send_row((2, "b", None))
+        channel.close()
+        assert list(channel) == [(1, "a", 2.5), (2, "b", None)]
+        assert channel.rows_sent == 2
+        assert channel.rows_received == 2
+        assert channel.bytes_sent == channel.bytes_received > 0
+
+    def test_ledger_accounting_remote(self):
+        ledger = CostLedger()
+        channel = StreamChannel(ChannelId(1, 3), buffer_bytes=4096, ledger=ledger, local=False)
+        channel.send_row((1, 2))
+        assert ledger.get("stream.sent") > 0
+        assert ledger.get("stream.net") == ledger.get("stream.sent")
+
+    def test_ledger_accounting_local_skips_network(self):
+        ledger = CostLedger()
+        channel = StreamChannel(ChannelId(1, 3), buffer_bytes=4096, ledger=ledger, local=True)
+        channel.send_row((1, 2))
+        assert ledger.get("stream.sent") > 0
+        assert ledger.get("stream.net") == 0
+
+    def test_tiny_buffer_spills_and_delivers(self):
+        channel = StreamChannel(ChannelId(0, 0), buffer_bytes=16)
+        rows = [(i, f"value{i}") for i in range(200)]
+        for row in rows:
+            channel.send_row(row)
+        channel.close()
+        assert channel.spilled_bytes > 0
+        assert list(channel) == rows

@@ -1,0 +1,147 @@
+"""End-to-end streaming transfer: SQL engine -> coordinator -> ML system."""
+
+import pytest
+
+from repro import make_deployment
+from repro.common.errors import TransferError
+from repro.sql.types import DataType, Schema
+
+
+@pytest.fixture()
+def wired(deployment):
+    """Deployment plus a simple numeric table ready to stream."""
+    engine = deployment.engine
+    rows = [(i, float(i % 7), float(i % 3), float(i % 2)) for i in range(500)]
+    engine.create_table(
+        "points",
+        Schema.of(
+            ("id", DataType.BIGINT),
+            ("f1", DataType.DOUBLE),
+            ("f2", DataType.DOUBLE),
+            ("label", DataType.DOUBLE),
+        ),
+        rows,
+    )
+    return deployment, rows
+
+
+class TestStreamEndToEnd:
+    def test_every_row_exactly_once(self, wired):
+        deployment, rows = wired
+        deployment.coordinator.create_session(
+            "e2e", command="noop", conf_props={"record.format": "raw"}
+        )
+        deployment.engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT f1, f2, label FROM points), 'e2e')) AS s"
+        )
+        result = deployment.coordinator.wait_result("e2e")
+        received = sorted(result.dataset.collect())
+        expected = sorted((f1, f2, label) for _id, f1, f2, label in rows)
+        assert received == expected
+
+    def test_transfer_summary_rows(self, wired):
+        deployment, rows = wired
+        deployment.coordinator.create_session(
+            "sum", command="noop", conf_props={"record.format": "raw"}
+        )
+        summary = deployment.engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT id FROM points), 'sum')) AS s"
+        )
+        deployment.coordinator.wait_result("sum")
+        assert len(summary) == deployment.engine.num_workers
+        assert sum(r[1] for r in summary) == len(rows)  # rows_sent
+        assert all(r[2] > 0 for r in summary)  # bytes_sent
+
+    def test_inline_command_in_udf_args(self, wired):
+        """The self-contained form: command+args inside the UDF invocation."""
+        deployment, _rows = wired
+        deployment.coordinator.create_session(
+            "inline", conf_props={"record.format": "labeled_csv", "label.index": -1}
+        )
+        deployment.engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT f1, f2, label FROM points), "
+            "'inline', 'logistic_regression', 'iterations=5,step=0.5')) AS s"
+        )
+        result = deployment.coordinator.wait_result("inline")
+        assert result.command == "logistic_regression"
+        assert result.model is not None
+
+    def test_trains_svm_over_stream(self, wired):
+        deployment, _rows = wired
+        deployment.coordinator.create_session(
+            "svm",
+            command="svm_with_sgd",
+            args={"iterations": 5},
+            conf_props={"record.format": "labeled_csv", "label.index": -1},
+        )
+        deployment.engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT f1, f2, label FROM points), 'svm')) AS s"
+        )
+        result = deployment.coordinator.wait_result("svm")
+        assert result.model.weights.shape == (2,)
+        assert result.dataset.count() == 500
+
+    def test_partition_count_matches_m(self, wired):
+        deployment, _rows = wired
+        deployment.coordinator.default_k = 2
+        deployment.coordinator.create_session(
+            "k2", command="noop", conf_props={"record.format": "raw"}
+        )
+        deployment.engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT id FROM points), 'k2')) AS s"
+        )
+        result = deployment.coordinator.wait_result("k2")
+        assert result.ingest_stats.num_splits == deployment.engine.num_workers * 2
+        assert result.dataset.num_partitions == 8
+
+    def test_empty_result_stream(self, wired):
+        deployment, _rows = wired
+        deployment.coordinator.create_session(
+            "empty", command="noop", conf_props={"record.format": "raw"}
+        )
+        deployment.engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT id FROM points WHERE id < 0), 'empty')) AS s"
+        )
+        result = deployment.coordinator.wait_result("empty")
+        assert result.dataset.count() == 0
+
+    def test_unknown_command_fails_cleanly(self, wired):
+        """A bad ML command must surface promptly on the SQL side too (the
+        coordinator unblocks waiting SQL workers instead of timing out)."""
+        deployment, _rows = wired
+        deployment.coordinator.create_session(
+            "bad", command="not_an_algorithm", conf_props={"record.format": "raw"}
+        )
+        with pytest.raises(TransferError, match="not_an_algorithm"):
+            deployment.engine.query_rows(
+                "SELECT * FROM TABLE(stream_transfer((SELECT id FROM points), 'bad')) AS s"
+            )
+        with pytest.raises(TransferError, match="not_an_algorithm"):
+            deployment.coordinator.wait_result("bad")
+
+    def test_locality_all_local_when_colocated(self, wired):
+        deployment, _rows = wired
+        deployment.coordinator.create_session(
+            "loc", command="noop", conf_props={"record.format": "raw"}
+        )
+        deployment.engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT id FROM points), 'loc')) AS s"
+        )
+        result = deployment.coordinator.wait_result("loc")
+        assert result.ingest_stats.local_splits == result.ingest_stats.num_splits
+
+    def test_stream_bytes_accounted(self, wired):
+        deployment, _rows = wired
+        ledger = deployment.cluster.ledger
+        before = ledger.snapshot()
+        deployment.coordinator.create_session(
+            "acct", command="noop", conf_props={"record.format": "raw"}
+        )
+        deployment.engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT id FROM points), 'acct')) AS s"
+        )
+        result = deployment.coordinator.wait_result("acct")
+        delta = ledger.delta(before, ledger.snapshot())
+        assert delta["stream.sent"] > 0
+        assert delta["ml.ingest"] == delta["stream.sent"]
+        assert result.ingest_stats.bytes == delta["stream.sent"]

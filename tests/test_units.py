@@ -1,0 +1,76 @@
+"""Byte-size and duration helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import format_bytes, format_duration, parse_bytes
+
+
+class TestParseBytes:
+    def test_plain_int(self):
+        assert parse_bytes(4096) == 4096
+
+    def test_plain_float(self):
+        assert parse_bytes(10.9) == 10
+
+    def test_numeric_string(self):
+        assert parse_bytes("1234") == 1234
+
+    def test_decimal_units(self):
+        assert parse_bytes("4KB") == 4_000
+        assert parse_bytes("56GB") == 56_000_000_000
+        assert parse_bytes("1.5MB") == 1_500_000
+        assert parse_bytes("2TB") == 2_000_000_000_000
+
+    def test_binary_units(self):
+        assert parse_bytes("1KiB") == 1024
+        assert parse_bytes("1MiB") == 1024**2
+        assert parse_bytes("2GiB") == 2 * 1024**3
+
+    def test_bare_letter_unit(self):
+        assert parse_bytes("4K") == 4000
+        assert parse_bytes("3M") == 3_000_000
+
+    def test_whitespace_and_case(self):
+        assert parse_bytes("  56 gb ") == 56_000_000_000
+
+    def test_bad_input_raises(self):
+        with pytest.raises(ValueError):
+            parse_bytes("lots")
+        with pytest.raises(ValueError):
+            parse_bytes("12XB")
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_roundtrip_through_format_is_close(self, n):
+        text = format_bytes(n)
+        # format rounds to one decimal; parsing it back stays within 5%.
+        parsed = parse_bytes(text)
+        assert abs(parsed - n) <= max(0.05 * n, 1)
+
+
+class TestFormatBytes:
+    def test_small(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kb(self):
+        assert format_bytes(4_000) == "4.0 KB"
+
+    def test_gb(self):
+        assert format_bytes(5.6e9) == "5.6 GB"
+
+    def test_tb_cap(self):
+        assert format_bytes(2.3e13) == "23.0 TB"
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(43.0) == "43.0 s"
+
+    def test_minutes(self):
+        assert format_duration(300) == "5m 00s"
+
+    def test_hours(self):
+        assert format_duration(7320) == "2h 02m"
+
+    def test_negative(self):
+        assert format_duration(-5) == "-5.0 s"

@@ -1,0 +1,119 @@
+"""Retail workload generator: schemas, determinism, scale accounting."""
+
+import pytest
+
+from repro import make_deployment
+from repro.workloads import generate_retail
+from repro.workloads.retail import (
+    CARTS_SCHEMA,
+    PAPER_CARTS_BYTES,
+    PREP_SQL,
+    RECODE_REUSE_SQL,
+    SUBSET_SQL,
+    USERS_SCHEMA,
+)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    deployment = make_deployment(block_size=64 * 1024)
+    workload = generate_retail(
+        deployment.engine, deployment.dfs, num_users=200, num_carts=2_000, seed=3
+    )
+    return deployment, workload
+
+
+class TestGeneration:
+    def test_tables_registered_and_sized(self, generated):
+        deployment, wl = generated
+        (users_count,) = deployment.engine.query_rows("SELECT COUNT(*) FROM users")
+        (carts_count,) = deployment.engine.query_rows("SELECT COUNT(*) FROM carts")
+        assert users_count == (200,)
+        assert carts_count == (2000,)
+
+    def test_stored_as_text_on_dfs(self, generated):
+        deployment, wl = generated
+        assert deployment.dfs.is_dir(wl.users_path)
+        assert deployment.dfs.total_size(wl.carts_path) == wl.carts_bytes
+        # one part file per worker node, like an MPP load
+        assert len(deployment.dfs.list_files(wl.carts_path)) == 4
+
+    def test_carts_row_width_near_paper(self, generated):
+        """The paper's carts table is 56 GB / 1B rows = 56 B/row; ours must
+        land close so the transformed/input size ratio is faithful."""
+        _d, wl = generated
+        width = wl.carts_bytes / wl.num_carts
+        assert 48 <= width <= 66
+
+    def test_byte_scale_maps_to_paper(self, generated):
+        _d, wl = generated
+        assert wl.byte_scale == pytest.approx(PAPER_CARTS_BYTES / wl.carts_bytes)
+
+    def test_referential_integrity(self, generated):
+        deployment, _wl = generated
+        (orphans,) = deployment.engine.query_rows(
+            "SELECT COUNT(*) FROM carts C LEFT JOIN users U ON C.userid = U.userid "
+            "WHERE U.userid IS NULL"
+        )
+        assert orphans == (0,)
+
+    def test_label_both_classes_present(self, generated):
+        deployment, _wl = generated
+        rows = deployment.engine.query_rows(
+            "SELECT abandoned, COUNT(*) FROM carts GROUP BY abandoned"
+        )
+        assert {r[0] for r in rows} == {"Yes", "No"}
+        counts = {r[0]: r[1] for r in rows}
+        assert min(counts.values()) > 0.15 * 2000  # not degenerate
+
+    def test_label_correlates_with_gender(self, generated):
+        """The generator plants signal: females abandon more often."""
+        deployment, _wl = generated
+        rows = deployment.engine.query_rows(
+            "SELECT U.gender, AVG(CASE WHEN C.abandoned = 'Yes' THEN 1.0 ELSE 0.0 END) "
+            "FROM carts C, users U WHERE C.userid = U.userid GROUP BY U.gender"
+        )
+        rates = {g: r for g, r in rows}
+        assert rates["F"] > rates["M"] + 0.1
+
+    def test_deterministic_under_seed(self):
+        d1 = make_deployment(block_size=64 * 1024)
+        d2 = make_deployment(block_size=64 * 1024)
+        w1 = generate_retail(d1.engine, d1.dfs, num_users=50, num_carts=500, seed=9)
+        w2 = generate_retail(d2.engine, d2.dfs, num_users=50, num_carts=500, seed=9)
+        assert d1.dfs.read_text(w1.carts_path + "/part-00000") == d2.dfs.read_text(
+            w2.carts_path + "/part-00000"
+        )
+
+    def test_different_seeds_differ(self):
+        d1 = make_deployment(block_size=64 * 1024)
+        d2 = make_deployment(block_size=64 * 1024)
+        w1 = generate_retail(d1.engine, d1.dfs, num_users=50, num_carts=500, seed=1)
+        w2 = generate_retail(d2.engine, d2.dfs, num_users=50, num_carts=500, seed=2)
+        assert d1.dfs.read_text(w1.carts_path + "/part-00000") != d2.dfs.read_text(
+            w2.carts_path + "/part-00000"
+        )
+
+
+class TestCannedQueries:
+    def test_prep_query_runs(self, generated):
+        deployment, wl = generated
+        rows = deployment.engine.query_rows(wl.prep_sql)
+        assert len(rows) > 0
+        assert len(rows[0]) == 4
+
+    def test_subset_query_runs(self, generated):
+        deployment, _wl = generated
+        rows = deployment.engine.query_rows(SUBSET_SQL)
+        assert all(len(r) == 3 for r in rows)
+
+    def test_recode_reuse_query_runs(self, generated):
+        deployment, _wl = generated
+        rows = deployment.engine.query_rows(RECODE_REUSE_SQL)
+        assert all(len(r) == 5 for r in rows)
+
+    def test_schema_constants(self):
+        assert USERS_SCHEMA.names == ["userid", "age", "gender", "country"]
+        assert "abandoned" in CARTS_SCHEMA.names
+        assert "year" in CARTS_SCHEMA.names
+        assert "USA" in PREP_SQL

@@ -1,0 +1,164 @@
+"""ZooKeeperLite and coordinator-state resilience (§6)."""
+
+import pytest
+
+from repro import make_deployment
+from repro.sql.types import DataType, Schema
+from repro.transfer.zk import CoordinatorStateStore, ZkError, ZooKeeperLite
+
+
+class TestZnodes:
+    def test_create_get_set(self):
+        zk = ZooKeeperLite()
+        zk.create("/a", b"one")
+        assert zk.get("/a") == (b"one", 0)
+        assert zk.set("/a", b"two") == 1
+        assert zk.get("/a") == (b"two", 1)
+
+    def test_compare_and_set(self):
+        zk = ZooKeeperLite()
+        zk.create("/a", b"x")
+        zk.set("/a", b"y", expected_version=0)
+        with pytest.raises(ZkError, match="version conflict"):
+            zk.set("/a", b"z", expected_version=0)
+
+    def test_parent_must_exist(self):
+        zk = ZooKeeperLite()
+        with pytest.raises(ZkError, match="parent"):
+            zk.create("/a/b")
+
+    def test_duplicate_create_rejected(self):
+        zk = ZooKeeperLite()
+        zk.create("/a")
+        with pytest.raises(ZkError, match="exists"):
+            zk.create("/a")
+
+    def test_ensure_path(self):
+        zk = ZooKeeperLite()
+        zk.ensure_path("/x/y/z")
+        assert zk.exists("/x") and zk.exists("/x/y") and zk.exists("/x/y/z")
+        zk.ensure_path("/x/y/z")  # idempotent
+
+    def test_children(self):
+        zk = ZooKeeperLite()
+        zk.ensure_path("/app/b")
+        zk.ensure_path("/app/a")
+        zk.create("/app/a/leaf")
+        assert zk.children("/app") == ["a", "b"]
+        assert zk.children("/") == ["app"]
+
+    def test_delete_leaf_only(self):
+        zk = ZooKeeperLite()
+        zk.ensure_path("/a/b")
+        with pytest.raises(ZkError, match="children"):
+            zk.delete("/a")
+        zk.delete("/a/b")
+        zk.delete("/a")
+        assert not zk.exists("/a")
+
+    def test_bad_paths(self):
+        zk = ZooKeeperLite()
+        with pytest.raises(ZkError):
+            zk.create("relative")
+        with pytest.raises(ZkError):
+            zk.create("/trailing/")
+
+
+class TestEphemerals:
+    def test_ephemeral_dies_with_session(self):
+        zk = ZooKeeperLite()
+        zk.start_session("worker-1")
+        zk.create("/alive", b"", ephemeral_owner="worker-1")
+        assert zk.exists("/alive")
+        removed = zk.close_session("worker-1")
+        assert removed == ["/alive"]
+        assert not zk.exists("/alive")
+
+    def test_ephemeral_needs_session(self):
+        zk = ZooKeeperLite()
+        with pytest.raises(ZkError, match="session"):
+            zk.create("/x", ephemeral_owner="ghost")
+
+    def test_duplicate_session_rejected(self):
+        zk = ZooKeeperLite()
+        zk.start_session("s")
+        with pytest.raises(ZkError):
+            zk.start_session("s")
+
+
+class TestWatches:
+    def test_one_shot_change_watch(self):
+        zk = ZooKeeperLite()
+        zk.create("/w", b"")
+        events = []
+        zk.watch("/w", lambda path, event: events.append((path, event)))
+        zk.set("/w", b"1")
+        zk.set("/w", b"2")  # watch already fired and disarmed
+        assert events == [("/w", "changed")]
+
+    def test_creation_watch(self):
+        zk = ZooKeeperLite()
+        events = []
+        zk.watch("/later", lambda p, e: events.append(e))
+        zk.create("/later")
+        assert events == ["created"]
+
+    def test_deletion_watch_via_session_close(self):
+        zk = ZooKeeperLite()
+        zk.start_session("s")
+        zk.create("/eph", ephemeral_owner="s")
+        events = []
+        zk.watch("/eph", lambda p, e: events.append(e))
+        zk.close_session("s")
+        assert events == ["deleted"]
+
+
+class TestCoordinatorResilience:
+    def test_session_metadata_mirrored_and_recoverable(self):
+        """§6: with the state store attached, a replacement coordinator can
+        see exactly which sessions were in flight, their ML command, and
+        which SQL workers had registered when the original died."""
+        zk = ZooKeeperLite()
+        store = CoordinatorStateStore(zk)
+        deployment = make_deployment(block_size=64 * 1024)
+        coordinator = deployment.coordinator
+        coordinator.state_store = store
+
+        engine = deployment.engine
+        engine.create_table(
+            "pts", Schema.of(("x", DataType.DOUBLE)), [(float(i),) for i in range(40)]
+        )
+        coordinator.create_session(
+            "resilient", command="noop", conf_props={"record.format": "raw"}
+        )
+        engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT x FROM pts), 'resilient')) AS s"
+        )
+        coordinator.wait_result("resilient")
+
+        # The original coordinator "dies"; a fresh observer reads the store.
+        recovered = CoordinatorStateStore(zk)
+        assert "resilient" in recovered.sessions()
+        view = recovered.session_view("resilient")
+        assert view["command"] == "noop"
+        assert view["status"] == "completed"
+        assert sorted(view["workers"]) == [0, 1, 2, 3]
+        assert all(w["total"] == 4 for w in view["workers"].values())
+
+    def test_failed_session_status_recorded(self):
+        zk = ZooKeeperLite()
+        store = CoordinatorStateStore(zk)
+        deployment = make_deployment(block_size=64 * 1024)
+        coordinator = deployment.coordinator
+        coordinator.state_store = store
+        engine = deployment.engine
+        engine.create_table("t", Schema.of(("x", DataType.INT)), [(1,)])
+        coordinator.create_session(
+            "doomed", command="not_a_command", conf_props={"record.format": "raw"}
+        )
+        with pytest.raises(Exception):
+            engine.query_rows(
+                "SELECT * FROM TABLE(stream_transfer((SELECT x FROM t), 'doomed')) AS s"
+            )
+        view = store.session_view("doomed")
+        assert view["status"] == "failed"
