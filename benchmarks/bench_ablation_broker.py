@@ -38,5 +38,13 @@ def test_broker_ablation(benchmark, small_bench_setup):
     assert by_variant["broker (no cache)"].broker_bytes > 0
     assert by_variant["stream (no cache)"].broker_bytes == 0
 
+    # The replay consumes exactly the logical bytes the cached-broker run
+    # produced: ledger accounting is invariant under RowBlock framing, so
+    # broker.out of the re-read equals broker.in of the produce.
+    assert (
+        by_variant["replay retained topic"].broker_bytes
+        == by_variant["broker (full cache)"].broker_bytes
+    )
+
     print()
     print(report(rows))

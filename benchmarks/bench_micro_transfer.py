@@ -1,0 +1,22 @@
+"""Raw stream-channel throughput: per-row framing vs RowBlock framing.
+
+The acceptance bar for the row-block refactor: moving the same rows in
+256-row blocks must at least halve wall clock against the per-row seed
+path on a single channel.
+"""
+
+from repro.bench.micro_transfer import report, run_transfer_microbench
+
+
+def test_row_block_speedup(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_transfer_microbench(num_rows=100_000, batch_sizes=(1, 256)),
+        rounds=1,
+        iterations=1,
+    )
+    per_row, blocked = results
+    assert per_row.rows == blocked.rows == 100_000
+    speedup = per_row.wall_seconds / blocked.wall_seconds
+    assert speedup >= 2.0, f"row-block speedup only {speedup:.2f}x"
+    print()
+    print(report(results))

@@ -10,7 +10,6 @@ cached view without re-running the query or the recoding passes.
 Run:  python examples/cart_abandonment.py
 """
 
-import numpy as np
 
 from repro import make_deployment
 from repro.ml.validation import evaluate_classifier, train_test_split

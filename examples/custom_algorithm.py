@@ -19,7 +19,6 @@ from repro import make_deployment
 from repro.ml.dataset import Dataset
 from repro.ml import metrics
 from repro.workloads import generate_retail
-from repro.workloads.retail import RECODE_REUSE_SQL
 
 
 class AveragedPerceptronModel:

@@ -81,6 +81,7 @@ def make_deployment(
     byte_scale: float = 1.0,
     cost_model: CostModel | None = None,
     buffer_bytes: int = 4096,
+    batch_rows: int = 256,
     workers_per_node: int = 6,
     transport: str = "memory",
 ) -> Deployment:
@@ -94,12 +95,22 @@ def make_deployment(
     ``transport`` selects the stream channel implementation: ``"memory"``
     (thread-safe spillable buffers, the default) or ``"socket"`` (real
     kernel socket pairs with non-blocking senders — §3's literal TCP step).
+
+    ``batch_rows`` sets the RowBlock size of the transfer stack — how many
+    rows travel per frame/lock acquisition on every stream channel and
+    broker record.  ``batch_rows=1`` reproduces the seed's per-row wire
+    format exactly.
     """
     cluster = make_paper_cluster(num_workers)
     dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
     engine = BigSQL(cluster, dfs)
     ml = MLSystem(cluster, workers_per_node=workers_per_node)
-    coordinator = Coordinator(cluster, buffer_bytes=buffer_bytes, transport=transport)
+    coordinator = Coordinator(
+        cluster,
+        buffer_bytes=buffer_bytes,
+        batch_rows=batch_rows,
+        transport=transport,
+    )
     pipeline = AnalyticsPipeline(
         cluster=cluster,
         dfs=dfs,

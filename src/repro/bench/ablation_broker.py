@@ -95,22 +95,27 @@ def run_broker_ablation(setup: BenchSetup | None = None) -> list[BrokerRow]:
     from repro.iofmt.inputformat import JobConf
 
     topic = cached_broker.broker_topic
-    info = setup.deployment.broker.topic_info(topic)
     conf = JobConf(
         {"broker.topic": topic, "broker.group": "replay", "record.format": "raw"},
         broker=setup.deployment.broker,
     )
+    # Charge the replay at the bytes its fetches put on the ledger (logical,
+    # per-row framing size) rather than the topic's stored size: RowBlock
+    # records store fewer wire bytes than they account for, and simulated
+    # time must stay invariant under re-batching.
+    before_out = ledger.get("broker.out")
     replay = setup.deployment.ml.run_job("noop", {}, BrokerInputFormat(), conf)
+    replayed_bytes = ledger.get("broker.out") - before_out
     cost = setup.pipeline.cost
     replay_sim = cost.ml_stream_ingest_time(
-        info.total_bytes * setup.pipeline.byte_scale
+        replayed_bytes * setup.pipeline.byte_scale
     ) + cost.broker_overhead_s
     rows.append(
         BrokerRow(
             "replay retained topic",
             replay_sim,
             replay.dataset.count(),
-            info.total_bytes,
+            replayed_bytes,
         )
     )
     return rows

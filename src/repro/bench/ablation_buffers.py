@@ -55,6 +55,78 @@ def run_buffer_ablation(
     return rows
 
 
+@dataclass
+class BatchRow:
+    batch_rows: int
+    wall_seconds: float
+    rows_per_second: float
+    spilled_bytes: int
+    streamed_bytes: int
+    rows: int
+
+
+def run_batch_rows_ablation(
+    batch_sizes: tuple[int, ...] = (1, 16, 256, 4096),
+    num_users: int = 600,
+    num_carts: int = 6_000,
+) -> list[BatchRow]:
+    """Sweep the RowBlock size of the transfer stack.
+
+    ``batch_rows=1`` is the seed's per-row wire format; larger blocks move
+    the same rows with fewer lock acquisitions and pickle calls."""
+    out = []
+    for batch in batch_sizes:
+        deployment = make_deployment(
+            block_size=256 * 1024, buffer_bytes=64 * 1024, batch_rows=batch
+        )
+        workload = generate_retail(
+            deployment.engine, deployment.dfs, num_users=num_users, num_carts=num_carts
+        )
+        deployment.pipeline.byte_scale = workload.byte_scale
+        ledger = deployment.cluster.ledger
+        before_spill = ledger.get("stream.spilled")
+        before_sent = ledger.get("stream.sent")
+        result = deployment.pipeline.run_insql_stream(
+            workload.prep_sql, workload.spec, "noop"
+        )
+        stage = result.stage("prep+trsfm+input")
+        nrows = result.ml_result.dataset.count()
+        wall = stage.wall_seconds
+        out.append(
+            BatchRow(
+                batch_rows=batch,
+                wall_seconds=wall,
+                rows_per_second=nrows / wall if wall > 0 else float("inf"),
+                spilled_bytes=ledger.get("stream.spilled") - before_spill,
+                streamed_bytes=ledger.get("stream.sent") - before_sent,
+                rows=nrows,
+            )
+        )
+    return out
+
+
+def report_batch_rows(rows: list[BatchRow]) -> str:
+    table = [
+        [
+            f"{r.batch_rows}",
+            f"{r.streamed_bytes}",
+            f"{r.spilled_bytes}",
+            f"{r.wall_seconds * 1000:.0f} ms",
+            f"{r.rows_per_second:,.0f}",
+        ]
+        for r in rows
+    ]
+    return "\n".join(
+        [
+            "Ablation A2 — RowBlock size (batch_rows=1 is the per-row seed path)",
+            format_table(
+                ["batch_rows", "streamed bytes", "spilled bytes", "wall", "rows/sec"],
+                table,
+            ),
+        ]
+    )
+
+
 def report(rows: list[BufferRow]) -> str:
     table = [
         [
@@ -78,6 +150,8 @@ def report(rows: list[BufferRow]) -> str:
 
 def main() -> None:  # pragma: no cover - CLI entry
     print(report(run_buffer_ablation()))
+    print()
+    print(report_batch_rows(run_batch_rows_ablation()))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -5,6 +5,7 @@ from dataclasses import dataclass
 
 from repro.cluster.cost import CostLedger
 from repro.common.errors import TransferError
+from repro.transfer.buffers import block_logical_bytes
 
 
 @dataclass(frozen=True)
@@ -32,13 +33,15 @@ class _PartitionLog:
         self.lock = threading.Lock()
         self.readable = threading.Condition(self.lock)
         self.bytes = 0
+        self.rows = 0  # logical rows carried; >= len(records) with RowBlocks
 
-    def append(self, payload: bytes) -> int:
+    def append(self, payload: bytes, rows: int = 1) -> int:
         with self.lock:
             if self.sealed:
                 raise TransferError("append to a sealed partition")
             self.records.append(payload)
             self.bytes += len(payload)
+            self.rows += rows
             offset = len(self.records) - 1
             self.readable.notify_all()
             return offset
@@ -118,7 +121,7 @@ class MessageBroker:
             name=name,
             num_partitions=len(logs),
             sealed=all(log.sealed for log in logs),
-            total_records=sum(len(log.records) for log in logs),
+            total_records=sum(log.rows for log in logs),
             total_bytes=sum(log.bytes for log in logs),
         )
 
@@ -145,11 +148,16 @@ class MessageBroker:
 
     # ------------------------------------------------------------- data path
 
-    def append(self, topic: str, partition: int, payload: bytes) -> int:
-        """Produce one record; returns its offset."""
-        offset = self._log(topic, partition).append(payload)
+    def append(self, topic: str, partition: int, payload: bytes, rows: int = 1) -> int:
+        """Produce one record (carrying ``rows`` logical rows); returns its
+        offset.  Offsets address records — a RowBlock record occupies one
+        offset no matter how many rows it carries — while ``topic_info``'s
+        ``total_records`` counts the logical rows."""
+        offset = self._log(topic, partition).append(payload, rows=rows)
         if self._ledger is not None:
-            self._ledger.add("broker.in", len(payload))
+            # Charged at the record's logical (per-row framing) size so the
+            # simulated cost is invariant under RowBlock re-batching.
+            self._ledger.add("broker.in", block_logical_bytes(payload))
         return offset
 
     def seal_partition(self, topic: str, partition: int) -> None:
@@ -169,7 +177,7 @@ class MessageBroker:
             offset, max_records, timeout
         )
         if self._ledger is not None and chunk:
-            self._ledger.add("broker.out", sum(len(c) for c in chunk))
+            self._ledger.add("broker.out", sum(block_logical_bytes(c) for c in chunk))
         return chunk, next_offset, at_end
 
     # --------------------------------------------------------------- offsets

@@ -1,7 +1,7 @@
 """Consumer client: offset-tracked, at-least-once reads of one partition."""
 
 from repro.broker.broker import MessageBroker
-from repro.transfer.buffers import decode_row
+from repro.transfer.buffers import block_logical_bytes, decode_block
 
 
 class BrokerConsumer:
@@ -38,7 +38,11 @@ class BrokerConsumer:
         return self._position
 
     def poll(self) -> tuple[list[tuple], bool]:
-        """Fetch the next batch; returns (rows, end_of_partition)."""
+        """Fetch the next batch; returns (rows, end_of_partition).
+
+        Each fetched record may be a RowBlock (one record, many rows) or a
+        seed-style single-row record; both decode transparently.
+        """
         chunk, next_offset, at_end = self._broker.fetch(
             self._topic,
             self._partition,
@@ -47,9 +51,12 @@ class BrokerConsumer:
             timeout=self._timeout_s,
         )
         self._position = next_offset
-        self.rows_received += len(chunk)
-        self.bytes_received += sum(len(c) for c in chunk)
-        return [decode_row(c) for c in chunk], at_end
+        self.bytes_received += sum(block_logical_bytes(c) for c in chunk)
+        rows: list[tuple] = []
+        for payload in chunk:
+            rows.extend(decode_block(payload))
+        self.rows_received += len(rows)
+        return rows, at_end
 
     def commit(self) -> None:
         """Persist progress up to the current position."""

@@ -1,8 +1,10 @@
 """Producer client: row serialization and partition routing."""
 
+from collections.abc import Sequence
+
 from repro.broker.broker import MessageBroker
 from repro.common.errors import TransferError
-from repro.transfer.buffers import encode_row
+from repro.transfer.buffers import block_logical_bytes, encode_block, encode_row
 
 
 class BrokerProducer:
@@ -12,6 +14,13 @@ class BrokerProducer:
     the broker transfer assigns each SQL worker its own partition group, the
     same n-groups-of-k layout the §3 coordinator uses, so per-partition
     ordering reflects one worker's output order.
+
+    ``batch_rows > 1`` turns on RowBlock framing: rows accumulate per
+    partition and are appended as one block record per ``batch_rows`` rows
+    (partial batches flushed by :meth:`flush`/:meth:`close`).  Routing is
+    decided per row exactly as in the per-row path, so each partition
+    carries the same row sequence at any batch size.  ``batch_rows=1``
+    (the default) appends one record per row — the seed wire format.
     """
 
     def __init__(
@@ -19,6 +28,7 @@ class BrokerProducer:
         broker: MessageBroker,
         topic: str,
         partitions: list[int] | None = None,
+        batch_rows: int = 1,
     ):
         self._broker = broker
         self._topic = topic
@@ -29,28 +39,65 @@ class BrokerProducer:
         for p in self._partitions:
             if not 0 <= p < info.num_partitions:
                 raise TransferError(f"partition {p} outside topic {topic!r}")
+        if batch_rows < 1:
+            raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
+        self._batch_rows = batch_rows
+        self._pending: dict[int, list[tuple]] = {p: [] for p in self._partitions}
         self._cursor = 0
         self.rows_sent = 0
         self.bytes_sent = 0
 
-    def send_row(self, row: tuple, key=None) -> int:
-        """Produce one row; returns its offset.
+    def _route(self, key) -> int:
+        if key is not None:
+            return self._partitions[hash(key) % len(self._partitions)]
+        partition = self._partitions[self._cursor % len(self._partitions)]
+        self._cursor += 1
+        return partition
+
+    def send_row(self, row: tuple, key=None) -> int | None:
+        """Produce one row; returns its record offset, or None when the row
+        was buffered into a not-yet-flushed RowBlock.
 
         With ``key`` given, the partition is chosen by hash (per-key order);
         otherwise round-robin across this producer's partitions.
         """
-        if key is not None:
-            partition = self._partitions[hash(key) % len(self._partitions)]
-        else:
-            partition = self._partitions[self._cursor % len(self._partitions)]
-            self._cursor += 1
-        payload = encode_row(row)
-        offset = self._broker.append(self._topic, partition, payload)
+        partition = self._route(key)
+        if self._batch_rows <= 1:
+            payload = encode_row(row)
+            offset = self._broker.append(self._topic, partition, payload)
+            self.rows_sent += 1
+            self.bytes_sent += len(payload)
+            return offset
+        batch = self._pending[partition]
+        batch.append(row)
         self.rows_sent += 1
-        self.bytes_sent += len(payload)
+        if len(batch) >= self._batch_rows:
+            return self._flush_partition(partition)
+        return None
+
+    def send_many(self, rows: Sequence[tuple]) -> None:
+        """Produce a batch of rows (round-robin routed per row)."""
+        for row in rows:
+            self.send_row(row)
+
+    def _flush_partition(self, partition: int) -> int | None:
+        batch = self._pending[partition]
+        if not batch:
+            return None
+        payload = encode_block(batch)
+        offset = self._broker.append(self._topic, partition, payload, rows=len(batch))
+        self.bytes_sent += block_logical_bytes(payload)
+        batch.clear()
         return offset
 
+    def flush(self) -> None:
+        """Append any partially filled RowBlocks (EOF flush)."""
+        for partition in self._partitions:
+            self._flush_partition(partition)
+
     def close(self) -> None:
-        """Seal this producer's partitions (end-of-stream markers)."""
+        """Flush pending blocks, then seal this producer's partitions
+        (end-of-stream markers)."""
+        self.flush()
         for partition in self._partitions:
             self._broker.seal_partition(self._topic, partition)

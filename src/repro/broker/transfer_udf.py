@@ -1,10 +1,13 @@
 """SQL-side sender for the broker transfer path.
 
-``TABLE(broker_transfer(input, 'topic'))`` — each SQL worker produces its
-partition's rows into its own group of topic partitions (the same
-n-groups-of-k layout as the §3 coordinator's matchmaking), then seals them.
-No coordinator is involved: the broker decouples the two systems in time,
-so the ML job may start before, during, or after the SQL side runs.
+``TABLE(broker_transfer(input, 'topic' [, batch_rows]))`` — each SQL worker
+produces its partition's rows into its own group of topic partitions (the
+same n-groups-of-k layout as the §3 coordinator's matchmaking), then seals
+them.  No coordinator is involved: the broker decouples the two systems in
+time, so the ML job may start before, during, or after the SQL side runs.
+
+``batch_rows`` (default 256) selects RowBlock framing: that many rows per
+broker record; 1 reproduces the seed's one-record-per-row wire format.
 
 The topic must exist with n*k partitions (the pipeline creates it); k is
 derived from the partition count.
@@ -27,13 +30,17 @@ def partition_group(total_partitions: int, num_workers: int, worker_id: int) -> 
     return list(range(start, start + size))
 
 
+DEFAULT_BATCH_ROWS = 256
+
+
 class BrokerTransferUDF(TableUDF):
-    """``TABLE(broker_transfer(input, topic))`` — produce rows to the broker."""
+    """``TABLE(broker_transfer(input, topic [, batch_rows]))`` — produce rows
+    to the broker as RowBlocks."""
 
     name = "broker_transfer"
 
     def output_schema(self, input_schema: Schema, args: tuple) -> Schema:
-        self._topic(args)
+        self._parse_args(args)
         return Schema.of(
             ("worker_id", DataType.INT),
             ("rows_sent", DataType.BIGINT),
@@ -43,7 +50,7 @@ class BrokerTransferUDF(TableUDF):
     def process_partition(
         self, rows: Iterable[tuple], input_schema: Schema, args: tuple, ctx: UdfContext
     ) -> Iterable[tuple]:
-        topic = self._topic(args)
+        topic, batch_rows = self._parse_args(args)
         broker: MessageBroker = ctx.service("broker")
         info = broker.topic_info(topic)
         if info.num_partitions < ctx.num_workers:
@@ -52,7 +59,9 @@ class BrokerTransferUDF(TableUDF):
                 f"{ctx.num_workers} SQL workers; need at least one each"
             )
         group = partition_group(info.num_partitions, ctx.num_workers, ctx.worker_id)
-        producer = BrokerProducer(broker, topic, partitions=group)
+        producer = BrokerProducer(
+            broker, topic, partitions=group, batch_rows=batch_rows
+        )
         try:
             for row in rows:
                 producer.send_row(row)
@@ -61,7 +70,13 @@ class BrokerTransferUDF(TableUDF):
         yield (ctx.worker_id, producer.rows_sent, producer.bytes_sent)
 
     @staticmethod
-    def _topic(args: tuple) -> str:
+    def _parse_args(args: tuple) -> tuple[str, int]:
         if not args:
             raise TransferError("broker_transfer needs a topic name")
-        return str(args[0])
+        topic = str(args[0])
+        batch_rows = DEFAULT_BATCH_ROWS
+        if len(args) > 1 and args[1] is not None:
+            batch_rows = int(args[1])
+            if batch_rows < 1:
+                raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
+        return topic, batch_rows

@@ -28,7 +28,7 @@ assertions in ``benchmarks/`` check the reproduced ratios against the paper's.
 """
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -328,7 +328,7 @@ class AnalyticsPipeline:
         t0 = time.perf_counter()
         self.engine.execute(
             f"SELECT * FROM TABLE(broker_transfer(({plan.inner_sql}), "
-            f"'{topic}')) AS __broker"
+            f"'{topic}', {self.coordinator.batch_rows})) AS __broker"
         )
         produce_wall = time.perf_counter() - t0
         scan = self._delta(before, "sql.scan")

@@ -232,20 +232,25 @@ class Executor:
 
     def _apply_filter(self, relation: DistRelation, predicate) -> DistRelation:
         binder = Binder(relation.schema, self._ctx.functions)
-        evaluate = predicate.bind(binder)
-        partitions = self._map_partitions(
-            relation.partitions,
-            lambda _w, rows: [r for r in rows if evaluate(r) is True],
-        )
+        evaluate = predicate.bind_batch(binder)
+
+        def filter_partition(_w: int, rows: list[tuple]) -> list[tuple]:
+            # One batch evaluation per partition, then a zip-scan: no
+            # per-row closure-tree dispatch on the hot path.
+            return [r for r, keep in zip(rows, evaluate(rows)) if keep is True]
+
+        partitions = self._map_partitions(relation.partitions, filter_partition)
         return DistRelation(schema=relation.schema, partitions=partitions)
 
     def _exec_project(self, plan: LogicalProject) -> DistRelation:
         child = self._execute(plan.child)
         binder = Binder(child.schema, self._ctx.functions)
-        evaluators = [e.bind(binder) for e in plan.exprs]
+        evaluators = [e.bind_batch(binder) for e in plan.exprs]
 
         def project(_w: int, rows: list[tuple]) -> list[tuple]:
-            return [tuple(fn(row) for fn in evaluators) for row in rows]
+            # Column-at-a-time evaluation, re-zipped into row tuples.
+            columns = [fn(rows) for fn in evaluators]
+            return list(zip(*columns)) if rows else []
 
         partitions = self._map_partitions(child.partitions, project)
         out = DistRelation(schema=plan.schema, partitions=partitions)
@@ -278,12 +283,12 @@ class Executor:
         right = self._execute(plan.right)
         left_binder = Binder(left.schema, self._ctx.functions)
         right_binder = Binder(right.schema, self._ctx.functions)
-        left_key_fns = [k.bind(left_binder) for k in plan.left_keys]
-        right_key_fns = [k.bind(right_binder) for k in plan.right_keys]
+        left_key_fns = [k.bind_batch(left_binder) for k in plan.left_keys]
+        right_key_fns = [k.bind_batch(right_binder) for k in plan.right_keys]
         if not left_key_fns:
             # Cartesian product: broadcast the smaller side unconditionally.
-            left_key_fns = [lambda row: 0]
-            right_key_fns = [lambda row: 0]
+            left_key_fns = [lambda rows: [0] * len(rows)]
+            right_key_fns = [lambda rows: [0] * len(rows)]
 
         left_bytes = left.estimated_bytes()
         right_bytes = right.estimated_bytes()
@@ -331,8 +336,7 @@ class Executor:
         self._ctx.ledger.add("sql.shuffle", int(replication_cost))
 
         hash_table: dict[tuple, list[tuple]] = {}
-        for row in build_rows:
-            key = tuple(fn(row) for fn in build_key_fns)
+        for row, key in zip(build_rows, _batch_key_tuples(build_key_fns, build_rows)):
             if any(k is None for k in key):
                 continue
             hash_table.setdefault(key, []).append(row)
@@ -342,8 +346,7 @@ class Executor:
 
         def probe_partition(_w: int, rows: list[tuple]) -> list[tuple]:
             out: list[tuple] = []
-            for row in rows:
-                key = tuple(fn(row) for fn in probe_key_fns)
+            for row, key in zip(rows, _batch_key_tuples(probe_key_fns, rows)):
                 matches = (
                     hash_table.get(key, ()) if not any(k is None for k in key) else ()
                 )
@@ -364,21 +367,19 @@ class Executor:
         self, plan, left, right, left_key_fns, right_key_fns
     ) -> DistRelation:
         n = self._ctx.num_workers
-        left_parts = self._repartition_by_key(left, left_key_fns)
-        right_parts = self._repartition_by_key(right, right_key_fns)
+        left_parts, left_keys = self._repartition_by_key(left, left_key_fns)
+        right_parts, right_keys = self._repartition_by_key(right, right_key_fns)
         left_join = plan.kind == "left"
         null_pad = (None,) * len(right.schema)
 
         def local_join(worker_id: int, _ignored) -> list[tuple]:
             build: dict[tuple, list[tuple]] = {}
-            for row in right_parts[worker_id]:
-                key = tuple(fn(row) for fn in right_key_fns)
+            for row, key in zip(right_parts[worker_id], right_keys[worker_id]):
                 if any(k is None for k in key):
                     continue
                 build.setdefault(key, []).append(row)
             out: list[tuple] = []
-            for row in left_parts[worker_id]:
-                key = tuple(fn(row) for fn in left_key_fns)
+            for row, key in zip(left_parts[worker_id], left_keys[worker_id]):
                 matches = build.get(key, ()) if not any(k is None for k in key) else ()
                 if matches:
                     for other in matches:
@@ -390,19 +391,27 @@ class Executor:
         partitions = self._map_partitions([None] * n, local_join)
         return DistRelation(schema=plan.schema, partitions=partitions)
 
-    def _repartition_by_key(self, relation: DistRelation, key_fns) -> list[list[tuple]]:
+    def _repartition_by_key(
+        self, relation: DistRelation, key_fns
+    ) -> tuple[list[list[tuple]], list[list[tuple]]]:
+        """Hash-repartition on batch-evaluated key tuples.
+
+        Returns the row buckets *and* the matching key buckets so downstream
+        operators (the local join build/probe) reuse the key tuples instead
+        of recomputing them per row."""
         n = self._ctx.num_workers
         buckets = self._empty_partitions()
+        key_buckets: list[list[tuple]] = [[] for _ in range(n)]
         moved_bytes = 0
         for source, rows in enumerate(relation.partitions):
-            for row in rows:
-                key = tuple(fn(row) for fn in key_fns)
+            for row, key in zip(rows, _batch_key_tuples(key_fns, rows)):
                 target = hash(key) % n
                 if target != source:
                     moved_bytes += estimate_row_bytes(row)
                 buckets[target].append(row)
+                key_buckets[target].append(key)
         self._ctx.ledger.add("sql.shuffle", moved_bytes)
-        return buckets
+        return buckets, key_buckets
 
     # --------------------------------------------------------------- distinct
 
@@ -411,9 +420,10 @@ class Executor:
         local = self._map_partitions(
             child.partitions, lambda _w, rows: list(dict.fromkeys(rows))
         )
-        shuffled = self._repartition_by_key(
+        # Key tuple is (row,) — identical hash placement to the seed path.
+        shuffled, _keys = self._repartition_by_key(
             DistRelation(schema=child.schema, partitions=local),
-            [lambda row: row],
+            [lambda rows: rows],
         )
         partitions = self._map_partitions(
             shuffled, lambda _w, rows: list(dict.fromkeys(rows))
@@ -425,26 +435,33 @@ class Executor:
     def _exec_aggregate(self, plan: LogicalAggregate) -> DistRelation:
         child = self._execute(plan.child)
         binder = Binder(child.schema, self._ctx.functions)
-        key_fns = [e.bind(binder) for e in plan.group_exprs]
+        key_fns = [e.bind_batch(binder) for e in plan.group_exprs]
         agg_specs = []
         for call in plan.agg_calls:
             if call.func == "count" and isinstance(call.arg, Star):
                 arg_fn = None
             else:
-                arg_fn = call.arg.bind(binder)
+                arg_fn = call.arg.bind_batch(binder)
             agg_specs.append((call.func, arg_fn, call.distinct))
 
         def partial(_w: int, rows: list[tuple]) -> dict[tuple, list]:
+            # Group keys and aggregate arguments are evaluated once per
+            # partition as columns; the grouping loop only indexes them.
             groups: dict[tuple, list] = {}
-            for row in rows:
-                key = tuple(fn(row) for fn in key_fns)
+            keys = _batch_key_tuples(key_fns, rows)
+            arg_columns = [
+                arg_fn(rows) if arg_fn is not None else None
+                for _f, arg_fn, _d in agg_specs
+            ]
+            for idx, key in enumerate(keys):
                 acc = groups.get(key)
                 if acc is None:
                     acc = [_new_accumulator(f, d) for f, _a, d in agg_specs]
                     groups[key] = acc
-                for i, (func, arg_fn, distinct) in enumerate(agg_specs):
-                    value = arg_fn(row) if arg_fn is not None else 1
-                    _accumulate(acc[i], func, value, distinct, star=arg_fn is None)
+                for i, (func, _arg_fn, distinct) in enumerate(agg_specs):
+                    column = arg_columns[i]
+                    value = column[idx] if column is not None else 1
+                    _accumulate(acc[i], func, value, distinct, star=column is None)
             return groups
 
         partials = self._map_partitions(child.partitions, partial)
@@ -495,13 +512,17 @@ class Executor:
         child = self._execute(plan.child)
         rows = child.all_rows()
         binder = Binder(child.schema, self._ctx.functions)
-        # Stable sorts applied in reverse key order implement multi-key sort.
+        # Stable sorts applied in reverse key order implement multi-key sort;
+        # each pass batch-evaluates its key as a column (decorate-sort-
+        # undecorate) instead of calling the evaluator once per comparison.
         for expr, ascending in reversed(plan.keys):
-            fn = expr.bind(binder)
-            rows.sort(
-                key=lambda row: _null_safe_key(fn(row), ascending),
+            values = expr.bind_batch(binder)(rows)
+            decorated = sorted(
+                zip(values, rows),
+                key=lambda pair: _null_safe_key(pair[0], ascending),
                 reverse=not ascending,
             )
+            rows = [row for _v, row in decorated]
         partitions = self._empty_partitions()
         partitions[0] = rows
         return DistRelation(schema=plan.schema, partitions=partitions)
@@ -516,6 +537,19 @@ class Executor:
             taken.extend(rows[: plan.limit - len(taken)])
         partitions[0] = taken
         return DistRelation(schema=plan.schema, partitions=partitions)
+
+
+def _batch_key_tuples(batch_fns, rows: list[tuple]) -> list[tuple]:
+    """Key tuples for a whole partition: one batch evaluation per key expr.
+
+    With no key exprs every row keys to ``()`` (the global-aggregate case).
+    """
+    if not rows:
+        return []
+    if not batch_fns:
+        return [()] * len(rows)
+    columns = [fn(rows) for fn in batch_fns]
+    return list(zip(*columns))
 
 
 # -------------------------------------------------------------- accumulators

@@ -34,6 +34,19 @@ class Expr(ABC):
     def bind(self, binder: Binder) -> Callable[[tuple], Any]:
         """Compile to a row -> value evaluator."""
 
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        """Compile to a rows -> values evaluator over a whole partition.
+
+        The executor's hot loops (filter, project, hash-key extraction) call
+        this once per partition instead of dispatching ``bind``'s closure
+        tree per row.  Node types whose scalar evaluation is unconditional
+        override it to evaluate column-at-a-time with list comprehensions;
+        short-circuiting nodes (AND/OR/CASE/COALESCE) keep this fallback so
+        their lazy-evaluation semantics are untouched.
+        """
+        fn = self.bind(binder)
+        return lambda rows: [fn(row) for row in rows]
+
     @abstractmethod
     def data_type(self, binder: Binder) -> DataType:
         """Static result type under the binder's schema."""
@@ -76,6 +89,10 @@ class ColumnRef(Expr):
         index = binder.schema.resolve(self.qualifier, self.name)
         return lambda row: row[index]
 
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        index = binder.schema.resolve(self.qualifier, self.name)
+        return lambda rows: [row[index] for row in rows]
+
     def data_type(self, binder: Binder) -> DataType:
         index = binder.schema.resolve(self.qualifier, self.name)
         return binder.schema.column(index).dtype
@@ -101,6 +118,10 @@ class Literal(Expr):
     def bind(self, binder: Binder) -> Callable[[tuple], Any]:
         value = self.value
         return lambda row: value
+
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        value = self.value
+        return lambda rows: [value] * len(rows)
 
     def data_type(self, binder: Binder) -> DataType:
         if self.value is None:
@@ -208,6 +229,17 @@ class Arithmetic(Expr):
 
         return evaluate
 
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        if self.op not in _ARITH_OPS:
+            raise PlanError(f"unknown arithmetic operator {self.op!r}")
+        fn = _ARITH_OPS[self.op]
+        lhs = self.left.bind_batch(binder)
+        rhs = self.right.bind_batch(binder)
+        return lambda rows: [
+            None if a is None or b is None else fn(a, b)
+            for a, b in zip(lhs(rows), rhs(rows))
+        ]
+
     def data_type(self, binder: Binder) -> DataType:
         lt, rt = self.left.data_type(binder), self.right.data_type(binder)
         if not (lt.is_numeric and rt.is_numeric):
@@ -253,6 +285,17 @@ class Comparison(Expr):
             return fn(a, b)
 
         return evaluate
+
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        if self.op not in _CMP_OPS:
+            raise PlanError(f"unknown comparison operator {self.op!r}")
+        fn = _CMP_OPS[self.op]
+        lhs = self.left.bind_batch(binder)
+        rhs = self.right.bind_batch(binder)
+        return lambda rows: [
+            None if a is None or b is None else fn(a, b)
+            for a, b in zip(lhs(rows), rhs(rows))
+        ]
 
     def data_type(self, binder: Binder) -> DataType:
         return DataType.BOOLEAN
@@ -363,6 +406,10 @@ class Not(Expr):
 
         return evaluate
 
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        fn = self.operand.bind_batch(binder)
+        return lambda rows: [None if v is None else (not v) for v in fn(rows)]
+
     def data_type(self, binder: Binder) -> DataType:
         return DataType.BOOLEAN
 
@@ -391,6 +438,10 @@ class Negate(Expr):
 
         return evaluate
 
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        fn = self.operand.bind_batch(binder)
+        return lambda rows: [None if v is None else -v for v in fn(rows)]
+
     def data_type(self, binder: Binder) -> DataType:
         return self.operand.data_type(binder)
 
@@ -415,6 +466,12 @@ class IsNull(Expr):
         fn = self.operand.bind(binder)
         negated = self.negated
         return lambda row: (fn(row) is not None) if negated else (fn(row) is None)
+
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        fn = self.operand.bind_batch(binder)
+        if self.negated:
+            return lambda rows: [v is not None for v in fn(rows)]
+        return lambda rows: [v is None for v in fn(rows)]
 
     def data_type(self, binder: Binder) -> DataType:
         return DataType.BOOLEAN
@@ -496,6 +553,23 @@ class Between(Expr):
 
         return evaluate
 
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        fn = self.operand.bind_batch(binder)
+        lo_fn, hi_fn = self.low.bind_batch(binder), self.high.bind_batch(binder)
+        negated = self.negated
+
+        def evaluate(rows: list[tuple]) -> list:
+            out = []
+            for value, lo, hi in zip(fn(rows), lo_fn(rows), hi_fn(rows)):
+                if value is None or lo is None or hi is None:
+                    out.append(None)
+                else:
+                    inside = lo <= value <= hi
+                    out.append((not inside) if negated else inside)
+            return out
+
+        return evaluate
+
     def data_type(self, binder: Binder) -> DataType:
         return DataType.BOOLEAN
 
@@ -534,6 +608,21 @@ class Like(Expr):
             return (not matched) if negated else matched
 
         return evaluate
+
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        fn = self.operand.bind_batch(binder)
+        regex = re.compile(
+            "^" + re.escape(self.pattern).replace("%", ".*").replace("_", ".") + "$",
+            re.DOTALL,
+        )
+        match = regex.match
+        if self.negated:
+            return lambda rows: [
+                None if v is None else match(str(v)) is None for v in fn(rows)
+            ]
+        return lambda rows: [
+            None if v is None else match(str(v)) is not None for v in fn(rows)
+        ]
 
     def data_type(self, binder: Binder) -> DataType:
         return DataType.BOOLEAN
@@ -680,6 +769,24 @@ class FuncCall(Expr):
             if any(a is None for a in args):
                 return None
             return fn(*args)
+
+        return evaluate
+
+    def bind_batch(self, binder: Binder) -> Callable[[list[tuple]], list]:
+        if self.name.lower() == "coalesce":
+            # COALESCE short-circuits argument evaluation; keep per-row.
+            return super().bind_batch(binder)
+        fn, _ = binder.functions.lookup(self.name)
+        arg_batch_fns = [a.bind_batch(binder) for a in self.args]
+        if not arg_batch_fns:
+            return lambda rows: [fn() for _ in rows]
+
+        def evaluate(rows: list[tuple]) -> list:
+            columns = [f(rows) for f in arg_batch_fns]
+            return [
+                None if any(a is None for a in args) else fn(*args)
+                for args in zip(*columns)
+            ]
 
         return evaluate
 

@@ -1,9 +1,17 @@
 """One SQL-worker -> ML-worker stream channel."""
 
+from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.cluster.cost import CostLedger
-from repro.transfer.buffers import SpillableBuffer, decode_row, encode_row
+from repro.transfer.buffers import (
+    SpillableBuffer,
+    block_logical_bytes,
+    decode_block,
+    encode_block,
+    encode_row,
+)
 
 
 @dataclass(frozen=True)
@@ -46,19 +54,35 @@ class StreamChannel:
         self.bytes_sent = 0
         self.rows_received = 0
         self.bytes_received = 0
+        self._pending: deque[tuple] = deque()  # rows decoded but not yet read
 
     # ------------------------------------------------------------ SQL side
 
     def send_row(self, row: tuple) -> None:
-        """Serialize and enqueue one row."""
+        """Serialize and enqueue one row (the seed's per-row wire format)."""
         payload = encode_row(row)
         self._buffer.put(payload)
         self.rows_sent += 1
-        self.bytes_sent += len(payload)
+        self._account_sent(len(payload))
+
+    def send_many(self, rows: Sequence[tuple]) -> None:
+        """Serialize and enqueue a RowBlock: one buffer item, one lock
+        acquisition, one ledger entry for the whole batch.  Accounted at
+        the block's logical (per-row framing) size, keeping byte totals
+        identical to the seed path."""
+        if not rows:
+            return
+        payload = encode_block(rows)
+        self._buffer.put(payload)
+        self.rows_sent += len(rows)
+        self._account_sent(block_logical_bytes(payload))
+
+    def _account_sent(self, nbytes: int) -> None:
+        self.bytes_sent += nbytes
         if self._ledger is not None:
-            self._ledger.add("stream.sent", len(payload))
+            self._ledger.add("stream.sent", nbytes)
             if not self.local:
-                self._ledger.add("stream.net", len(payload))
+                self._ledger.add("stream.net", nbytes)
 
     def close(self) -> None:
         """End of stream from the sender."""
@@ -66,21 +90,36 @@ class StreamChannel:
 
     # ------------------------------------------------------------- ML side
 
-    def receive(self, timeout: float | None = 30.0) -> tuple | None:
-        """Next row, or None at end of stream."""
+    def receive_block(self, timeout: float | None = 30.0) -> list[tuple] | None:
+        """Next RowBlock (possibly a one-row block from a per-row sender),
+        or None at end of stream."""
+        if self._pending:
+            rows = list(self._pending)
+            self._pending.clear()
+            return rows
         payload = self._buffer.get(timeout=timeout)
         if payload is None:
             return None
-        self.rows_received += 1
-        self.bytes_received += len(payload)
-        return decode_row(payload)
+        rows = decode_block(payload)
+        self.rows_received += len(rows)
+        self.bytes_received += block_logical_bytes(payload)
+        return rows
+
+    def receive(self, timeout: float | None = 30.0) -> tuple | None:
+        """Next row, or None at end of stream."""
+        if not self._pending:
+            block = self.receive_block(timeout=timeout)
+            if block is None:
+                return None
+            self._pending.extend(block)
+        return self._pending.popleft()
 
     def __iter__(self):
         while True:
-            row = self.receive()
-            if row is None:
+            block = self.receive_block()
+            if block is None:
                 return
-            yield row
+            yield from block
 
     @property
     def spilled_bytes(self) -> int:

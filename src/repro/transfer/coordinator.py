@@ -19,6 +19,7 @@ from repro.common.errors import TransferError
 from repro.transfer.channel import ChannelId, StreamChannel
 
 DEFAULT_BUFFER_BYTES = 4096  # the paper's send/receive buffer setting
+DEFAULT_BATCH_ROWS = 256  # rows per RowBlock frame; 1 = seed's per-row wire
 DEFAULT_TIMEOUT_S = 30.0
 
 
@@ -39,6 +40,7 @@ class StreamSession:
     args: dict = field(default_factory=dict)
     conf_props: dict = field(default_factory=dict)
     buffer_bytes: int = DEFAULT_BUFFER_BYTES
+    batch_rows: int = DEFAULT_BATCH_ROWS
     spill_dir: str | None = None
     expected_sql_workers: int | None = None
     sql_workers: dict[int, SqlWorkerInfo] = field(default_factory=dict)
@@ -78,6 +80,7 @@ class Coordinator:
         launcher: Callable[["StreamSession"], Any] | None = None,
         default_k: int = 6,
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
         spill_dir: str | None = None,
         timeout_s: float = DEFAULT_TIMEOUT_S,
         transport: str = "memory",
@@ -85,10 +88,13 @@ class Coordinator:
     ):
         if transport not in ("memory", "socket"):
             raise TransferError(f"unknown transport {transport!r}")
+        if batch_rows < 1:
+            raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
         self.cluster = cluster
         self.launcher = launcher
         self.default_k = default_k
         self.buffer_bytes = buffer_bytes
+        self.batch_rows = batch_rows
         self.spill_dir = spill_dir
         self.timeout_s = timeout_s
         self.transport = transport
@@ -105,9 +111,15 @@ class Coordinator:
         args: dict | None = None,
         conf_props: dict | None = None,
         buffer_bytes: int | None = None,
+        batch_rows: int | None = None,
         spill_dir: str | None = None,
     ) -> StreamSession:
         """Pre-configure a session (the pipeline does this before the query)."""
+        props = dict(conf_props or {})
+        if batch_rows is None:
+            batch_rows = int(props.get("stream.batch_rows", self.batch_rows))
+        if batch_rows < 1:
+            raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
         with self._lock:
             if session_id in self._sessions:
                 raise TransferError(f"session {session_id!r} already exists")
@@ -115,8 +127,9 @@ class Coordinator:
                 session_id=session_id,
                 command=command,
                 args=dict(args or {}),
-                conf_props=dict(conf_props or {}),
+                conf_props=props,
                 buffer_bytes=buffer_bytes or self.buffer_bytes,
+                batch_rows=batch_rows,
                 spill_dir=spill_dir if spill_dir is not None else self.spill_dir,
             )
             self._sessions[session_id] = session

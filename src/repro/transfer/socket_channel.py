@@ -15,10 +15,16 @@ Select the transport per coordinator: ``Coordinator(..., transport="socket")``.
 import socket
 import struct
 from collections import deque
+from collections.abc import Sequence
 
 from repro.cluster.cost import CostLedger
 from repro.common.errors import TransferError
-from repro.transfer.buffers import decode_row, encode_row
+from repro.transfer.buffers import (
+    block_logical_bytes,
+    decode_block,
+    encode_block,
+    encode_row,
+)
 from repro.transfer.channel import ChannelId
 
 _FRAME = struct.Struct(">I")
@@ -53,6 +59,7 @@ class SocketStreamChannel:
         #: frames (or frame tails) the kernel buffer refused, FIFO
         self._overflow: deque[bytes] = deque()
         self._recv_buffer = b""
+        self._pending: deque[tuple] = deque()  # rows decoded but not yet read
         self._closed = False
         self.rows_sent = 0
         self.bytes_sent = 0
@@ -63,9 +70,17 @@ class SocketStreamChannel:
     # ------------------------------------------------------------ SQL side
 
     def send_row(self, row: tuple) -> None:
+        self._send_payload(encode_row(row), num_rows=1)
+
+    def send_many(self, rows: Sequence[tuple]) -> None:
+        """Send a RowBlock as one length-prefixed frame."""
+        if not rows:
+            return
+        self._send_payload(encode_block(rows), num_rows=len(rows))
+
+    def _send_payload(self, payload: bytes, num_rows: int) -> None:
         if self._closed:
             raise TransferError("send on a closed channel")
-        payload = encode_row(row)
         frame = _FRAME.pack(len(payload)) + payload
         self._flush_overflow(blocking=False)
         if self._overflow:
@@ -75,12 +90,13 @@ class SocketStreamChannel:
             sent = self._try_send(frame)
             if sent < len(frame):
                 self._spill(frame[sent:])
-        self.rows_sent += 1
-        self.bytes_sent += len(payload)
+        logical = block_logical_bytes(payload)
+        self.rows_sent += num_rows
+        self.bytes_sent += logical
         if self._ledger is not None:
-            self._ledger.add("stream.sent", len(payload))
+            self._ledger.add("stream.sent", logical)
             if not self.local:
-                self._ledger.add("stream.net", len(payload))
+                self._ledger.add("stream.net", logical)
 
     def close(self) -> None:
         """Flush any overflow (blocking — the reader is draining), then
@@ -134,7 +150,13 @@ class SocketStreamChannel:
 
     # ------------------------------------------------------------- ML side
 
-    def receive(self, timeout: float | None = None) -> tuple | None:
+    def receive_block(self, timeout: float | None = None) -> list[tuple] | None:
+        """Next RowBlock (a one-row block when the sender used per-row
+        frames), or None at end of stream."""
+        if self._pending:
+            rows = list(self._pending)
+            self._pending.clear()
+            return rows
         if timeout is not None:
             self._recv_sock.settimeout(timeout)
         header = self._read_exact(_FRAME.size)
@@ -147,16 +169,25 @@ class SocketStreamChannel:
                 f"channel {self.channel_id} truncated mid-frame "
                 f"(expected {length} payload bytes)"
             )
-        self.rows_received += 1
-        self.bytes_received += length
-        return decode_row(payload)
+        rows = decode_block(payload)
+        self.rows_received += len(rows)
+        self.bytes_received += block_logical_bytes(payload)
+        return rows
+
+    def receive(self, timeout: float | None = None) -> tuple | None:
+        if not self._pending:
+            block = self.receive_block(timeout=timeout)
+            if block is None:
+                return None
+            self._pending.extend(block)
+        return self._pending.popleft()
 
     def __iter__(self):
         while True:
-            row = self.receive()
-            if row is None:
+            block = self.receive_block()
+            if block is None:
                 return
-            yield row
+            yield from block
 
     def _read_exact(self, n: int) -> bytes | None:
         while len(self._recv_buffer) < n:

@@ -42,13 +42,15 @@ class StreamRecordReader(RecordReader):
         self.bytes_read = 0
 
     def __iter__(self):
+        # Drain whole RowBlocks: one receive (one lock acquisition / frame
+        # decode) per block, regardless of how many rows it carries.
         while True:
             before = self._channel.bytes_received
-            row = self._channel.receive(timeout=self._timeout_s)
-            if row is None:
+            block = self._channel.receive_block(timeout=self._timeout_s)
+            if block is None:
                 return
             self.bytes_read += self._channel.bytes_received - before
-            yield row
+            yield from block
 
 
 class SQLStreamInputFormat(InputFormat):

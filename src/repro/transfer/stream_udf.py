@@ -62,7 +62,7 @@ class StreamTransferUDF(TableUDF):
         coordinator: Coordinator = ctx.service("coordinator")
 
         # Step 1: register (worker id, IP, worker count, command+args).
-        coordinator.register_sql_worker(
+        session = coordinator.register_sql_worker(
             session_id,
             worker_id=ctx.worker_id,
             ip=ctx.node.ip,
@@ -75,12 +75,32 @@ class StreamTransferUDF(TableUDF):
         if not channels:
             raise TransferError(f"worker {ctx.worker_id} was matched to no channels")
 
-        # Step 8: round-robin fan-out over this worker's k channels.
+        # Step 8: round-robin fan-out over this worker's k channels.  Row i
+        # still goes to channel i % k exactly as in the per-row path, but
+        # each channel's rows travel as RowBlocks of up to ``batch_rows``
+        # (flushed when full and again at EOF), so the whole batch pays one
+        # frame + one lock acquisition.  ``batch_rows=1`` takes the seed's
+        # per-row send path verbatim.
+        batch_rows = session.batch_rows
         rows_sent = 0
         try:
-            for i, row in enumerate(rows):
-                channels[i % len(channels)].send_row(row)
-                rows_sent += 1
+            if batch_rows <= 1:
+                for i, row in enumerate(rows):
+                    channels[i % len(channels)].send_row(row)
+                    rows_sent += 1
+            else:
+                pending: list[list[tuple]] = [[] for _ in channels]
+                for i, row in enumerate(rows):
+                    target = i % len(channels)
+                    batch = pending[target]
+                    batch.append(row)
+                    rows_sent += 1
+                    if len(batch) >= batch_rows:
+                        channels[target].send_many(batch)
+                        batch.clear()
+                for target, batch in enumerate(pending):
+                    if batch:  # EOF flush of the partial batch
+                        channels[target].send_many(batch)
         finally:
             for channel in channels:
                 channel.close()

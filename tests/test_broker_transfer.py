@@ -116,9 +116,11 @@ class TestAtLeastOnceRecovery:
         )
         broker = deployment.broker
         broker.create_topic("recovery", 4)
+        # batch_rows=1 keeps one record per row so partitions hold multiple
+        # poll batches — the crash must land *between* commit points.
         engine.query_rows(
             "SELECT * FROM TABLE(broker_transfer((SELECT id, v FROM events), "
-            "'recovery')) AS b"
+            "'recovery', 1)) AS b"
         )
 
         from repro.broker.consumer import BrokerConsumer

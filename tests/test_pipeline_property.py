@@ -7,7 +7,6 @@ Python) transformation of the preparation query's result predicts.
 
 import itertools
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import make_deployment

@@ -5,7 +5,6 @@ import pytest
 from repro.caching.cache import CacheManager
 from repro.rewriter.matching import extract_shape, match_full_cache, match_recode_map
 from repro.rewriter.rewriter import QueryRewriter
-from repro.sql.types import DataType, Schema
 from repro.transform import (
     DummyCodeUDF,
     EffectCodeUDF,

@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cluster.cluster import make_paper_cluster
 from repro.common.errors import ExecutionError
-from repro.hdfs.filesystem import DistributedFileSystem
 from repro.iofmt.text import FileSplit
 from repro.sql.engine import BigSQL
 from repro.sql.executor import assign_splits

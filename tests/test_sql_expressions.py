@@ -9,17 +9,10 @@ from repro.sql.expressions import (
     And,
     Arithmetic,
     Binder,
-    Between,
-    CaseWhen,
     ColumnRef,
     Comparison,
-    FuncCall,
     FunctionRegistry,
-    InList,
-    IsNull,
-    Like,
     Literal,
-    Negate,
     Not,
     Or,
     Star,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sql.plan import LogicalJoin, LogicalScan
+from repro.sql.plan import LogicalJoin
 from repro.sql.types import DataType, Schema
 
 

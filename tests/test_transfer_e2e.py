@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import make_deployment
 from repro.common.errors import TransferError
 from repro.sql.types import DataType, Schema
 
