@@ -84,6 +84,8 @@ def make_deployment(
     batch_rows: int = 256,
     workers_per_node: int = 6,
     transport: str = "memory",
+    fault_injector=None,  # FaultInjector | None (§6 chaos testing)
+    recovery=None,  # RecoveryManager | None (§6 recovery protocol)
 ) -> Deployment:
     """Build the paper's testbed topology, fully wired.
 
@@ -100,6 +102,12 @@ def make_deployment(
     rows travel per frame/lock acquisition on every stream channel and
     broker record.  ``batch_rows=1`` reproduces the seed's per-row wire
     format exactly.
+
+    ``fault_injector`` / ``recovery`` install the §6 fault-tolerance stack:
+    a seeded :class:`~repro.faults.injector.FaultInjector` (chaos source)
+    and/or a :class:`~repro.faults.recovery.RecoveryManager` (heartbeats,
+    send retries, coordinated partial restart).  Passing only an injector
+    wraps it in a default RecoveryManager.
     """
     cluster = make_paper_cluster(num_workers)
     dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
@@ -110,6 +118,8 @@ def make_deployment(
         buffer_bytes=buffer_bytes,
         batch_rows=batch_rows,
         transport=transport,
+        recovery=recovery,
+        fault_injector=fault_injector,
     )
     pipeline = AnalyticsPipeline(
         cluster=cluster,

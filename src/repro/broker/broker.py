@@ -4,7 +4,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.cluster.cost import CostLedger
-from repro.common.errors import TransferError
+from repro.common.errors import ChannelTimeoutError, TransferError
 from repro.transfer.buffers import block_logical_bytes
 
 
@@ -70,7 +70,7 @@ class _PartitionLog:
                 if self.sealed:
                     return [], offset, True
                 if not self.readable.wait(timeout=timeout):
-                    raise TransferError(
+                    raise ChannelTimeoutError(
                         f"broker fetch timed out at offset {offset} "
                         "(producer stalled?)"
                     )
@@ -171,13 +171,21 @@ class MessageBroker:
         offset: int,
         max_records: int = 256,
         timeout: float | None = 30.0,
+        retry: bool = False,
     ) -> tuple[list[bytes], int, bool]:
-        """Consume from an explicit offset (see :class:`_PartitionLog`)."""
+        """Consume from an explicit offset (see :class:`_PartitionLog`).
+
+        ``retry`` marks §6 replay traffic — a refetch of a corrupted record
+        or a redelivery after a consumer death.  Its bytes charge the
+        separate ``broker.retry`` ledger counter, so fault-free ``broker.out``
+        totals stay byte-for-byte invariant under injected faults.
+        """
         chunk, next_offset, at_end = self._log(topic, partition).fetch(
             offset, max_records, timeout
         )
         if self._ledger is not None and chunk:
-            self._ledger.add("broker.out", sum(block_logical_bytes(c) for c in chunk))
+            category = "broker.retry" if retry else "broker.out"
+            self._ledger.add(category, sum(block_logical_bytes(c) for c in chunk))
         return chunk, next_offset, at_end
 
     # --------------------------------------------------------------- offsets

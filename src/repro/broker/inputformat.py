@@ -62,5 +62,6 @@ class BrokerInputFormat(InputFormat):
             split.partition,
             group=conf.get("broker.group", "ml"),
             timeout_s=float(conf.get("broker.timeout_s", 30.0)),
+            injector=conf.get_object("fault.injector"),
         )
         return BrokerRecordReader(consumer)

@@ -1,9 +1,14 @@
 """Producer client: row serialization and partition routing."""
 
+import time
 from collections.abc import Sequence
 
 from repro.broker.broker import MessageBroker
-from repro.common.errors import TransferError
+from repro.common.errors import (
+    ChannelTimeoutError,
+    RetriesExhaustedError,
+    TransferError,
+)
 from repro.transfer.buffers import block_logical_bytes, encode_block, encode_row
 
 
@@ -29,6 +34,9 @@ class BrokerProducer:
         topic: str,
         partitions: list[int] | None = None,
         batch_rows: int = 1,
+        injector=None,  # FaultInjector | None (§6 chaos on appends)
+        retry_policy=None,  # RetryPolicy | None
+        sleep=time.sleep,
     ):
         self._broker = broker
         self._topic = topic
@@ -42,10 +50,46 @@ class BrokerProducer:
         if batch_rows < 1:
             raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
         self._batch_rows = batch_rows
+        self._injector = injector
+        self._retry_policy = retry_policy
+        self._sleep = sleep
         self._pending: dict[int, list[tuple]] = {p: [] for p in self._partitions}
         self._cursor = 0
         self.rows_sent = 0
         self.bytes_sent = 0
+        self.append_retries = 0
+
+    def _append(self, partition: int, payload: bytes, rows: int) -> int:
+        """One broker append under the §6 retry discipline.
+
+        Injected append faults fire *before* the broker commits the record,
+        so a retry never duplicates data.  Without a retry policy a single
+        transient failure propagates (the seed behaviour)."""
+        attempt = 0
+        while True:
+            try:
+                if self._injector is not None:
+                    self._injector.check_producer_append(
+                        f"{self._topic}/{partition}"
+                    )
+                return self._broker.append(
+                    self._topic, partition, payload, rows=rows
+                )
+            except ChannelTimeoutError as exc:
+                if self._retry_policy is None:
+                    raise
+                attempt += 1
+                if attempt >= self._retry_policy.max_attempts:
+                    raise RetriesExhaustedError(
+                        f"append to {self._topic}/{partition} failed "
+                        f"{attempt} times: {exc}"
+                    ) from exc
+                self.append_retries += 1
+                self._sleep(
+                    self._retry_policy.delay_s(
+                        attempt - 1, key=f"{self._topic}/{partition}"
+                    )
+                )
 
     def _route(self, key) -> int:
         if key is not None:
@@ -64,7 +108,7 @@ class BrokerProducer:
         partition = self._route(key)
         if self._batch_rows <= 1:
             payload = encode_row(row)
-            offset = self._broker.append(self._topic, partition, payload)
+            offset = self._append(partition, payload, rows=1)
             self.rows_sent += 1
             self.bytes_sent += len(payload)
             return offset
@@ -85,7 +129,7 @@ class BrokerProducer:
         if not batch:
             return None
         payload = encode_block(batch)
-        offset = self._broker.append(self._topic, partition, payload, rows=len(batch))
+        offset = self._append(partition, payload, rows=len(batch))
         self.bytes_sent += block_logical_bytes(payload)
         batch.clear()
         return offset

@@ -191,6 +191,10 @@ class CostLedger:
         "mr.write",
         "stream.sent",
         "stream.spilled",
+        "stream.retry",
+        "broker.in",
+        "broker.out",
+        "broker.retry",
         "ml.ingest",
     )
 

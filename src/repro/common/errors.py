@@ -56,6 +56,28 @@ class TransferError(ReproError):
     """The parallel streaming transfer failed (coordinator, channel, buffer)."""
 
 
+class ChannelTimeoutError(TransferError):
+    """A channel/socket/broker operation timed out — *recoverable*: the peer
+    may be slow or briefly unreachable, so callers should retry with backoff
+    before escalating."""
+
+
+class RetriesExhaustedError(TransferError):
+    """A retry budget (send retries, partial restarts, replay fetches) ran
+    out — *fatal* for the current strategy; callers fall back to the next
+    recovery tier (full pipeline restart, materialize-to-DFS degradation)."""
+
+
+class WorkerFailedError(TransferError):
+    """A SQL or ML worker died mid-transfer (detected by a failed send, a
+    stale heartbeat, or an expired coordination session).  §6's unit of
+    recovery: the failed SQL worker and its k paired ML workers restart."""
+
+    def __init__(self, message: str, worker_id: int | None = None):
+        self.worker_id = worker_id
+        super().__init__(message)
+
+
 class MLError(ReproError):
     """An ML job or algorithm failed (bad input, non-convergence guards)."""
 

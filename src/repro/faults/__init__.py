@@ -1,0 +1,20 @@
+"""Fault injection and §6 recovery for the transfer stack.
+
+:class:`FaultInjector` deterministically injects worker kills, channel
+drops/stalls, and broker corruption/replay from a seed;
+:class:`RecoveryManager` executes the paper's recovery plan — retries with
+backoff, heartbeat failure detection, and coordinated partial restart of a
+failed SQL worker together with its k paired ML workers.
+"""
+
+from repro.faults.injector import FaultConfig, FaultEvent, FaultInjector
+from repro.faults.recovery import RecoveryManager, RestartEvent, RetryPolicy
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "RecoveryManager",
+    "RestartEvent",
+    "RetryPolicy",
+]

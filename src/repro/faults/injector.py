@@ -1,0 +1,260 @@
+"""Deterministic, seed-driven fault injection for the transfer stack.
+
+§6 describes the failure modes of the integration pipeline — worker crashes
+during the parallel streaming transfer, lost/stalled channels, and broker
+replay after a consumer dies before committing — but a reproduction can only
+*test* them if failures arrive on demand and identically run after run.  The
+:class:`FaultInjector` is that chaos source: every decision draws from a
+per-site :func:`repro.common.rng.derive_seed` stream, so outcomes are
+independent of thread interleaving (each SQL worker, channel, and broker
+partition owns its own RNG), and two runs with the same seed inject the
+exact same faults at the exact same points.
+
+Injection sites (all no-ops when the matching rate/point is unset):
+
+* ``check_kill(worker_id, rows_streamed)`` — SQL-worker crash, by
+  deterministic point (``kill_at``) or per-block probability;
+* ``check_ml_kill(index, rows_read)`` — ML-reader crash at a
+  deterministic point (``kill_ml_at``; recovered at the pipeline tier);
+* ``check_send(channel_key)`` — transient channel loss
+  (:class:`~repro.common.errors.ChannelTimeoutError`) or a stall
+  (sleep) on one send;
+* ``corrupt_fetch(payload, site)`` — bit-flips a broker record in flight;
+* ``check_duplicate_fetch(site)`` — re-delivers a broker fetch, modelling a
+  consumer that died after processing but before committing.
+
+Every injected event is recorded in :attr:`FaultInjector.events` so tests
+and the chaos benchmark can assert exactly what happened.
+"""
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.common.errors import ChannelTimeoutError, WorkerFailedError
+from repro.common.rng import derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """What to inject, how often, and where.
+
+    Rates are per-opportunity probabilities (per block sent, per fetch).
+    ``kill_at`` pins deterministic crashes: ``{worker_id: row_index}`` kills
+    that SQL worker the first time it has streamed >= ``row_index`` rows.
+    Budgets (``max_kills``, ``max_events``) bound rate-driven chaos so a
+    seeded run always terminates.
+    """
+
+    seed: int = 0
+    #: deterministic kills: SQL worker id -> row index of the crash
+    kill_at: dict[int, int] = field(default_factory=dict)
+    #: deterministic ML-reader kills: split index -> rows read at the crash
+    kill_ml_at: dict[int, int] = field(default_factory=dict)
+    #: probability a SQL worker dies at each block boundary
+    kill_sql_worker_rate: float = 0.0
+    #: probability one channel send fails transiently (retryable timeout)
+    send_drop_rate: float = 0.0
+    #: probability one channel send stalls for ``stall_seconds``
+    send_stall_rate: float = 0.0
+    stall_seconds: float = 0.0
+    #: probability one broker fetch arrives corrupted (re-fetch recovers)
+    broker_corrupt_rate: float = 0.0
+    #: probability one broker fetch is re-delivered (at-least-once replay)
+    broker_duplicate_rate: float = 0.0
+    #: probability one broker append fails transiently before commit
+    producer_drop_rate: float = 0.0
+    #: cap on rate-driven kills (None = unlimited; kill_at is separate)
+    max_kills: int | None = 1
+    #: cap on all transient events — drops, stalls, corruptions, duplicates
+    max_events: int | None = None
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.kill_at
+            or self.kill_ml_at
+            or self.kill_sql_worker_rate
+            or self.send_drop_rate
+            or self.send_stall_rate
+            or self.broker_corrupt_rate
+            or self.broker_duplicate_rate
+            or self.producer_drop_rate
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for post-hoc assertions."""
+
+    kind: str  # kill | drop | stall | corrupt | duplicate | producer_drop
+    site: str  # worker/channel/partition identifier
+
+
+class FaultInjector:
+    """Seeded chaos source consulted by the transfer stack at each site."""
+
+    def __init__(self, config: FaultConfig | None = None, sleep=time.sleep):
+        self.config = config or FaultConfig()
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._rngs: dict[str, object] = {}
+        self._killed: set[int] = set()  # workers already point-killed
+        self._killed_ml: set[int] = set()  # ML readers already point-killed
+        self._kills = 0
+        self._events_used = 0
+        self.events: list[FaultEvent] = []
+        self.counts: Counter = Counter()
+
+    @classmethod
+    def disabled(cls) -> "FaultInjector":
+        """An installed-but-inert injector (the fault-free invariance case)."""
+        return cls(FaultConfig())
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.any_faults
+
+    # ------------------------------------------------------------- plumbing
+
+    def _rng(self, site: str):
+        """The per-site RNG stream (deterministic under thread interleaving)."""
+        with self._lock:
+            rng = self._rngs.get(site)
+            if rng is None:
+                rng = make_rng(derive_seed(self.config.seed, site))
+                self._rngs[site] = rng
+            return rng
+
+    def _record(self, kind: str, site: str) -> None:
+        with self._lock:
+            self.events.append(FaultEvent(kind, site))
+            self.counts[kind] += 1
+
+    def _take_event_budget(self) -> bool:
+        with self._lock:
+            if (
+                self.config.max_events is not None
+                and self._events_used >= self.config.max_events
+            ):
+                return False
+            self._events_used += 1
+            return True
+
+    def _take_kill_budget(self) -> bool:
+        with self._lock:
+            if self.config.max_kills is not None and self._kills >= self.config.max_kills:
+                return False
+            self._kills += 1
+            return True
+
+    # ------------------------------------------------------ streaming sites
+
+    def check_kill(self, worker_id: int, rows_streamed: int) -> None:
+        """Crash this SQL worker if its point or rate says so (raises
+        :class:`WorkerFailedError`)."""
+        if not self.enabled:
+            return
+        point = self.config.kill_at.get(worker_id)
+        if point is not None and rows_streamed >= point:
+            with self._lock:
+                if worker_id in self._killed:
+                    point = None  # one-shot: the replacement worker survives
+                else:
+                    self._killed.add(worker_id)
+            if point is not None:
+                self._record("kill", f"sql-worker-{worker_id}")
+                raise WorkerFailedError(
+                    f"injected crash of SQL worker {worker_id} "
+                    f"after {rows_streamed} rows",
+                    worker_id=worker_id,
+                )
+        rate = self.config.kill_sql_worker_rate
+        if rate and self._rng(f"kill/{worker_id}").random() < rate:
+            if self._take_kill_budget():
+                self._record("kill", f"sql-worker-{worker_id}")
+                raise WorkerFailedError(
+                    f"injected crash of SQL worker {worker_id} "
+                    f"after {rows_streamed} rows",
+                    worker_id=worker_id,
+                )
+
+    def check_ml_kill(self, index: int, rows_read: int) -> None:
+        """Crash one ML reader at its ``kill_ml_at`` point (one-shot; raises
+        :class:`WorkerFailedError`).
+
+        A dead ML reader is the *fatal* tier of §6 — its split cannot be
+        handed to anyone else mid-stream — so recovery happens one level up:
+        the session fails and the pipeline re-runs the transfer
+        (``max_attempts``) or degrades to the DFS path.
+        """
+        if not self.enabled:
+            return
+        point = self.config.kill_ml_at.get(index)
+        if point is None or rows_read < point:
+            return
+        with self._lock:
+            if index in self._killed_ml:
+                return  # one-shot: the retried attempt's reader survives
+            self._killed_ml.add(index)
+        self._record("kill_ml", f"ml-reader-{index}")
+        raise WorkerFailedError(
+            f"injected crash of ML reader {index} after {rows_read} rows",
+            worker_id=index,
+        )
+
+    def check_send(self, channel_key: str) -> None:
+        """Transient channel fault on one send: drop (raises a retryable
+        :class:`ChannelTimeoutError`) or stall (sleeps)."""
+        if not self.enabled:
+            return
+        rng = self._rng(f"send/{channel_key}")
+        if self.config.send_drop_rate and rng.random() < self.config.send_drop_rate:
+            if self._take_event_budget():
+                self._record("drop", channel_key)
+                raise ChannelTimeoutError(
+                    f"injected send timeout on channel {channel_key}"
+                )
+        if self.config.send_stall_rate and rng.random() < self.config.send_stall_rate:
+            if self._take_event_budget():
+                self._record("stall", channel_key)
+                if self.config.stall_seconds > 0:
+                    self._sleep(self.config.stall_seconds)
+
+    # --------------------------------------------------------- broker sites
+
+    def check_producer_append(self, site: str) -> None:
+        """Transient append failure *before* the broker commits the record —
+        safe to retry without duplication."""
+        if not self.enabled:
+            return
+        rate = self.config.producer_drop_rate
+        if rate and self._rng(f"produce/{site}").random() < rate:
+            if self._take_event_budget():
+                self._record("producer_drop", site)
+                raise ChannelTimeoutError(f"injected append timeout at {site}")
+
+    def corrupt_fetch(self, payload: bytes, site: str) -> bytes:
+        """Possibly return a bit-flipped copy of a fetched broker record."""
+        if not self.enabled or not self.config.broker_corrupt_rate:
+            return payload
+        if self._rng(f"corrupt/{site}").random() < self.config.broker_corrupt_rate:
+            if self._take_event_budget():
+                self._record("corrupt", site)
+                # Flip the trailing pickle STOP byte: every framing (per-row,
+                # block, sequenced block) ends in it, so every decode path
+                # rejects the result — corruption is always *detectable*.
+                return payload[:-1] + bytes([payload[-1] ^ 0xFF])
+        return payload
+
+    def check_duplicate_fetch(self, site: str) -> bool:
+        """True when this fetch should be re-delivered (consumer died after
+        processing, before committing — the at-least-once window)."""
+        if not self.enabled or not self.config.broker_duplicate_rate:
+            return False
+        if self._rng(f"dup/{site}").random() < self.config.broker_duplicate_rate:
+            if self._take_event_budget():
+                self._record("duplicate", site)
+                return True
+        return False

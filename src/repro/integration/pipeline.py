@@ -222,6 +222,7 @@ class AnalyticsPipeline:
         args: dict | None = None,
         use_cache: bool = False,
         max_attempts: int = 1,
+        degrade_to_dfs: bool = False,
     ) -> PipelineResult:
         """Figure 3 "insql+stream": everything pipelined, no DFS touch.
 
@@ -229,7 +230,15 @@ class AnalyticsPipeline:
         since neither side supports mid-query recovery, a failed transfer
         restarts the *whole* pipeline from scratch ("the whole integration
         pipeline has to be restarted from scratch in case of a failure") —
-        with a fresh session, up to the attempt budget.
+        with a fresh session, up to the attempt budget.  (With a
+        :class:`~repro.faults.recovery.RecoveryManager` installed on the
+        coordinator, failures first go through the cheaper partial-restart
+        tier; only exhausted budgets surface here.)
+
+        ``degrade_to_dfs=True`` adds the last §6 tier: when every streaming
+        attempt fails, fall back to the materialize-to-DFS path
+        (:meth:`run_insql`) — slower but independent of the streaming
+        machinery.  The returned result then has ``degraded_from`` set.
         """
         run_id = next(_run_counter)
         plan = self._plan(user_sql, spec, use_cache)
@@ -260,6 +269,13 @@ class AnalyticsPipeline:
                 break
             except ReproError:
                 if attempt >= max_attempts:
+                    if degrade_to_dfs:
+                        fallback = self.run_insql(
+                            user_sql, spec, command, args=args, use_cache=use_cache
+                        )
+                        fallback.attempts = attempt
+                        fallback.degraded_from = "insql+stream"
+                        return fallback
                     raise
             finally:
                 self.coordinator.close_session(session_id)
@@ -357,6 +373,10 @@ class AnalyticsPipeline:
             ),
             broker=self.broker,
         )
+        if self.coordinator.recovery is not None:
+            # §6 chaos reaches the broker path too: consumers survive
+            # injected duplicate/corrupt fetches via offset dedup + refetch.
+            conf.objects["fault.injector"] = self.coordinator.recovery.injector
         t0 = time.perf_counter()
         ml_result = self.ml_system.run_job(
             command=command,

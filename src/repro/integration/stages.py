@@ -34,6 +34,9 @@ class PipelineResult:
     broker_topic: str | None = None
     #: streaming runs with retry enabled record how many attempts ran (§6)
     attempts: int = 1
+    #: §6 graceful degradation: the approach that failed before this run
+    #: fell back to the materialize-to-DFS path (None = no degradation)
+    degraded_from: str | None = None
 
     @property
     def total_sim_seconds(self) -> float:

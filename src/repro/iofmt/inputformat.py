@@ -27,6 +27,10 @@ class JobConf:
         """Property assignment."""
         self.props[key] = value
 
+    def get_object(self, name: str, default: Any = None) -> Any:
+        """Optional shared-object lookup (None when not configured)."""
+        return self.objects.get(name, default)
+
     def require_object(self, name: str) -> Any:
         """Fetch a shared object, raising a clear error when missing."""
         try:

@@ -17,7 +17,7 @@ import time
 from collections import deque
 from collections.abc import Sequence
 
-from repro.common.errors import TransferError
+from repro.common.errors import ChannelTimeoutError, TransferError
 
 _LENGTH = struct.Struct(">I")
 
@@ -95,11 +95,11 @@ class SpillableBuffer:
                 # extend the deadlock guard indefinitely.
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
-                    raise TransferError(
+                    raise ChannelTimeoutError(
                         f"buffer read timed out after {timeout}s (producer stalled?)"
                     )
                 if not self._readable.wait(timeout=remaining):
-                    raise TransferError(
+                    raise ChannelTimeoutError(
                         f"buffer read timed out after {timeout}s (producer stalled?)"
                     )
 
@@ -205,7 +205,37 @@ def decode_block(payload: bytes) -> list[tuple]:
     """
     if payload[:1] == _PICKLE_MARKER:
         return [pickle.loads(payload)]
+    if payload[:1] == _SEQ_MARKER:
+        payload = payload[1 + _BLOCK_HEADER.size :]
     return pickle.loads(payload[_BLOCK_HEADER.size :])
+
+
+_SEQ_MARKER = b"S"  # leading byte of a sequenced frame (0x53)
+
+
+def encode_seq_block(rows: Sequence[tuple], seq: int) -> bytes:
+    """Serialize a *sequenced* RowBlock: a block frame prefixed with a
+    marker byte and an 8-byte sequence number.
+
+    Sequence numbers are the §6 replay-dedup handle: a restarted SQL worker
+    re-streams its partition from the beginning with the same per-channel
+    block numbering, and the receiver drops every frame whose number it has
+    already accepted, so each logical row crosses the ML boundary exactly
+    once.  The prefix is unambiguous against the other two framings: per-row
+    frames start with the pickle protocol marker (0x80) and plain block
+    frames with the high byte of their 8-byte logical size (0x00 for any
+    realistic block).
+    """
+    return _SEQ_MARKER + _BLOCK_HEADER.pack(seq) + encode_block(rows)
+
+
+def split_seq_frame(payload: bytes) -> tuple[int | None, bytes]:
+    """(sequence number, inner frame) of a sequenced frame; (None, payload)
+    for unsequenced per-row/block frames."""
+    if payload[:1] != _SEQ_MARKER:
+        return None, payload
+    (seq,) = _BLOCK_HEADER.unpack_from(payload, 1)
+    return seq, payload[1 + _BLOCK_HEADER.size :]
 
 
 def block_logical_bytes(payload: bytes) -> int:
@@ -222,6 +252,8 @@ def block_logical_bytes(payload: bytes) -> int:
     """
     if payload[:1] == _PICKLE_MARKER:
         return len(payload)
+    if payload[:1] == _SEQ_MARKER:
+        payload = payload[1 + _BLOCK_HEADER.size :]
     if len(payload) > _BLOCK_HEADER.size and payload[8:9] == _PICKLE_MARKER:
         (logical,) = _BLOCK_HEADER.unpack_from(payload)
         return logical

@@ -11,6 +11,8 @@ from repro.transfer.buffers import (
     decode_block,
     encode_block,
     encode_row,
+    encode_seq_block,
+    split_seq_frame,
 )
 
 
@@ -54,6 +56,13 @@ class StreamChannel:
         self.bytes_sent = 0
         self.rows_received = 0
         self.bytes_received = 0
+        #: §6 replay traffic: bytes re-sent by a restarted SQL worker
+        #: (charged to ``stream.retry``, never to ``stream.sent``).
+        self.retry_bytes = 0
+        #: §6 dedup on the ML side: replayed blocks dropped by sequence number
+        self.duplicate_blocks = 0
+        self.duplicate_bytes = 0
+        self._last_seq = -1  # highest accepted block sequence number
         self._pending: deque[tuple] = deque()  # rows decoded but not yet read
 
     # ------------------------------------------------------------ SQL side
@@ -77,6 +86,29 @@ class StreamChannel:
         self.rows_sent += len(rows)
         self._account_sent(block_logical_bytes(payload))
 
+    def send_block(self, rows: Sequence[tuple], seq: int, retry: bool = False) -> None:
+        """Enqueue a *sequenced* RowBlock (the §6 resilient send path).
+
+        ``seq`` is this channel's per-epoch block number; the receiver drops
+        any frame whose number it already accepted, so a restarted worker can
+        replay its partition from block 0 without double delivery.  ``retry``
+        marks a restart epoch's traffic: its bytes land in the separate
+        ``stream.retry`` ledger counter, keeping the fault-free ``stream.sent``
+        and ``stream.net`` totals byte-for-byte invariant.
+        """
+        if not rows:
+            return
+        payload = encode_seq_block(rows, seq)
+        self._buffer.put(payload)
+        logical = block_logical_bytes(payload)
+        if retry:
+            self.retry_bytes += logical
+            if self._ledger is not None:
+                self._ledger.add("stream.retry", logical)
+        else:
+            self.rows_sent += len(rows)
+            self._account_sent(logical)
+
     def _account_sent(self, nbytes: int) -> None:
         self.bytes_sent += nbytes
         if self._ledger is not None:
@@ -92,18 +124,31 @@ class StreamChannel:
 
     def receive_block(self, timeout: float | None = 30.0) -> list[tuple] | None:
         """Next RowBlock (possibly a one-row block from a per-row sender),
-        or None at end of stream."""
+        or None at end of stream.
+
+        Sequenced frames are deduplicated here: a frame whose sequence
+        number was already accepted is a §6 replay duplicate — dropped and
+        counted, never delivered, so the ML side sees each row exactly once.
+        """
         if self._pending:
             rows = list(self._pending)
             self._pending.clear()
             return rows
-        payload = self._buffer.get(timeout=timeout)
-        if payload is None:
-            return None
-        rows = decode_block(payload)
-        self.rows_received += len(rows)
-        self.bytes_received += block_logical_bytes(payload)
-        return rows
+        while True:
+            payload = self._buffer.get(timeout=timeout)
+            if payload is None:
+                return None
+            seq, frame = split_seq_frame(payload)
+            if seq is not None:
+                if seq <= self._last_seq:
+                    self.duplicate_blocks += 1
+                    self.duplicate_bytes += block_logical_bytes(frame)
+                    continue
+                self._last_seq = seq
+            rows = decode_block(frame)
+            self.rows_received += len(rows)
+            self.bytes_received += block_logical_bytes(frame)
+            return rows
 
     def receive(self, timeout: float | None = 30.0) -> tuple | None:
         """Next row, or None at end of stream."""

@@ -49,6 +49,8 @@ class StreamSession:
     ml_registrations: set[ChannelId] = field(default_factory=set)
     failed: bool = False
     failure_reason: str | None = None
+    #: §6 recoverable failures handled by partial restart (post-mortem log)
+    recovery_log: list[dict] = field(default_factory=list)
     # events
     all_registered: threading.Event = field(default_factory=threading.Event)
     splits_ready: threading.Event = field(default_factory=threading.Event)
@@ -85,6 +87,8 @@ class Coordinator:
         timeout_s: float = DEFAULT_TIMEOUT_S,
         transport: str = "memory",
         state_store=None,  # CoordinatorStateStore | None (§6 resilience)
+        recovery=None,  # RecoveryManager | None — installs §6 recovery
+        fault_injector=None,  # FaultInjector | None — convenience wiring
     ):
         if transport not in ("memory", "socket"):
             raise TransferError(f"unknown transport {transport!r}")
@@ -99,6 +103,13 @@ class Coordinator:
         self.timeout_s = timeout_s
         self.transport = transport
         self.state_store = state_store
+        if recovery is None and fault_injector is not None:
+            from repro.faults.recovery import RecoveryManager
+
+            recovery = RecoveryManager(injector=fault_injector)
+        #: §6 recovery driver; when set, streaming senders take the resilient
+        #: protocol (sequenced blocks, heartbeats, retries, partial restart).
+        self.recovery = recovery
         self._sessions: dict[str, StreamSession] = {}
         self._lock = threading.Lock()
 
@@ -276,6 +287,7 @@ class Coordinator:
                             ledger=self.cluster.ledger,
                             local=local,
                             receive_timeout_s=self.timeout_s,
+                            send_timeout_s=self.timeout_s,
                         )
                     else:
                         session.channels[cid] = StreamChannel(
@@ -367,7 +379,14 @@ class Coordinator:
     def notify_channel_failure(
         self, session_id: str, sql_worker_id: int, reason: str = ""
     ) -> dict:
-        """§6 hook: record a failure and return the coordinated restart plan."""
+        """§6 hook: record a *fatal* failure and return the restart plan.
+
+        This is the no-recovery tier: the session is marked failed and the
+        failed worker's channels close so stuck readers see EOF, not a hang.
+        When a :class:`~repro.faults.recovery.RecoveryManager` is installed
+        the sender calls :meth:`plan_partial_restart` instead and only falls
+        back here once the restart budget is exhausted.
+        """
         session = self.session(session_id)
         with self._lock:
             session.failed = True
@@ -376,3 +395,30 @@ class Coordinator:
             for cid in session.groups.get(sql_worker_id, []):
                 session.channels[cid].close()
         return session.restart_plan(sql_worker_id)
+
+    def plan_partial_restart(
+        self, session_id: str, sql_worker_id: int, reason: str = ""
+    ) -> dict:
+        """§6 executed: the *recoverable* failure path.
+
+        Unlike :meth:`notify_channel_failure` the session stays live and the
+        group's channels stay open — the restarted SQL worker will replay
+        its partition over them with sequenced blocks, and its k paired ML
+        readers (exactly the ``restart_plan`` set, nobody else) dedup the
+        replay by block sequence number.  The failure is logged on the
+        session for post-mortem inspection.
+        """
+        session = self.session(session_id)
+        with self._lock:
+            session.recovery_log.append(
+                {
+                    "sql_worker_id": sql_worker_id,
+                    "reason": reason or f"SQL worker {sql_worker_id} failed",
+                }
+            )
+            return session.restart_plan(sql_worker_id)
+
+    def record_heartbeat(self, session_id: str, worker_id: int) -> None:
+        """Liveness beat from a streaming worker (delegates to recovery)."""
+        if self.recovery is not None:
+            self.recovery.heartbeat(session_id, worker_id)

@@ -18,12 +18,14 @@ from collections import deque
 from collections.abc import Sequence
 
 from repro.cluster.cost import CostLedger
-from repro.common.errors import TransferError
+from repro.common.errors import ChannelTimeoutError, TransferError
 from repro.transfer.buffers import (
     block_logical_bytes,
     decode_block,
     encode_block,
     encode_row,
+    encode_seq_block,
+    split_seq_frame,
 )
 from repro.transfer.channel import ChannelId
 
@@ -42,6 +44,7 @@ class SocketStreamChannel:
         spill_path: str | None = None,  # kept for interface parity
         local: bool = False,
         receive_timeout_s: float = 30.0,
+        send_timeout_s: float = 30.0,
     ):
         self.channel_id = channel_id
         self.local = local
@@ -54,6 +57,7 @@ class SocketStreamChannel:
         except OSError:
             pass  # kernels clamp/deny; the overflow path still engages
         recv_sock.settimeout(receive_timeout_s)
+        self._send_timeout_s = send_timeout_s
         self._send_sock = send_sock
         self._recv_sock = recv_sock
         #: frames (or frame tails) the kernel buffer refused, FIFO
@@ -66,6 +70,11 @@ class SocketStreamChannel:
         self.rows_received = 0
         self.bytes_received = 0
         self.spilled_bytes = 0
+        #: §6 replay traffic and dedup counters (see StreamChannel)
+        self.retry_bytes = 0
+        self.duplicate_blocks = 0
+        self.duplicate_bytes = 0
+        self._last_seq = -1
 
     # ------------------------------------------------------------ SQL side
 
@@ -78,7 +87,13 @@ class SocketStreamChannel:
             return
         self._send_payload(encode_block(rows), num_rows=len(rows))
 
-    def _send_payload(self, payload: bytes, num_rows: int) -> None:
+    def send_block(self, rows: Sequence[tuple], seq: int, retry: bool = False) -> None:
+        """Send a sequenced RowBlock (§6 resilient path; see StreamChannel)."""
+        if not rows:
+            return
+        self._send_payload(encode_seq_block(rows, seq), num_rows=len(rows), retry=retry)
+
+    def _send_payload(self, payload: bytes, num_rows: int, retry: bool = False) -> None:
         if self._closed:
             raise TransferError("send on a closed channel")
         frame = _FRAME.pack(len(payload)) + payload
@@ -91,6 +106,11 @@ class SocketStreamChannel:
             if sent < len(frame):
                 self._spill(frame[sent:])
         logical = block_logical_bytes(payload)
+        if retry:
+            self.retry_bytes += logical
+            if self._ledger is not None:
+                self._ledger.add("stream.retry", logical)
+            return
         self.rows_sent += num_rows
         self.bytes_sent += logical
         if self._ledger is not None:
@@ -136,14 +156,14 @@ class SocketStreamChannel:
                 return
             # Blocking flush: wait for the kernel buffer to drain, with a
             # timeout so a dead reader surfaces as an error, not a hang.
-            self._send_sock.settimeout(30.0)
+            self._send_sock.settimeout(self._send_timeout_s)
             try:
                 remaining = self._overflow.popleft()
                 self._send_sock.sendall(remaining)
             except socket.timeout:
-                raise TransferError(
-                    f"channel {self.channel_id} flush timed out "
-                    "(reader gone?)"
+                raise ChannelTimeoutError(
+                    f"channel {self.channel_id} flush timed out after "
+                    f"{self._send_timeout_s}s (reader gone?)"
                 ) from None
             finally:
                 self._send_sock.setblocking(False)
@@ -152,27 +172,36 @@ class SocketStreamChannel:
 
     def receive_block(self, timeout: float | None = None) -> list[tuple] | None:
         """Next RowBlock (a one-row block when the sender used per-row
-        frames), or None at end of stream."""
+        frames), or None at end of stream.  Sequenced frames whose number
+        was already accepted are §6 replay duplicates: dropped and counted."""
         if self._pending:
             rows = list(self._pending)
             self._pending.clear()
             return rows
         if timeout is not None:
             self._recv_sock.settimeout(timeout)
-        header = self._read_exact(_FRAME.size)
-        if header is None:
-            return None
-        (length,) = _FRAME.unpack(header)
-        payload = self._read_exact(length)
-        if payload is None:
-            raise TransferError(
-                f"channel {self.channel_id} truncated mid-frame "
-                f"(expected {length} payload bytes)"
-            )
-        rows = decode_block(payload)
-        self.rows_received += len(rows)
-        self.bytes_received += block_logical_bytes(payload)
-        return rows
+        while True:
+            header = self._read_exact(_FRAME.size)
+            if header is None:
+                return None
+            (length,) = _FRAME.unpack(header)
+            payload = self._read_exact(length)
+            if payload is None:
+                raise TransferError(
+                    f"channel {self.channel_id} truncated mid-frame "
+                    f"(expected {length} payload bytes)"
+                )
+            seq, frame = split_seq_frame(payload)
+            if seq is not None:
+                if seq <= self._last_seq:
+                    self.duplicate_blocks += 1
+                    self.duplicate_bytes += block_logical_bytes(frame)
+                    continue
+                self._last_seq = seq
+            rows = decode_block(frame)
+            self.rows_received += len(rows)
+            self.bytes_received += block_logical_bytes(frame)
+            return rows
 
     def receive(self, timeout: float | None = None) -> tuple | None:
         if not self._pending:
@@ -194,7 +223,7 @@ class SocketStreamChannel:
             try:
                 chunk = self._recv_sock.recv(65536)
             except socket.timeout:
-                raise TransferError(
+                raise ChannelTimeoutError(
                     f"channel {self.channel_id} receive timed out"
                 ) from None
             if not chunk:

@@ -36,10 +36,23 @@ class StreamSplit(InputSplit):
 class StreamRecordReader(RecordReader):
     """Drains one channel until EOF; exposes ``bytes_read`` for accounting."""
 
-    def __init__(self, channel: StreamChannel, timeout_s: float):
+    def __init__(self, channel: StreamChannel, timeout_s: float, injector=None):
         self._channel = channel
         self._timeout_s = timeout_s
+        self._injector = injector  # FaultInjector | None (§6 ML-side chaos)
         self.bytes_read = 0
+        self.rows_read = 0
+
+    @property
+    def duplicate_blocks(self) -> int:
+        """§6 replayed blocks this reader's channel dropped by sequence
+        number (each logical row still crossed the boundary exactly once)."""
+        return self._channel.duplicate_blocks
+
+    @property
+    def duplicate_bytes(self) -> int:
+        """Logical bytes of the dropped replay blocks."""
+        return self._channel.duplicate_bytes
 
     def __iter__(self):
         # Drain whole RowBlocks: one receive (one lock acquisition / frame
@@ -50,6 +63,11 @@ class StreamRecordReader(RecordReader):
             if block is None:
                 return
             self.bytes_read += self._channel.bytes_received - before
+            self.rows_read += len(block)
+            if self._injector is not None:
+                self._injector.check_ml_kill(
+                    self._channel.channel_id.index, self.rows_read
+                )
             yield from block
 
 
@@ -84,4 +102,6 @@ class SQLStreamInputFormat(InputFormat):
         coordinator: Coordinator = conf.require_object("coordinator")
         channel = coordinator.register_ml_worker(split.session_id, split.channel_id)
         timeout_s = float(conf.get("stream.timeout_s", coordinator.timeout_s))
-        return StreamRecordReader(channel, timeout_s)
+        recovery = coordinator.recovery
+        injector = recovery.injector if recovery is not None else None
+        return StreamRecordReader(channel, timeout_s, injector=injector)

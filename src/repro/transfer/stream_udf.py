@@ -19,12 +19,46 @@ partition's rows round-robin across them (step 8), closes with EOF, and
 returns a one-row transfer summary.
 """
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
-from repro.common.errors import TransferError
+from repro.common.errors import (
+    RetriesExhaustedError,
+    TransferError,
+    WorkerFailedError,
+)
 from repro.sql.types import DataType, Schema
 from repro.sql.udf import TableUDF, UdfContext
 from repro.transfer.coordinator import Coordinator
+
+
+def plan_blocks(
+    partition: Sequence[tuple], k: int, batch_rows: int
+) -> list[tuple[int, int, list[tuple]]]:
+    """Deterministic round-robin blocking of a partition over k channels.
+
+    Returns ``(channel_index, sequence_number, rows)`` triples in send
+    order.  Row i goes to channel ``i % k`` exactly as in the seed path, and
+    the plan depends only on the partition and the settings — so a restarted
+    worker replaying its partition produces *identical* blocks with
+    identical per-channel sequence numbers, which is what makes the
+    receiver's dedup-by-seq sound (§6).
+    """
+    batch_rows = max(batch_rows, 1)
+    pending: list[list[tuple]] = [[] for _ in range(k)]
+    next_seq = [0] * k
+    blocks: list[tuple[int, int, list[tuple]]] = []
+    for i, row in enumerate(partition):
+        target = i % k
+        batch = pending[target]
+        batch.append(row)
+        if len(batch) >= batch_rows:
+            blocks.append((target, next_seq[target], list(batch)))
+            next_seq[target] += 1
+            batch.clear()
+    for target, batch in enumerate(pending):
+        if batch:  # EOF flush of the partial batch
+            blocks.append((target, next_seq[target], list(batch)))
+    return blocks
 
 
 def parse_ml_args(text: str) -> dict:
@@ -75,6 +109,13 @@ class StreamTransferUDF(TableUDF):
         if not channels:
             raise TransferError(f"worker {ctx.worker_id} was matched to no channels")
 
+        # Step 8 with §6 recovery installed: the resilient protocol.
+        if coordinator.recovery is not None:
+            yield from self._stream_resilient(
+                coordinator, session_id, ctx, channels, rows, session.batch_rows
+            )
+            return
+
         # Step 8: round-robin fan-out over this worker's k channels.  Row i
         # still goes to channel i % k exactly as in the per-row path, but
         # each channel's rows travel as RowBlocks of up to ``batch_rows``
@@ -108,6 +149,73 @@ class StreamTransferUDF(TableUDF):
         yield (
             ctx.worker_id,
             rows_sent,
+            sum(c.bytes_sent for c in channels),
+            sum(c.spilled_bytes for c in channels),
+        )
+
+    def _stream_resilient(
+        self,
+        coordinator: Coordinator,
+        session_id: str,
+        ctx: UdfContext,
+        channels: list,
+        rows: Iterable[tuple],
+        batch_rows: int,
+    ) -> Iterable[tuple]:
+        """Step 8 under the §6 recovery protocol.
+
+        The partition is materialized (it is the unit of replay) and planned
+        into sequenced blocks once; each block send beats the heartbeat,
+        consults the fault injector, and retries transient channel timeouts
+        with backoff.  A worker kill triggers a coordinated partial restart:
+        only this worker and its k paired ML readers restart, the whole
+        partition replays from block 0 in a *retry epoch* whose bytes charge
+        the separate ``stream.retry`` ledger counter, and receivers drop
+        already-accepted sequence numbers — so the ML side still ingests
+        each logical row exactly once.  Exhausted budgets escalate to
+        :meth:`Coordinator.notify_channel_failure`, failing the session so
+        the pipeline tier (full restart or DFS degradation) takes over.
+        """
+        recovery = coordinator.recovery
+        injector = recovery.injector
+        partition = list(rows)
+        blocks = plan_blocks(partition, len(channels), batch_rows)
+        epoch = 0
+        try:
+            while True:
+                try:
+                    rows_streamed = 0
+                    for target, seq, block in blocks:
+                        channel = channels[target]
+                        recovery.heartbeat(session_id, ctx.worker_id)
+                        injector.check_kill(ctx.worker_id, rows_streamed)
+                        recovery.send_with_retry(
+                            lambda c=channel, b=block, s=seq, r=epoch > 0: (
+                                c.send_block(b, s, retry=r)
+                            ),
+                            f"{session_id}/{channel.channel_id}",
+                        )
+                        rows_streamed += len(block)
+                    break
+                except WorkerFailedError as exc:
+                    # §6: restart this worker with its paired ML readers and
+                    # replay the partition; dedup-by-seq absorbs the overlap.
+                    recovery.begin_partial_restart(
+                        coordinator, session_id, ctx.worker_id, str(exc)
+                    )
+                    epoch += 1
+        except RetriesExhaustedError as exc:
+            # Budgets spent: fail the session so stuck readers see EOF and
+            # the failure escalates to the pipeline tier.
+            coordinator.notify_channel_failure(session_id, ctx.worker_id, str(exc))
+            raise
+        finally:
+            for channel in channels:
+                channel.close()
+
+        yield (
+            ctx.worker_id,
+            len(partition),
             sum(c.bytes_sent for c in channels),
             sum(c.spilled_bytes for c in channels),
         )

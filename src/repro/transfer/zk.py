@@ -78,6 +78,20 @@ class ZooKeeperLite:
                 self._delete_locked(path)
             return sorted(doomed)
 
+    def expire_session(self, client_id: str) -> list[str]:
+        """Server-side session expiry: the client missed its heartbeats.
+
+        Semantically identical to :meth:`close_session` — ephemerals vanish
+        and their watches fire — but it is the *coordination service's*
+        verdict, not the client's choice, which is exactly how §6's failure
+        detector learns that a worker died mid-transfer.  Raises if the
+        session was never started (expiring nothing is a bug in the caller).
+        """
+        with self._lock:
+            if client_id not in self._sessions:
+                raise ZkError(f"no session {client_id!r} to expire")
+            return self.close_session(client_id)
+
     # ----------------------------------------------------------------- CRUD
 
     def create(

@@ -91,6 +91,30 @@ class TestStreamingRetry:
         retried_stage = retried.stage("prep+trsfm+input").sim_seconds
         assert retried_stage > 1.5 * clean_stage
 
+    def test_full_restart_bytes_in_ordinary_counters(self, retail):
+        """A pipeline-tier full restart re-executes the *whole* transfer, so
+        the second attempt's bytes land in the ordinary ``stream.sent`` /
+        ``ml.ingest`` counters — exactly double a clean run.  The separate
+        ``stream.retry`` counter is reserved for §6 partial-restart replay
+        and stays at zero here."""
+        deployment, wl = retail
+        ledger = deployment.cluster.ledger
+        before = ledger.snapshot()
+        deployment.pipeline.run_insql_stream(wl.prep_sql, wl.spec, "noop")
+        clean_delta = ledger.delta(before, ledger.snapshot())
+
+        trainer, _state = flaky_trainer(fail_times=1)
+        deployment.ml.register_algorithm("flaky4", trainer)
+        before = ledger.snapshot()
+        retried = deployment.pipeline.run_insql_stream(
+            wl.prep_sql, wl.spec, "flaky4", max_attempts=2
+        )
+        retried_delta = ledger.delta(before, ledger.snapshot())
+        assert retried.attempts == 2
+        assert retried_delta["stream.sent"] == 2 * clean_delta["stream.sent"]
+        assert retried_delta["ml.ingest"] == 2 * clean_delta["ml.ingest"]
+        assert retried_delta.get("stream.retry", 0) == 0
+
 
 class TestUnsupervisedPath:
     def test_kmeans_over_stream_without_label(self, retail):

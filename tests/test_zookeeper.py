@@ -113,6 +113,97 @@ class TestWatches:
         assert events == ["deleted"]
 
 
+class TestSessionExpiry:
+    def test_expiry_removes_ephemerals_and_fires_watches(self):
+        """§6 failure detection: a worker that stops heartbeating has its ZK
+        session expired; its ephemeral znodes vanish and watchers learn."""
+        zk = ZooKeeperLite()
+        zk.start_session("worker-2")
+        zk.ensure_path("/workers")
+        zk.create("/workers/2", b"10.0.0.2", ephemeral_owner="worker-2")
+        zk.create("/workers/2-standby", b"", ephemeral_owner="worker-2")
+        events = []
+        zk.watch("/workers/2", lambda path, event: events.append((path, event)))
+        removed = zk.expire_session("worker-2")
+        assert sorted(removed) == ["/workers/2", "/workers/2-standby"]
+        assert events == [("/workers/2", "deleted")]
+        assert not zk.exists("/workers/2")
+        # The session is gone: its ephemerals cannot come back under it.
+        with pytest.raises(ZkError, match="session"):
+            zk.create("/workers/2", ephemeral_owner="worker-2")
+
+    def test_expiring_unknown_session_raises(self):
+        zk = ZooKeeperLite()
+        with pytest.raises(ZkError, match="expire"):
+            zk.expire_session("never-started")
+        zk.start_session("once")
+        zk.close_session("once")
+        with pytest.raises(ZkError, match="expire"):
+            zk.expire_session("once")
+
+    def test_persistent_nodes_survive_expiry(self):
+        zk = ZooKeeperLite()
+        zk.start_session("s")
+        zk.ensure_path("/app")  # persistent
+        zk.create("/app/eph", b"", ephemeral_owner="s")
+        zk.expire_session("s")
+        assert zk.exists("/app")
+        assert not zk.exists("/app/eph")
+
+    def test_expiry_mid_transfer_names_the_restart_group(self):
+        """The §6 tie-in: each streaming SQL worker holds an ephemeral
+        znode; when its session expires mid-transfer, the deletion watch
+        hands the coordinator exactly that worker's restart plan — the
+        failed worker plus its k paired ML workers, nobody else."""
+        deployment = make_deployment(block_size=64 * 1024)
+        coordinator = deployment.coordinator
+        engine = deployment.engine
+        engine.create_table(
+            "pts", Schema.of(("x", DataType.DOUBLE)), [(float(i),) for i in range(40)]
+        )
+        coordinator.create_session(
+            "expiry", command="noop", conf_props={"record.format": "raw"}
+        )
+        engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT x FROM pts), 'expiry')) AS s"
+        )
+        coordinator.wait_result("expiry")
+
+        zk = ZooKeeperLite()
+        zk.ensure_path("/sessions/expiry")
+        session = coordinator.session("expiry")
+        for worker_id in session.sql_workers:
+            zk.start_session(f"sql-{worker_id}")
+            zk.create(
+                f"/sessions/expiry/{worker_id}",
+                b"",
+                ephemeral_owner=f"sql-{worker_id}",
+            )
+        plans = []
+
+        def on_deleted(worker_id):
+            def callback(_path, event):
+                if event == "deleted":
+                    plans.append(coordinator.session("expiry").restart_plan(worker_id))
+
+            return callback
+
+        for worker_id in session.sql_workers:
+            zk.watch(f"/sessions/expiry/{worker_id}", on_deleted(worker_id))
+        zk.expire_session("sql-1")
+        assert len(plans) == 1
+        plan = plans[0]
+        assert plan["restart_sql_worker"] == 1
+        assert plan["restart_ml_workers"] == [
+            cid.index for cid in session.groups[1]
+        ]
+        # Only worker 1's k readers restart; every other group is untouched.
+        k = len(session.groups[1])
+        others = {i for w, g in session.groups.items() if w != 1 for i in (c.index for c in g)}
+        assert not others & set(plan["restart_ml_workers"])
+        assert len(plan["restart_ml_workers"]) == k
+
+
 class TestCoordinatorResilience:
     def test_session_metadata_mirrored_and_recoverable(self):
         """§6: with the state store attached, a replacement coordinator can
