@@ -1,0 +1,55 @@
+"""Ablation G: checkpoint-interval sweep x ML-stage fault recovery (§6).
+
+Shape: every run — resumed, replayed, or fully restarted — delivers the
+exact fault-free model; fault-free transfer bytes are invariant at every
+interval (checkpoint traffic rides its own counters); in-place resume
+recovers without a pipeline restart while the conservative baseline pays
+a whole extra attempt.
+"""
+
+from repro.bench.ablation_checkpoint import report, run_checkpoint_ablation
+
+
+def test_checkpoint_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_checkpoint_ablation(num_users=200, num_carts=2_000),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 7
+    by_mode = {r.mode: r for r in rows}
+
+    # Weight-for-weight identity: every recovery mode reproduces the
+    # fault-free model exactly.
+    assert all(r.model_matches for r in rows)
+
+    # Fault-free byte invariance at every checkpoint interval: the stream
+    # transfer counters never move; only checkpoint.write does.
+    clean = by_mode["clean-off"]
+    for mode in ("clean-ckpt-1", "clean-ckpt-4"):
+        assert by_mode[mode].stream_bytes == clean.stream_bytes
+        assert by_mode[mode].checkpoint_bytes > 0
+    assert clean.checkpoint_bytes == 0
+
+    # Denser checkpointing writes more snapshot bytes.
+    assert by_mode["clean-ckpt-1"].checkpoint_bytes > by_mode["clean-ckpt-4"].checkpoint_bytes
+
+    # Tier 1: the kill is absorbed in place — no pipeline restart.
+    for mode in ("resume-ckpt-1", "resume-ckpt-4"):
+        assert by_mode[mode].tier == "resume_checkpoint"
+        assert by_mode[mode].attempts == 1
+        assert by_mode[mode].train_attempts == 2
+
+    # Tier 3: with checkpointing off, the ladder replays the rewritten
+    # query — replay traffic rides its dedicated counter.
+    assert by_mode["replay-query"].tier == "replay_query"
+    assert by_mode["replay-query"].attempts == 1
+    assert by_mode["replay-query"].replay_bytes > 0
+
+    # The conservative baseline re-runs the whole pipeline instead.
+    assert by_mode["full-restart"].tier == "full_restart"
+    assert by_mode["full-restart"].attempts == 2
+    assert by_mode["full-restart"].stream_bytes > clean.stream_bytes
+
+    print()
+    print(report(rows))

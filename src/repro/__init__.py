@@ -86,6 +86,8 @@ def make_deployment(
     transport: str = "memory",
     fault_injector=None,  # FaultInjector | None (§6 chaos testing)
     recovery=None,  # RecoveryManager | None (§6 recovery protocol)
+    checkpoint_dir: str | None = None,  # DFS dir for training checkpoints
+    checkpoint_interval: int = 0,  # iterations between saves; 0 = off
 ) -> Deployment:
     """Build the paper's testbed topology, fully wired.
 
@@ -108,6 +110,12 @@ def make_deployment(
     and/or a :class:`~repro.faults.recovery.RecoveryManager` (heartbeats,
     send retries, coordinated partial restart).  Passing only an injector
     wraps it in a default RecoveryManager.
+
+    ``checkpoint_interval > 0`` turns on §6 resumable training: a
+    :class:`~repro.checkpoint.CheckpointStore` on the DFS (under
+    ``checkpoint_dir``, default ``/checkpoints``) snapshots iterative-model
+    state every that-many iterations.  Off by default — the fault-free byte
+    ledgers of Figures 3/4 stay bit-identical unless opted in.
     """
     cluster = make_paper_cluster(num_workers)
     dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
@@ -121,6 +129,20 @@ def make_deployment(
         recovery=recovery,
         fault_injector=fault_injector,
     )
+    effective_injector = fault_injector or (
+        coordinator.recovery.injector if coordinator.recovery is not None else None
+    )
+    ml.fault_injector = effective_injector
+    if checkpoint_interval > 0:
+        from repro.checkpoint import CheckpointStore
+
+        ml.checkpoint_store = CheckpointStore(
+            dfs,
+            base_dir=checkpoint_dir or "/checkpoints",
+            ledger=cluster.ledger,
+            injector=effective_injector,
+        )
+        ml.checkpoint_interval = checkpoint_interval
     pipeline = AnalyticsPipeline(
         cluster=cluster,
         dfs=dfs,

@@ -1,0 +1,190 @@
+"""Ablation G: checkpoint-interval sweep vs ML-stage fault recovery (§6).
+
+The checkpoint subsystem trades steady-state overhead (snapshot bytes per
+iteration) against recovery work when an iterative trainer dies.  This
+ablation sweeps the interval (off / every iteration / every k) under both
+a fault-free run and an injected ``ml.iteration_kill`` halfway through
+training, and compares the recovery tiers end to end:
+
+* ``resume-ckpt-1`` / ``resume-ckpt-4`` — tier 1: restore the latest
+  snapshot and finish the remaining iterations in place;
+* ``replay-query`` — tier 3 (checkpointing off): re-run the rewritten
+  query, rebuild the exact streamed partition layout, retrain from scratch;
+* ``full-restart`` — the conservative baseline (no recovery manager
+  installed): the whole pipeline re-runs, SQL stages included.
+
+Expected shape: fault-free rows are byte-identical on every transfer
+counter at any interval (checkpoint traffic rides its own counters); under
+the kill every mode delivers the exact fault-free model, with recovery
+wall-clock growing from resume (cheapest) through replay to full restart.
+"""
+
+import time
+from dataclasses import dataclass
+
+from repro import make_deployment
+from repro.bench.common import format_table
+from repro.faults import FaultConfig, FaultInjector
+from repro.workloads.retail import generate_retail
+
+ITERATIONS = 12
+
+
+@dataclass
+class CheckpointAblationRow:
+    mode: str
+    fault: str  # "none" | "kill"
+    interval: int  # 0 = checkpointing off
+    tier: str | None  # recovery tier that produced the surviving model
+    attempts: int  # whole-pipeline attempts
+    train_attempts: int
+    wall_seconds: float
+    stream_bytes: int  # fault-free transfer counter (must stay invariant)
+    checkpoint_bytes: int  # dedicated checkpoint.write counter
+    replay_bytes: int  # dedicated ml.replay counter
+    model_matches: bool  # weight-identical to the fault-free baseline
+
+
+def _model_key(model):
+    return (
+        tuple(model.weights.tolist()),
+        model.intercept,
+    )
+
+
+def _run_once(
+    mode: str,
+    fault: str,
+    interval: int,
+    seed: int,
+    num_users: int,
+    num_carts: int,
+    with_recovery: bool = True,
+):
+    injector = None
+    if fault == "kill":
+        injector = FaultInjector(
+            FaultConfig(seed=seed, kill_train_at=ITERATIONS // 2)
+        )
+    deployment = make_deployment(
+        block_size=256 * 1024,
+        batch_rows=16,
+        fault_injector=injector if with_recovery else None,
+        checkpoint_interval=interval,
+    )
+    if not with_recovery and injector is not None:
+        # The conservative baseline: training chaos with *no* recovery
+        # manager, so an ML-stage death restarts the whole pipeline.
+        deployment.ml.fault_injector = injector
+    workload = generate_retail(
+        deployment.engine, deployment.dfs, num_users=num_users, num_carts=num_carts
+    )
+    deployment.pipeline.byte_scale = workload.byte_scale
+    ledger = deployment.cluster.ledger
+    before = ledger.snapshot()
+    start = time.perf_counter()
+    result = deployment.pipeline.run_insql_stream(
+        workload.prep_sql,
+        workload.spec,
+        "svm_with_sgd",
+        args={"iterations": ITERATIONS},
+        max_attempts=2 if not with_recovery else 1,
+    )
+    wall = time.perf_counter() - start
+    delta = ledger.delta(before, ledger.snapshot())
+    tier = result.ml_recovery_tier
+    if not with_recovery and result.attempts > 1:
+        tier = "full_restart"
+    return result, CheckpointAblationRow(
+        mode=mode,
+        fault=fault,
+        interval=interval,
+        tier=tier,
+        attempts=result.attempts,
+        train_attempts=result.ml_result.train_attempts,
+        wall_seconds=wall,
+        stream_bytes=delta["stream.sent"],
+        checkpoint_bytes=delta.get("checkpoint.write", 0),
+        replay_bytes=delta.get("ml.replay", 0),
+        model_matches=False,  # filled in by the sweep
+    )
+
+
+def run_checkpoint_ablation(
+    seed: int = 11,
+    num_users: int = 300,
+    num_carts: int = 3_000,
+) -> list[CheckpointAblationRow]:
+    """Interval sweep x fault sweep; every row is one end-to-end run."""
+    baseline_result, baseline_row = _run_once(
+        "clean-off", "none", 0, seed, num_users, num_carts
+    )
+    baseline_key = _model_key(baseline_result.ml_result.model)
+
+    plan = [
+        # fault-free interval sweep: the steady-state overhead rows
+        ("clean-ckpt-1", "none", 1, True),
+        ("clean-ckpt-4", "none", 4, True),
+        # iteration-kill sweep: one row per recovery mode
+        ("resume-ckpt-1", "kill", 1, True),
+        ("resume-ckpt-4", "kill", 4, True),
+        ("replay-query", "kill", 0, True),
+        ("full-restart", "kill", 0, False),
+    ]
+    rows = [baseline_row]
+    results = [baseline_result]
+    for mode, fault, interval, with_recovery in plan:
+        result, row = _run_once(
+            mode, fault, interval, seed, num_users, num_carts, with_recovery
+        )
+        rows.append(row)
+        results.append(result)
+    for row, result in zip(rows, results):
+        row.model_matches = _model_key(result.ml_result.model) == baseline_key
+    return rows
+
+
+def report(rows: list[CheckpointAblationRow]) -> str:
+    table = [
+        [
+            r.mode,
+            r.fault,
+            f"{r.interval}",
+            r.tier or "-",
+            f"{r.attempts}/{r.train_attempts}",
+            f"{r.wall_seconds * 1000:.0f} ms",
+            f"{r.stream_bytes}",
+            f"{r.checkpoint_bytes}",
+            f"{r.replay_bytes}",
+            "yes" if r.model_matches else "NO",
+        ]
+        for r in rows
+    ]
+    return "\n".join(
+        [
+            "Ablation G — checkpoint interval vs ML-stage fault recovery (§6)",
+            format_table(
+                [
+                    "mode",
+                    "fault",
+                    "intvl",
+                    "tier",
+                    "att/train",
+                    "wall",
+                    "stream bytes",
+                    "ckpt bytes",
+                    "replay bytes",
+                    "model ok",
+                ],
+                table,
+            ),
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run_checkpoint_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -166,6 +166,31 @@ class CacheManager:
         self.stats.recode_map_misses += 1
         return None
 
+    def peek_kind(self, query: SelectQuery | str, spec: TransformSpec) -> str | None:
+        """Which cache tier *would* answer this query — without touching the
+        hit/miss counters.  Returns ``"transformed"``, ``"recode_map"``, or
+        None.  The §6 recovery ladder uses this to decide whether the
+        replay-from-cache tier is available before committing to it."""
+        shape = self._shape_or_none(query)
+        if shape is None:
+            return None
+        with self._lock:
+            transformed = list(self._transformed_entries)
+            recode = list(self._recode_entries)
+        for entry in transformed:
+            if not self._fresh(entry.base_versions):
+                continue
+            if not self._spec_compatible(spec, entry.spec):
+                continue
+            if match_full_cache(shape, entry.shape) is not None:
+                return "transformed"
+        for entry in recode:
+            if not self._fresh(entry.base_versions):
+                continue
+            if match_recode_map(shape, spec, entry.shape, entry.spec) is not None:
+                return "recode_map"
+        return None
+
     # ----------------------------------------------------------- maintenance
 
     def invalidate_table(self, table_name: str) -> int:

@@ -1,0 +1,15 @@
+"""Checkpointing of iterative ML training state (§6 ML-stage recovery).
+
+The streaming transfer of §3 deliberately never lands the SQL output on the
+DFS, so an analytics-side failure after ingest has nothing to re-read — the
+paper's observation that "the whole integration pipeline has to be restarted
+from scratch".  This package restores MapReduce-style restartability for the
+ML stage itself: :class:`CheckpointStore` persists checksummed, versioned
+snapshots of iterative-model state to the simulated HDFS with atomic
+write-then-rename, and :class:`TrainCheckpointer` is the per-job hook the
+iterative trainers call at every iteration boundary.
+"""
+
+from repro.checkpoint.store import CheckpointStore, TrainCheckpointer
+
+__all__ = ["CheckpointStore", "TrainCheckpointer"]

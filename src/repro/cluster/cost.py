@@ -196,6 +196,12 @@ class CostLedger:
         "broker.out",
         "broker.retry",
         "ml.ingest",
+        "checkpoint.write",
+        "checkpoint.read",
+        "ml.replay",
+        # Row *counts* (not bytes) of dirty-data handling in the recode UDF.
+        "transform.unseen_nulled",
+        "transform.rows_skipped",
     )
 
     def __init__(self) -> None:

@@ -82,5 +82,48 @@ class MLError(ReproError):
     """An ML job or algorithm failed (bad input, non-convergence guards)."""
 
 
+class IngestError(MLError):
+    """Building the in-memory Dataset failed for one or more input splits.
+
+    Distinguishing *ingest* failures from *training* failures is what makes
+    the §6 ML-stage recovery ladder sound: a dead reader means rows were
+    lost in flight (recovery must replay the transfer), while a training
+    crash happened with the data fully delivered (recovery can resume from
+    a checkpoint or replay the input from lineage)."""
+
+    def __init__(self, message: str, failed_split_ids: tuple[int, ...] = ()):
+        self.failed_split_ids = tuple(failed_split_ids)
+        super().__init__(message)
+
+
+class TrainingInterrupted(MLError):
+    """An iterative trainer died mid-run (injected or real).  Carries the
+    iteration boundary it reached so recovery can report how much progress a
+    checkpoint-resume preserved."""
+
+    def __init__(self, message: str, iteration: int | None = None):
+        self.iteration = iteration
+        super().__init__(message)
+
+
+class CheckpointError(ReproError):
+    """Writing or reading an ML training checkpoint failed."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed its checksum/format validation on load."""
+
+
+class TransformError(ReproError):
+    """A data transformation could not be applied — e.g. a recode map is
+    missing a column, or an ``on_unseen='error'`` policy met a category
+    that phase 1 never observed (the dirty-data case)."""
+
+    def __init__(self, message: str, column: str | None = None, value=None):
+        self.column = column
+        self.value = value
+        super().__init__(message)
+
+
 class CacheError(ReproError):
     """Cache lookup/insert/invalidation failed."""

@@ -8,12 +8,18 @@ failed SQL worker together with its k paired ML workers.
 """
 
 from repro.faults.injector import FaultConfig, FaultEvent, FaultInjector
-from repro.faults.recovery import RecoveryManager, RestartEvent, RetryPolicy
+from repro.faults.recovery import (
+    MLRecoveryEvent,
+    RecoveryManager,
+    RestartEvent,
+    RetryPolicy,
+)
 
 __all__ = [
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",
+    "MLRecoveryEvent",
     "RecoveryManager",
     "RestartEvent",
     "RetryPolicy",

@@ -21,7 +21,14 @@ Injection sites (all no-ops when the matching rate/point is unset):
   (sleep) on one send;
 * ``corrupt_fetch(payload, site)`` — bit-flips a broker record in flight;
 * ``check_duplicate_fetch(site)`` — re-delivers a broker fetch, modelling a
-  consumer that died after processing but before committing.
+  consumer that died after processing but before committing;
+* ``check_train_kill(job_id, iteration)`` — the ``ml.iteration_kill`` site:
+  crashes iterative training at an iteration boundary (one-shot; recovered
+  by checkpoint resume or the lineage replay ladder);
+* ``check_checkpoint_write(site)`` — the ``checkpoint.write_fail`` site:
+  fails a checkpoint commit between tmp-write and rename;
+* ``corrupt_checkpoint(payload, site)`` — the ``checkpoint.corrupt`` site:
+  flips a payload byte after the checksum is computed, so loads detect it.
 
 Every injected event is recorded in :attr:`FaultInjector.events` so tests
 and the chaos benchmark can assert exactly what happened.
@@ -32,7 +39,12 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.common.errors import ChannelTimeoutError, WorkerFailedError
+from repro.common.errors import (
+    ChannelTimeoutError,
+    CheckpointError,
+    TrainingInterrupted,
+    WorkerFailedError,
+)
 from repro.common.rng import derive_seed, make_rng
 
 
@@ -65,6 +77,13 @@ class FaultConfig:
     broker_duplicate_rate: float = 0.0
     #: probability one broker append fails transiently before commit
     producer_drop_rate: float = 0.0
+    #: deterministic training crash: kill the first ML training job that
+    #: completes this many iterations (0 = off; one-shot, like ``kill_at``)
+    kill_train_at: int = 0
+    #: probability one checkpoint commit fails between write and rename
+    checkpoint_write_fail_rate: float = 0.0
+    #: probability one checkpoint payload is corrupted after checksumming
+    checkpoint_corrupt_rate: float = 0.0
     #: cap on rate-driven kills (None = unlimited; kill_at is separate)
     max_kills: int | None = 1
     #: cap on all transient events — drops, stalls, corruptions, duplicates
@@ -81,6 +100,9 @@ class FaultConfig:
             or self.broker_corrupt_rate
             or self.broker_duplicate_rate
             or self.producer_drop_rate
+            or self.kill_train_at
+            or self.checkpoint_write_fail_rate
+            or self.checkpoint_corrupt_rate
         )
 
 
@@ -102,6 +124,7 @@ class FaultInjector:
         self._rngs: dict[str, object] = {}
         self._killed: set[int] = set()  # workers already point-killed
         self._killed_ml: set[int] = set()  # ML readers already point-killed
+        self._killed_train = False  # the one-shot ml.iteration_kill fired
         self._kills = 0
         self._events_used = 0
         self.events: list[FaultEvent] = []
@@ -221,6 +244,55 @@ class FaultInjector:
                 self._record("stall", channel_key)
                 if self.config.stall_seconds > 0:
                     self._sleep(self.config.stall_seconds)
+
+    # ------------------------------------------- ML training / checkpoints
+
+    def check_train_kill(self, job_id: str, iteration: int) -> None:
+        """The ``ml.iteration_kill`` site: crash iterative training at an
+        iteration boundary (one-shot — the resumed/replayed run survives).
+
+        Fires *after* the iteration's checkpoint window, so a checkpointing
+        run resumes from exactly the killed iteration and stays
+        weight-for-weight identical to an uninterrupted run.
+        """
+        if not self.enabled:
+            return
+        point = self.config.kill_train_at
+        if not point or iteration < point:
+            return
+        with self._lock:
+            if self._killed_train:
+                return
+            self._killed_train = True
+        self._record("iteration_kill", f"ml-train-{job_id}")
+        raise TrainingInterrupted(
+            f"injected training crash of job {job_id!r} at iteration {iteration}",
+            iteration=iteration,
+        )
+
+    def check_checkpoint_write(self, site: str) -> None:
+        """The ``checkpoint.write_fail`` site: fail one checkpoint commit in
+        the write-then-rename window (the tmp file exists, the committed
+        name never appears — atomicity keeps older checkpoints valid)."""
+        if not self.enabled:
+            return
+        rate = self.config.checkpoint_write_fail_rate
+        if rate and self._rng(f"ckptw/{site}").random() < rate:
+            if self._take_event_budget():
+                self._record("checkpoint_write_fail", site)
+                raise CheckpointError(f"injected checkpoint write failure at {site}")
+
+    def corrupt_checkpoint(self, payload: bytes, site: str) -> bytes:
+        """The ``checkpoint.corrupt`` site: flip one payload byte *after*
+        the store computed its checksum, so every load detects the damage
+        and falls back to the previous version (or a fresh start)."""
+        if not self.enabled or not self.config.checkpoint_corrupt_rate:
+            return payload
+        if self._rng(f"ckptc/{site}").random() < self.config.checkpoint_corrupt_rate:
+            if self._take_event_budget() and payload:
+                self._record("checkpoint_corrupt", site)
+                return payload[:-1] + bytes([payload[-1] ^ 0xFF])
+        return payload
 
     # --------------------------------------------------------- broker sites
 

@@ -59,6 +59,22 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
+class MLRecoveryEvent:
+    """One ML-stage recovery action, in escalation-ladder order.
+
+    ``tier`` is one of ``resume_checkpoint`` (training retried in place
+    from the latest checkpoint), ``replay_cache`` (input rebuilt from a §5
+    cached view / recode map), ``replay_query`` (input rebuilt by re-running
+    the rewritten transform query), ``full_restart`` (ladder exhausted —
+    the pipeline-tier attempt loop or DFS degradation takes over).
+    """
+
+    job_id: str
+    tier: str
+    reason: str
+
+
+@dataclass(frozen=True)
 class RestartEvent:
     """One executed partial restart, for assertions and reporting."""
 
@@ -105,6 +121,7 @@ class RecoveryManager:
         self._lock = threading.Lock()
         self._sessions: dict[str, _SessionRecoveryState] = {}
         self.restart_events: list[RestartEvent] = []
+        self.ml_recovery_events: list[MLRecoveryEvent] = []
         self.send_retries = 0
 
     # ------------------------------------------------------------ heartbeat
@@ -209,6 +226,32 @@ class RecoveryManager:
         )
         return plan
 
+    # ------------------------------------------------- ML-stage escalation
+
+    def ml_stage_ladder(self, cache_warm: bool) -> tuple[str, ...]:
+        """The §6 escalation order for a *training-stage* fault.
+
+        Resume-from-checkpoint is tier 0 and runs inside
+        ``MLSystem.run_job`` (the dataset is still in memory there); faults
+        that escape it reach the pipeline, which walks this ladder:
+        rebuild the input from the §5 caches when they are warm, else
+        re-run the rewritten transform query, else hand back to the
+        full-restart attempt loop.
+        """
+        tiers = ("replay_cache",) if cache_warm else ()
+        return tiers + ("replay_query", "full_restart")
+
+    def record_ml_recovery(self, job_id: str, tier: str, reason: str) -> None:
+        """Log one executed ML-stage recovery action."""
+        with self._lock:
+            self.ml_recovery_events.append(
+                MLRecoveryEvent(job_id=job_id, tier=tier, reason=reason)
+            )
+
+    def ml_recoveries_of(self, job_id: str) -> list[MLRecoveryEvent]:
+        with self._lock:
+            return [e for e in self.ml_recovery_events if e.job_id == job_id]
+
     # -------------------------------------------------------------- summary
 
     def summary(self) -> dict:
@@ -217,5 +260,6 @@ class RecoveryManager:
             return {
                 "send_retries": self.send_retries,
                 "partial_restarts": len(self.restart_events),
+                "ml_recoveries": len(self.ml_recovery_events),
                 "injected": dict(self.injector.counts),
             }

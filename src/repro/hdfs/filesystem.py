@@ -260,9 +260,12 @@ class DistributedFileSystem:
             for datanode in self.datanodes.values():
                 datanode.delete_block(block_id)
 
-    def rename(self, src: str, dst: str) -> None:
-        """Rename a completed file."""
-        self.namenode.rename(src, dst)
+    def rename(self, src: str, dst: str, overwrite: bool = False) -> None:
+        """Rename a completed file; ``overwrite`` atomically replaces an
+        existing destination file (write-then-rename commit)."""
+        for block_id in self.namenode.rename(src, dst, overwrite=overwrite):
+            for datanode in self.datanodes.values():
+                datanode.delete_block(block_id)
 
     def status(self, path: str) -> FileStatus:
         """Metadata of a completed file."""

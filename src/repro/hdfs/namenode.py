@@ -186,19 +186,32 @@ class NameNode:
                 return reclaimed
             raise FileNotFoundInDfs(path)
 
-    def rename(self, src: str, dst: str) -> None:
-        """Rename a completed file (directories not supported)."""
+    def rename(self, src: str, dst: str, overwrite: bool = False) -> list[str]:
+        """Rename a completed file (directories not supported).
+
+        With ``overwrite`` an existing destination *file* is atomically
+        replaced under the namespace lock — the commit step of the
+        write-then-rename protocol (checkpoints, spill promotion).  Returns
+        the replaced file's block ids so the caller can reclaim replicas
+        (empty for a plain rename).
+        """
         src, dst = _normalize(src), _normalize(dst)
         with self._lock:
             meta = self._files.get(src)
             if meta is None:
                 raise FileNotFoundInDfs(src)
-            if dst in self._files or dst in self._dirs:
+            if dst in self._dirs:
                 raise FileAlreadyExists(dst)
+            reclaimed: list[str] = []
+            if dst in self._files:
+                if not overwrite:
+                    raise FileAlreadyExists(dst)
+                reclaimed = [b.block_id for b in self._files.pop(dst).blocks]
             del self._files[src]
             meta.path = dst
             self._files[dst] = meta
             self._ensure_parents(dst)
+            return reclaimed
 
     def replica_map(self, path: str) -> dict[str, tuple[str, ...]]:
         """block_id -> replica host IPs for one file."""

@@ -1,6 +1,7 @@
 """The end-to-end analytics pipeline: SQL -> transform -> transfer -> ML."""
 
 import itertools
+import pickle
 import time
 
 from repro.broker.broker import MessageBroker
@@ -8,13 +9,14 @@ from repro.broker.inputformat import BrokerInputFormat
 from repro.broker.transfer_udf import BrokerTransferUDF
 from repro.cluster.cluster import Cluster
 from repro.cluster.cost import CostModel, paper_cost_model
-from repro.common.errors import ReproError
+from repro.common.errors import IngestError, MLError, ReproError
 from repro.hdfs.filesystem import DistributedFileSystem
 from repro.integration.jaql import JaqlEngine
-from repro.integration.stages import PipelineResult, StageTiming
+from repro.integration.stages import DatasetLineage, PipelineResult, StageTiming
 from repro.iofmt.inputformat import JobConf
 from repro.iofmt.text import CsvInputFormat
 from repro.caching.cache import CacheManager
+from repro.ml.dataset import Dataset
 from repro.ml.system import MLJobResult, MLSystem
 from repro.rewriter.rewriter import QueryRewriter, RewritePlan
 from repro.sql.engine import BigSQL
@@ -62,6 +64,14 @@ class AnalyticsPipeline:
         self.coordinator = coordinator or Coordinator(cluster)
         connect(self.coordinator, ml_system)
         engine.add_service("coordinator", self.coordinator)
+        # §6: let the training-stage chaos sites (ml.iteration_kill,
+        # checkpoint.*) reach the ML system even when it was constructed
+        # before the fault machinery.
+        if (
+            getattr(ml_system, "fault_injector", None) is None
+            and self.coordinator.recovery is not None
+        ):
+            ml_system.fault_injector = self.coordinator.recovery.injector
 
         self.broker = MessageBroker(ledger=cluster.ledger)
         engine.add_service("broker", self.broker)
@@ -210,6 +220,27 @@ class AnalyticsPipeline:
         result.stages.append(ingest_stage)
         result.stages.append(train_stage)
         result.ml_result = ml_result
+        result.lineage = DatasetLineage(
+            approach="insql",
+            user_sql=plan.user_query.to_sql(),
+            rewrite_kind=plan.kind,
+            inner_sql=plan.inner_sql,
+            pass1_sql=plan.pass1_sql,
+            map_handle=plan.map_handle,
+            cached_view=plan.cached_view,
+            spec=spec,
+            command=command,
+            args=dict(args or {}),
+            job_id=f"mljob_{run_id}",
+            cache_state=(
+                self.cache.peek_kind(plan.user_query, spec) if use_cache else None
+            ),
+        )
+        ml_result.lineage = result.lineage
+        result.transform_stats = {
+            "unseen_nulled": self._delta(before, "transform.unseen_nulled"),
+            "rows_skipped": self._delta(before, "transform.rows_skipped"),
+        }
         return result
 
     # ---------------------------------------------------------- insql+stream
@@ -249,7 +280,30 @@ class AnalyticsPipeline:
             result.stages.append(pass1_stage)
 
         label_index, label_offset = self._label_position_from_plan(plan, spec)
-        conf_props = self._ml_conf_props(label_index, label_offset)
+        job_id = f"mljob_{run_id}"
+        # checkpoint.job_id is pinned per pipeline run (not per attempt), so
+        # a full-pipeline restart resumes from the previous attempt's saves.
+        conf_props = dict(
+            self._ml_conf_props(label_index, label_offset),
+            **self._checkpoint_props(job_id),
+        )
+        lineage = DatasetLineage(
+            approach="insql+stream",
+            user_sql=plan.user_query.to_sql(),
+            rewrite_kind=plan.kind,
+            inner_sql=plan.inner_sql,
+            pass1_sql=plan.pass1_sql,
+            map_handle=plan.map_handle,
+            cached_view=plan.cached_view,
+            spec=spec,
+            command=command,
+            args=dict(args or {}),
+            job_id=job_id,
+            cache_state=(
+                self.cache.peek_kind(plan.user_query, spec) if use_cache else None
+            ),
+        )
+        result.lineage = lineage
 
         attempt = 0
         before = self.cluster.ledger.snapshot()
@@ -267,7 +321,17 @@ class AnalyticsPipeline:
                 self.engine.execute(plan.final_sql(session_id))
                 ml_result: MLJobResult = self.coordinator.wait_result(session_id)
                 break
-            except ReproError:
+            except ReproError as exc:
+                # §6 ML-stage ladder: a *training* fault (data fully
+                # delivered) can be recovered without re-streaming — replay
+                # the lineage.  Ingest/transfer faults fall through to the
+                # full-restart attempt loop below, unchanged.
+                recovered = self._recover_ml_stage(
+                    exc, lineage, spec, command, args, conf_props, result
+                )
+                if recovered is not None:
+                    ml_result = recovered
+                    break
                 if attempt >= max_attempts:
                     if degrade_to_dfs:
                         fallback = self.run_insql(
@@ -281,6 +345,10 @@ class AnalyticsPipeline:
                 self.coordinator.close_session(session_id)
         wall = time.perf_counter() - t0
         result.attempts = attempt
+        if result.ml_recovery_tier is None and ml_result.train_attempts > 1:
+            # The cheapest tier ran *inside* the ML system: training crashed
+            # and resumed in place from its checkpoint.
+            result.ml_recovery_tier = "resume_checkpoint"
 
         scan = self._delta(before, "sql.scan")
         streamed = self._delta(before, "stream.sent")
@@ -301,6 +369,11 @@ class AnalyticsPipeline:
             self._train_stage(ml_result, streamed, args)
         )
         result.ml_result = ml_result
+        ml_result.lineage = lineage
+        result.transform_stats = {
+            "unseen_nulled": self._delta(before, "transform.unseen_nulled"),
+            "rows_skipped": self._delta(before, "transform.rows_skipped"),
+        }
         return result
 
     # ---------------------------------------------------------- insql+broker
@@ -468,6 +541,119 @@ class AnalyticsPipeline:
             bytes_in=scan * self.byte_scale,
             bytes_out=0.0,
         )
+
+    def _checkpoint_props(self, job_id: str) -> dict:
+        """Checkpointing conf for one pipeline run (empty when it is off)."""
+        interval = getattr(self.ml_system, "checkpoint_interval", 0)
+        store = getattr(self.ml_system, "checkpoint_store", None)
+        if store is None or interval <= 0:
+            return {}
+        return {"checkpoint.interval": interval, "checkpoint.job_id": job_id}
+
+    @staticmethod
+    def _is_train_stage_failure(exc: BaseException) -> bool:
+        """Did this failure happen *after* the data was fully delivered?
+
+        The ladder is only sound for training-stage faults: an
+        :class:`IngestError` anywhere in the cause chain means rows were
+        lost in flight, so the input must be re-streamed (full restart), not
+        replayed from lineage.
+        """
+        seen: set[int] = set()
+        node: BaseException | None = exc
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if isinstance(node, IngestError):
+                return False
+            if isinstance(node, MLError):
+                return True
+            node = node.__cause__ or node.__context__
+        return False
+
+    def _recover_ml_stage(
+        self,
+        exc: ReproError,
+        lineage: DatasetLineage,
+        spec: TransformSpec,
+        command: str,
+        args: dict | None,
+        conf_props: dict,
+        result: PipelineResult,
+    ) -> MLJobResult | None:
+        """§6 escalation ladder for an ML-stage fault; None = full restart.
+
+        Resume-from-checkpoint already ran (and failed or was unavailable)
+        inside the ML system by the time the fault surfaces here, so this
+        walks the remaining tiers: replay the input from the §5 cache when
+        one is warm, else re-run the rewritten query, else hand back to the
+        caller's full-restart loop.
+        """
+        recovery = self.coordinator.recovery
+        if recovery is None or not self._is_train_stage_failure(exc):
+            return None
+        cache_warm = lineage.cache_state is not None
+        for tier in recovery.ml_stage_ladder(cache_warm):
+            if tier == "full_restart":
+                recovery.record_ml_recovery(lineage.job_id, tier, str(exc))
+                return None
+            try:
+                if tier == "replay_cache":
+                    plan = self.rewriter.plan(lineage.user_sql, spec)
+                    if plan.kind == "no_cache":
+                        continue  # cache went cold since planning
+                    inner_sql = plan.inner_sql
+                else:  # replay_query: the recorded rewritten transform query
+                    inner_sql = lineage.inner_sql
+                ml_result = self._train_from_replay(
+                    inner_sql, command, args, conf_props
+                )
+            except ReproError:
+                continue  # this tier failed too; escalate
+            recovery.record_ml_recovery(lineage.job_id, tier, str(exc))
+            result.ml_recovery_tier = tier
+            ml_result.recovered_via = tier
+            return ml_result
+        return None
+
+    def _train_from_replay(
+        self, inner_sql: str, command: str, args: dict | None, conf_props: dict
+    ) -> MLJobResult:
+        """Re-run the transform query and train on a rebuilt stream layout.
+
+        The rebuilt Dataset has the *exact* partition structure the killed
+        streaming run had (per-worker round-robin over k channels), so the
+        replayed training is weight-for-weight identical to an
+        uninterrupted streamed run.  Replayed bytes charge the dedicated
+        ``ml.replay`` counter, never the fault-free transfer categories.
+        """
+        relation = self.engine.execute_distributed(inner_sql)
+        k = int(conf_props.get("stream.k", self.coordinator.default_k))
+        conf = JobConf(dict(conf_props), coordinator=self.coordinator)
+        parser = MLSystem._parser_from_conf(conf, command)
+        partitions = self._rebuild_stream_partitions(relation.partitions, k, parser)
+        self.cluster.ledger.add(
+            "ml.replay",
+            len(pickle.dumps(partitions, protocol=pickle.HIGHEST_PROTOCOL)),
+        )
+        return self.ml_system.train_local(command, args, Dataset(partitions), conf)
+
+    @staticmethod
+    def _rebuild_stream_partitions(
+        sql_partitions: list, group_size: int, parser
+    ) -> list[list]:
+        """The streamed Dataset layout, recomputed from SQL-side partitions.
+
+        SQL worker w sends row i of its partition to its channel ``i % k``
+        (:func:`repro.transfer.stream_udf.plan_blocks`), and the ML job gets
+        one split per channel in global index order — so split ``w*k + j``
+        holds rows ``j::k`` of worker w's partition, in order.
+        """
+        partitions: list[list] = []
+        for part in sql_partitions:
+            for j in range(group_size):
+                rows = part[j::group_size]
+                partitions.append([parser(row) if parser else row for row in rows])
+        return partitions
 
     def _run_ml_from_dfs(
         self, command: str, args: dict | None, conf: JobConf, input_bytes: int

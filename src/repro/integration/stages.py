@@ -1,8 +1,35 @@
-"""Stage timing records and reporting for pipeline runs."""
+"""Stage timing, dataset lineage, and reporting for pipeline runs."""
 
 from dataclasses import dataclass, field
 
 from repro.common.units import format_bytes, format_duration
+
+
+@dataclass(frozen=True)
+class DatasetLineage:
+    """How one ML job's training input was produced — enough to rebuild it.
+
+    §6's escalation ladder needs to re-create the streamed dataset without
+    re-running the whole pipeline, so every streaming run records the
+    rewritten queries, the transformation spec, and the cache keys that led
+    to the data the ML job trained on.  ``inner_sql`` re-executed against the
+    engine (with ``map_handle`` still registered) reproduces the exact rows;
+    ``cache_state`` says which §5 tier was warm at plan time (``"transformed"``,
+    ``"recode_map"``, or None).
+    """
+
+    approach: str
+    user_sql: str
+    rewrite_kind: str
+    inner_sql: str
+    pass1_sql: str | None
+    map_handle: str
+    cached_view: str | None
+    spec: object  # TransformSpec
+    command: str
+    args: dict
+    job_id: str
+    cache_state: str | None = None
 
 
 @dataclass(frozen=True)
@@ -37,6 +64,14 @@ class PipelineResult:
     #: §6 graceful degradation: the approach that failed before this run
     #: fell back to the materialize-to-DFS path (None = no degradation)
     degraded_from: str | None = None
+    #: §6 lineage of the training input (streaming runs; None elsewhere)
+    lineage: DatasetLineage | None = None
+    #: §6 ML-stage recovery: which ladder tier produced the surviving model
+    #: (``resume_checkpoint`` / ``replay_cache`` / ``replay_query``; None =
+    #: no ML-stage recovery was needed)
+    ml_recovery_tier: str | None = None
+    #: dirty-data accounting from the recode UDF (rows nulled/skipped)
+    transform_stats: dict = field(default_factory=dict)
 
     @property
     def total_sim_seconds(self) -> float:

@@ -56,10 +56,13 @@ class KMeans:
         tolerance: float = 1e-4,
         seed: int = 42,
         n_init: int = 1,
+        checkpoint=None,  # TrainCheckpointer | None (§6 resumable training)
     ) -> KMeansModel:
         """Train; ``n_init > 1`` runs that many restarts with derived seeds
         and keeps the lowest-cost model (k-means++ reduces but does not
-        eliminate initialization sensitivity)."""
+        eliminate initialization sensitivity).  Checkpointing applies only
+        to single-init runs — restarts would alias each other's state under
+        one job id."""
         if n_init > 1:
             best: KMeansModel | None = None
             for restart in range(n_init):
@@ -95,7 +98,15 @@ class KMeans:
 
         iterations_run = 0
         cost = float("inf")
-        for _ in range(max_iterations):
+        converged = False
+        if checkpoint is not None:
+            restored = checkpoint.restore("kmeans")
+            if restored is not None:
+                centers = np.array(restored["centers"], dtype=float)
+                cost = float(restored["cost"])
+                iterations_run = int(restored["iteration"])
+                converged = bool(restored.get("converged", False))
+        while not converged and iterations_run < max_iterations:
             iterations_run += 1
             sums = np.zeros_like(centers)
             counts = np.zeros(k, dtype=int)
@@ -117,6 +128,20 @@ class KMeans:
                 moved = max(moved, float(np.linalg.norm(new_center - centers[cluster])))
                 centers[cluster] = new_center
             cost = new_cost
-            if moved < tolerance:
-                break
+            converged = moved < tolerance
+            if checkpoint is not None:
+                # The converged flag travels with the state: a run killed at
+                # its final iteration resumes to the same early exit instead
+                # of running one extra Lloyd step.
+                checkpoint.iteration_done(
+                    iterations_run,
+                    lambda: {
+                        "algorithm": "kmeans",
+                        "iteration": iterations_run,
+                        "centers": centers.copy(),
+                        "cost": cost,
+                        "converged": converged,
+                        "rng_state": rng.bit_generator.state,
+                    },
+                )
         return KMeansModel(centers=centers, cost=cost, iterations_run=iterations_run)

@@ -57,6 +57,7 @@ class LinearRegression:
         iterations: int = 100,
         step: float = 0.1,
         reg_param: float = 0.0,
+        checkpoint=None,  # TrainCheckpointer | None (§6 resumable training)
     ) -> LinearRegressionModel:
         parts = dataset.partition_arrays()
         if not parts:
@@ -64,7 +65,14 @@ class LinearRegression:
         dim = parts[0][0].shape[1]
         w = np.zeros(dim)
         b = 0.0
-        for t in range(1, iterations + 1):
+        start_t = 1
+        if checkpoint is not None:
+            restored = checkpoint.restore("linreg_sgd")
+            if restored is not None:
+                w = np.array(restored["weights"], dtype=float)
+                b = float(restored["intercept"])
+                start_t = int(restored["iteration"]) + 1
+        for t in range(start_t, iterations + 1):
             grad_w = np.zeros(dim)
             grad_b = 0.0
             count = 0
@@ -76,4 +84,15 @@ class LinearRegression:
             step_t = step / np.sqrt(t)
             w -= step_t * (grad_w / count + reg_param * w)
             b -= step_t * (grad_b / count)
+            if checkpoint is not None:
+                checkpoint.iteration_done(
+                    t,
+                    lambda: {
+                        "algorithm": "linreg_sgd",
+                        "iteration": t,
+                        "weights": w.copy(),
+                        "intercept": b,
+                        "step": step / np.sqrt(t),
+                    },
+                )
         return LinearRegressionModel(weights=w, intercept=b)

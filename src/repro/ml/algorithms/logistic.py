@@ -46,6 +46,7 @@ class LogisticRegressionWithSGD:
         reg_param: float = 0.0,
         minibatch_fraction: float = 1.0,
         seed: int = 42,
+        checkpoint=None,  # TrainCheckpointer | None (§6 resumable training)
     ) -> LogisticRegressionModel:
         """Train on LabeledPoint records with labels in {0, 1}."""
         parts = dataset.partition_arrays()
@@ -56,7 +57,15 @@ class LogisticRegressionWithSGD:
 
         w = np.zeros(dim)
         b = 0.0
-        for t in range(1, iterations + 1):
+        start_t = 1
+        if checkpoint is not None:
+            restored = checkpoint.restore("logistic")
+            if restored is not None:
+                w = np.array(restored["weights"], dtype=float)
+                b = float(restored["intercept"])
+                rng.bit_generator.state = restored["rng_state"]
+                start_t = int(restored["iteration"]) + 1
+        for t in range(start_t, iterations + 1):
             grad_w = np.zeros(dim)
             grad_b = 0.0
             batch_size = 0
@@ -72,9 +81,20 @@ class LogisticRegressionWithSGD:
                 grad_w += Xb.T @ errors
                 grad_b += float(errors.sum())
                 batch_size += len(yb)
-            if batch_size == 0:
-                continue
-            step_t = step / np.sqrt(t)
-            w -= step_t * (grad_w / batch_size + reg_param * w)
-            b -= step_t * (grad_b / batch_size)
+            if batch_size:
+                step_t = step / np.sqrt(t)
+                w -= step_t * (grad_w / batch_size + reg_param * w)
+                b -= step_t * (grad_b / batch_size)
+            if checkpoint is not None:
+                checkpoint.iteration_done(
+                    t,
+                    lambda: {
+                        "algorithm": "logistic",
+                        "iteration": t,
+                        "weights": w.copy(),
+                        "intercept": b,
+                        "rng_state": rng.bit_generator.state,
+                        "step": step / np.sqrt(t),
+                    },
+                )
         return LogisticRegressionModel(weights=w, intercept=b)

@@ -47,6 +47,7 @@ class SVMWithSGD:
         minibatch_fraction: float = 1.0,
         seed: int = 42,
         fit_intercept: bool = True,
+        checkpoint=None,  # TrainCheckpointer | None (§6 resumable training)
     ) -> SVMModel:
         """Train on a Dataset of LabeledPoint with labels in {0, 1}."""
         parts = dataset.partition_arrays()
@@ -62,7 +63,15 @@ class SVMWithSGD:
 
         w = np.zeros(dim)
         b = 0.0
-        for t in range(1, iterations + 1):
+        start_t = 1
+        if checkpoint is not None:
+            restored = checkpoint.restore("svm")
+            if restored is not None:
+                w = np.array(restored["weights"], dtype=float)
+                b = float(restored["intercept"])
+                rng.bit_generator.state = restored["rng_state"]
+                start_t = int(restored["iteration"]) + 1
+        for t in range(start_t, iterations + 1):
             grad_w = np.zeros(dim)
             grad_b = 0.0
             batch_size = 0
@@ -80,12 +89,23 @@ class SVMWithSGD:
                     grad_w += -(Xb[violated].T @ yb[violated])
                     grad_b += -float(yb[violated].sum())
                 batch_size += len(yb)
-            if batch_size == 0:
-                continue
-            step_t = step / np.sqrt(t)
-            w -= step_t * (grad_w / batch_size + reg_param * w)
-            if fit_intercept:
-                b -= step_t * (grad_b / batch_size)
+            if batch_size:
+                step_t = step / np.sqrt(t)
+                w -= step_t * (grad_w / batch_size + reg_param * w)
+                if fit_intercept:
+                    b -= step_t * (grad_b / batch_size)
+            if checkpoint is not None:
+                checkpoint.iteration_done(
+                    t,
+                    lambda: {
+                        "algorithm": "svm",
+                        "iteration": t,
+                        "weights": w.copy(),
+                        "intercept": b,
+                        "rng_state": rng.bit_generator.state,
+                        "step": step / np.sqrt(t),
+                    },
+                )
         if total == 0:
             raise MLError("cannot train SVM on an empty dataset")
         return SVMModel(weights=w, intercept=b)

@@ -6,7 +6,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
-from repro.common.errors import MLError
+from repro.common.errors import IngestError, MLError, WorkerFailedError
 from repro.iofmt.inputformat import InputFormat, JobConf
 from repro.ml.dataset import Dataset
 
@@ -67,11 +67,31 @@ class MLJob:
                 nbytes = split.length()
             return records, nbytes, is_local
 
-        try:
-            with ThreadPoolExecutor(max_workers=max(len(splits), 1)) as pool:
-                results = list(pool.map(consume, splits))
-        except Exception as exc:
-            raise MLError(f"ingest failed: {exc}") from exc
+        # Typed per-split error handling: every split's outcome is collected
+        # so a failure names exactly which split ids died (and, for worker
+        # crashes, which worker) — the §6 recovery ladder needs that to know
+        # the fault happened at *ingest*, before the data was fully delivered.
+        results: list = [None] * len(splits)
+        failures: dict[int, BaseException] = {}
+        with ThreadPoolExecutor(max_workers=max(len(splits), 1)) as pool:
+            futures = {pool.submit(consume, split): i for i, split in enumerate(splits)}
+            for future, split_id in futures.items():
+                try:
+                    results[split_id] = future.result()
+                except (WorkerFailedError, MLError) as exc:
+                    failures[split_id] = exc
+                except Exception as exc:  # non-library faults still surface typed
+                    failures[split_id] = exc
+        if failures:
+            failed_ids = tuple(sorted(failures))
+            first = failures[failed_ids[0]]
+            detail = "; ".join(
+                f"split {i}: {failures[i]}" for i in failed_ids
+            )
+            raise IngestError(
+                f"ingest failed for splits {list(failed_ids)}: {detail}",
+                failed_split_ids=failed_ids,
+            ) from first
 
         partitions: list[list] = []
         for records, nbytes, is_local in results:

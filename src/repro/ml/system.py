@@ -6,6 +6,14 @@ algorithm"; when all SQL workers have registered, the coordinator calls
 :meth:`MLSystem.run_job` with exactly those.  The input format is the *only*
 ingestion path — swap ``TextInputFormat`` for ``SQLStreamInputFormat`` and
 nothing else changes, which is the paper's generality claim made concrete.
+
+§6 additions: when a :class:`~repro.checkpoint.CheckpointStore` is attached,
+``run_job`` hands every iterative trainer a
+:class:`~repro.checkpoint.TrainCheckpointer` (smuggled through the args dict
+under the reserved ``checkpoint`` key) and retries a crashed training run in
+place — the dataset is still in memory, so resume-from-checkpoint is the
+cheapest recovery tier.  :meth:`train_local` trains on an already-built
+Dataset, which is what the pipeline's lineage-replay tiers use.
 """
 
 from dataclasses import dataclass
@@ -34,6 +42,14 @@ class MLJobResult:
     dataset: Dataset
     ingest_stats: IngestStats
     model: Any
+    #: how many times training ran (1 = no fault; >1 = checkpoint resume)
+    train_attempts: int = 1
+    #: iteration the surviving training attempt resumed from (None = fresh)
+    resumed_from_iteration: int | None = None
+    #: recovery tier that produced this result (None = no recovery needed)
+    recovered_via: str | None = None
+    #: DatasetLineage describing how the training input was produced (§6)
+    lineage: Any = None
 
 
 def _default_algorithms() -> dict[str, Callable[[Dataset, dict], Any]]:
@@ -45,6 +61,7 @@ def _default_algorithms() -> dict[str, Callable[[Dataset, dict], Any]]:
             reg_param=float(args.get("reg_param", 0.01)),
             minibatch_fraction=float(args.get("minibatch_fraction", 1.0)),
             seed=int(args.get("seed", 42)),
+            checkpoint=args.get("checkpoint"),
         ),
         "logistic_regression": lambda ds, args: LogisticRegressionWithSGD.train(
             ds,
@@ -52,6 +69,7 @@ def _default_algorithms() -> dict[str, Callable[[Dataset, dict], Any]]:
             step=float(args.get("step", 1.0)),
             reg_param=float(args.get("reg_param", 0.0)),
             seed=int(args.get("seed", 42)),
+            checkpoint=args.get("checkpoint"),
         ),
         "naive_bayes": lambda ds, args: NaiveBayes.train(
             ds, smoothing=float(args.get("smoothing", 1.0))
@@ -68,9 +86,18 @@ def _default_algorithms() -> dict[str, Callable[[Dataset, dict], Any]]:
             max_iterations=int(args.get("max_iterations", 20)),
             seed=int(args.get("seed", 42)),
             n_init=int(args.get("n_init", 1)),
+            checkpoint=args.get("checkpoint") if int(args.get("n_init", 1)) == 1 else None,
         ),
-        "linear_regression": lambda ds, args: LinearRegression.train(
-            ds, reg_param=float(args.get("reg_param", 0.0))
+        "linear_regression": lambda ds, args: (
+            LinearRegression.train_sgd(
+                ds,
+                iterations=int(args.get("iterations", 100)),
+                step=float(args.get("step", 0.1)),
+                reg_param=float(args.get("reg_param", 0.0)),
+                checkpoint=args.get("checkpoint"),
+            )
+            if str(args.get("solver", "normal")) == "sgd"
+            else LinearRegression.train(ds, reg_param=float(args.get("reg_param", 0.0)))
         ),
         # "ingest only" pseudo-command: build the RDD, skip training.  Used
         # by benchmarks that time exactly the paper's "input for ml" stage.
@@ -81,9 +108,19 @@ def _default_algorithms() -> dict[str, Callable[[Dataset, dict], Any]]:
 class MLSystem:
     """A cluster-resident ML runtime with a registry of named algorithms."""
 
-    def __init__(self, cluster: Cluster, workers_per_node: int = 6):
+    def __init__(
+        self,
+        cluster: Cluster,
+        workers_per_node: int = 6,
+        checkpoint_store=None,  # CheckpointStore | None (§6 resumable training)
+        checkpoint_interval: int = 0,  # iterations between saves; 0 = off
+        fault_injector=None,  # FaultInjector | None (§6 training chaos)
+    ):
         self.cluster = cluster
         self.workers_per_node = workers_per_node
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_interval = checkpoint_interval
+        self.fault_injector = fault_injector
         self._algorithms = _default_algorithms()
 
     @property
@@ -122,11 +159,7 @@ class MLSystem:
         record_parser: Callable | None = None,
     ) -> MLJobResult:
         """Ingest through ``input_format`` and train ``command`` on the RDD."""
-        trainer = self._algorithms.get(command.lower())
-        if trainer is None:
-            raise MLError(
-                f"unknown ML command {command!r}; known: {self.known_commands()}"
-            )
+        trainer = self.trainer(command)
         args = dict(args or {})
         if record_parser is None:
             record_parser = self._parser_from_conf(conf, command)
@@ -138,10 +171,101 @@ class MLSystem:
             record_parser=record_parser,
         )
         dataset, stats = job.ingest()
-        model = trainer(dataset, args)
-        return MLJobResult(
-            command=command.lower(), dataset=dataset, ingest_stats=stats, model=model
+        return self._train(trainer, command, args, dataset, stats, conf)
+
+    def train_local(
+        self,
+        command: str,
+        args: dict | None,
+        dataset: Dataset,
+        conf: JobConf | None = None,
+    ) -> MLJobResult:
+        """Train on an already-built Dataset — no ingest, no ``ml.ingest``
+        accounting.  This is the §6 lineage-replay entry point: the pipeline
+        rebuilds the exact streamed partition layout and retrains."""
+        trainer = self.trainer(command)
+        conf = conf or JobConf()
+        stats = IngestStats(
+            records=dataset.count(), num_splits=dataset.num_partitions
         )
+        return self._train(trainer, command, dict(args or {}), dataset, stats, conf)
+
+    # ------------------------------------------------------------- internals
+
+    def _train(
+        self,
+        trainer: Callable,
+        command: str,
+        args: dict,
+        dataset: Dataset,
+        stats: IngestStats,
+        conf: JobConf,
+    ) -> MLJobResult:
+        """Run the trainer, retrying in place via checkpoint resume (§6)."""
+        checkpointer = self._make_checkpointer(command, conf)
+        if checkpointer is not None:
+            args = dict(args, checkpoint=checkpointer)
+        can_resume = checkpointer is not None and checkpointer.can_resume
+        max_retries = int(conf.get("train.retries", 1 if can_resume else 0))
+        recovery = self._recovery_from_conf(conf)
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                model = trainer(dataset, args)
+                break
+            except MLError as exc:
+                if not can_resume or attempts > max_retries:
+                    raise
+                if recovery is not None:
+                    recovery.record_ml_recovery(
+                        checkpointer.job_id, "resume_checkpoint", str(exc)
+                    )
+        return MLJobResult(
+            command=command.lower(),
+            dataset=dataset,
+            ingest_stats=stats,
+            model=model,
+            train_attempts=attempts,
+            resumed_from_iteration=(
+                checkpointer.restored_iteration if checkpointer is not None else None
+            ),
+        )
+
+    def _make_checkpointer(self, command: str, conf: JobConf):
+        """Build the per-job iteration hooks, when anything needs them.
+
+        A full checkpointer needs an attached store and a positive interval
+        (``checkpoint.interval`` property overrides the system default); a
+        store-less one is still created when an enabled injector is present,
+        so the ``ml.iteration_kill`` chaos site fires even for runs testing
+        the no-checkpoint recovery tiers.
+        """
+        interval = int(conf.get("checkpoint.interval", self.checkpoint_interval))
+        store = self.checkpoint_store if interval > 0 else None
+        injector = self.fault_injector or conf.get_object("fault.injector")
+        if injector is not None and not injector.enabled:
+            injector = None
+        if store is None and injector is None:
+            return None
+        from repro.checkpoint import TrainCheckpointer
+
+        job_id = str(conf.get("checkpoint.job_id") or f"mljob_{command.lower()}")
+        return TrainCheckpointer(
+            job_id=job_id,
+            store=store,
+            interval=interval if interval > 0 else 1,
+            injector=injector,
+        )
+
+    @staticmethod
+    def _recovery_from_conf(conf: JobConf):
+        """The RecoveryManager reachable from this job's conf, if any."""
+        recovery = conf.get_object("recovery")
+        if recovery is not None:
+            return recovery
+        coordinator = conf.get_object("coordinator")
+        return getattr(coordinator, "recovery", None)
 
     @staticmethod
     def _parser_from_conf(conf: JobConf, command: str) -> Callable | None:

@@ -149,9 +149,14 @@ class QueryRewriter:
         sql = base_sql
         if spec.all_recoded:
             columns = ", ".join(f"'{c}'" for c in spec.all_recoded)
+            # The dirty-data policy rides into the UDF as a marker argument;
+            # the default is omitted so cached plan text stays stable.
+            policy = (
+                f", 'on_unseen={spec.on_unseen}'" if spec.on_unseen != "null" else ""
+            )
             sql = (
-                f"SELECT * FROM TABLE(recode(({sql}), '{handle}', {columns})) "
-                "AS __recoded"
+                f"SELECT * FROM TABLE(recode(({sql}), '{handle}', {columns}"
+                f"{policy})) AS __recoded"
             )
         for udf_name, group, alias in (
             ("dummy_code", spec.dummy, "__dummy"),

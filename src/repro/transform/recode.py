@@ -18,7 +18,7 @@ Phase 2 — apply the map.  Two interchangeable implementations:
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, TransformError
 from repro.sql.types import Column, DataType, Schema
 from repro.sql.udf import TableUDF, UdfContext
 from repro.transform.service import TransformService
@@ -57,7 +57,9 @@ class RecodeMap:
         for name, pairs in self.mappings:
             if name == column.lower():
                 return dict(pairs)
-        raise KeyError(f"no recode mapping for column {column!r}")
+        raise TransformError(
+            f"no recode mapping for column {column!r}", column=column
+        )
 
     def mapping_or_empty(self, column: str) -> dict[str, int]:
         """Like :meth:`mapping`, but an all-NULL column (which phase 1 never
@@ -65,7 +67,7 @@ class RecodeMap:
         recodes to NULL, which is the only sound answer."""
         try:
             return self.mapping(column)
-        except KeyError:
+        except TransformError:
             return {}
 
     def cardinality(self, column: str) -> int:
@@ -141,8 +143,17 @@ class RecodeUDF(TableUDF):
     """Phase-2 table UDF: map listed categorical columns to their codes.
 
     ``TABLE(recode(input, 'map_handle', 'gender', 'abandoned'))`` replaces
-    each listed column's string value with its integer code (NULL for NULL
-    or unseen values), leaving other columns untouched.
+    each listed column's string value with its integer code, leaving other
+    columns untouched.  NULL input always recodes to NULL.
+
+    A value phase 1 never observed (dirty data: the table mutated between
+    passes, or a cached map went stale) is handled per the optional
+    ``'on_unseen=<policy>'`` argument — ``null`` (default, matches the join
+    formulation's inner-join-miss semantics), ``error`` (raise
+    :class:`TransformError` naming the column and value), or ``skip_row``
+    (drop the row).  Nulled/skipped row counts are charged to the ledger
+    categories ``transform.unseen_nulled`` / ``transform.rows_skipped`` so
+    pipelines can surface them in stage stats.
     """
 
     name = "recode"
@@ -151,7 +162,7 @@ class RecodeUDF(TableUDF):
         self._transforms = transforms
 
     def output_schema(self, input_schema: Schema, args: tuple) -> Schema:
-        _handle, columns = self._parse_args(args)
+        _handle, columns, _policy = self._parse_args(args)
         targets = {c.lower() for c in columns}
         out = []
         for column in input_schema:
@@ -164,24 +175,75 @@ class RecodeUDF(TableUDF):
     def process_partition(
         self, rows: Iterable[tuple], input_schema: Schema, args: tuple, ctx: UdfContext
     ) -> Iterable[tuple]:
-        handle, columns = self._parse_args(args)
+        handle, columns, policy = self._parse_args(args)
         recode_map: RecodeMap = self._transforms.get(handle)
-        col_maps: list[tuple[int, dict]] = [
-            (input_schema.resolve(None, c), recode_map.mapping_or_empty(c))
+        col_maps: list[tuple[str, int, dict]] = [
+            (c, input_schema.resolve(None, c), recode_map.mapping_or_empty(c))
             for c in columns
         ]
-        for row in rows:
-            out = list(row)
-            for index, mapping in col_maps:
-                value = out[index]
-                out[index] = mapping.get(value) if value is not None else None
-            yield tuple(out)
+        nulled = 0
+        skipped = 0
+        try:
+            for row in rows:
+                out = list(row)
+                drop = False
+                for col_name, index, mapping in col_maps:
+                    value = out[index]
+                    if value is None:
+                        out[index] = None
+                        continue
+                    code = mapping.get(value)
+                    if code is None:
+                        if policy == "error":
+                            raise TransformError(
+                                f"unseen value {value!r} in recoded column "
+                                f"{col_name!r}",
+                                column=col_name,
+                                value=value,
+                            )
+                        if policy == "skip_row":
+                            drop = True
+                            break
+                        nulled += 1
+                    out[index] = code
+                if drop:
+                    skipped += 1
+                    continue
+                yield tuple(out)
+        finally:
+            # Charge counts even when erroring out, so partial progress is
+            # visible in the fault postmortem.
+            if nulled:
+                ctx.ledger.add("transform.unseen_nulled", nulled)
+            if skipped:
+                ctx.ledger.add("transform.rows_skipped", skipped)
 
     @staticmethod
-    def _parse_args(args: tuple) -> tuple[str, list[str]]:
+    def _parse_args(args: tuple) -> tuple[str, list[str], str]:
+        """``(handle, columns, on_unseen_policy)`` from the UDF argument list.
+
+        The policy rides as an ``'on_unseen=<policy>'`` string anywhere after
+        the handle, so existing two-plus-argument call sites stay valid.
+        """
         if len(args) < 2:
             raise ExecutionError("recode needs a map handle and >=1 column")
-        return str(args[0]), [str(a) for a in args[1:]]
+        handle = str(args[0])
+        policy = "null"
+        columns: list[str] = []
+        for arg in args[1:]:
+            text = str(arg)
+            if text.startswith("on_unseen="):
+                policy = text[len("on_unseen=") :]
+                if policy not in ("null", "error", "skip_row"):
+                    raise ExecutionError(
+                        f"unknown on_unseen policy {policy!r}; expected "
+                        "null, error, or skip_row"
+                    )
+                continue
+            columns.append(text)
+        if not columns:
+            raise ExecutionError("recode needs a map handle and >=1 column")
+        return handle, columns, policy
 
 
 def recode_join_sql(

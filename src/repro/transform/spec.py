@@ -20,6 +20,15 @@ class TransformSpec:
 
     A column may carry at most one expansion treatment (dummy, effect, or
     orthogonal); expansions imply recoding.
+
+    ``on_unseen`` is the dirty-data policy for recode-time values phase 1
+    never observed (data mutated between passes, or a stale cached map):
+
+    * ``"null"`` (default) — recode to NULL, matching the join formulation's
+      inner-join-miss semantics;
+    * ``"error"`` — raise :class:`~repro.common.errors.TransformError`
+      naming the column and value;
+    * ``"skip_row"`` — drop the offending row from the transformed output.
     """
 
     recode: tuple[str, ...] = ()
@@ -27,8 +36,14 @@ class TransformSpec:
     effect: tuple[str, ...] = ()
     orthogonal: tuple[str, ...] = ()
     label: str | None = None
+    on_unseen: str = "null"
 
     def __post_init__(self):
+        if self.on_unseen not in ("null", "error", "skip_row"):
+            raise ValueError(
+                f"on_unseen must be 'null', 'error', or 'skip_row', "
+                f"got {self.on_unseen!r}"
+            )
         for field_name in ("recode", "dummy", "effect", "orthogonal"):
             values = [c.lower() for c in getattr(self, field_name)]
             if len(set(values)) != len(values):
@@ -67,4 +82,5 @@ class TransformSpec:
             tuple(c.lower() for c in self.effect),
             tuple(c.lower() for c in self.orthogonal),
             self.label.lower() if self.label else None,
+            self.on_unseen,
         )

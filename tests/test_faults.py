@@ -477,6 +477,7 @@ class TestFaultFreeInvariance:
         assert guarded.coordinator.recovery.summary() == {
             "send_retries": 0,
             "partial_restarts": 0,
+            "ml_recoveries": 0,
             "injected": {},
         }
         assert np.array_equal(

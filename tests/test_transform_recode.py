@@ -4,9 +4,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster.cluster import make_paper_cluster
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, TransformError
 from repro.sql.engine import BigSQL
 from repro.sql.types import DataType, Schema
+from repro.transform.spec import TransformSpec
 from repro.transform import (
     LocalDistinctUDF,
     RecodeMap,
@@ -218,3 +219,56 @@ class TestDistributedVsCentralized:
             [("u", u) for u, _v in data] + [("v", v) for _u, v in data]
         )
         assert two_phase == centralized
+
+
+class TestOnUnseenPolicy:
+    """Dirty-data hardening: the ``on_unseen`` policy of the recode UDF."""
+
+    @pytest.fixture()
+    def dirty_engine(self, engine):
+        transforms = TransformService()
+        engine.register_table_udf(RecodeUDF(transforms))
+        transforms.register("m", RecodeMap.from_distinct_rows([("c", "x")]))
+        engine.create_table(
+            "t",
+            Schema.of(("c", DataType.VARCHAR), ("v", DataType.INT)),
+            [("x", 1), ("zzz", 2), (None, 3), ("www", 4)],
+        )
+        return engine
+
+    def test_null_policy_is_default_and_counted(self, dirty_engine):
+        rows = dirty_engine.query_rows("SELECT * FROM TABLE(recode(t, 'm', 'c')) AS r")
+        assert sorted(rows, key=str) == [(1, 1), (None, 2), (None, 3), (None, 4)]
+        # Two unseen values nulled; the pre-existing NULL is not "unseen".
+        assert dirty_engine.cluster.ledger.get("transform.unseen_nulled") == 2
+        assert dirty_engine.cluster.ledger.get("transform.rows_skipped") == 0
+
+    def test_skip_row_policy_drops_and_counts(self, dirty_engine):
+        rows = dirty_engine.query_rows(
+            "SELECT * FROM TABLE(recode(t, 'm', 'on_unseen=skip_row', 'c')) AS r"
+        )
+        assert sorted(rows, key=str) == [(1, 1), (None, 3)]
+        assert dirty_engine.cluster.ledger.get("transform.rows_skipped") == 2
+        assert dirty_engine.cluster.ledger.get("transform.unseen_nulled") == 0
+
+    def test_error_policy_raises_typed_error(self, dirty_engine):
+        with pytest.raises(TransformError, match="unseen value 'zzz'") as excinfo:
+            dirty_engine.query_rows(
+                "SELECT * FROM TABLE(recode(t, 'm', 'on_unseen=error', 'c')) AS r"
+            )
+        assert excinfo.value.column == "c"
+        assert excinfo.value.value == "zzz"
+
+    def test_invalid_policy_rejected(self, dirty_engine):
+        with pytest.raises(ExecutionError, match="on_unseen"):
+            dirty_engine.query_rows(
+                "SELECT * FROM TABLE(recode(t, 'm', 'on_unseen=bogus', 'c')) AS r"
+            )
+
+    def test_spec_validates_and_fingerprints_policy(self):
+        with pytest.raises(ValueError, match="on_unseen"):
+            TransformSpec(recode=("c",), on_unseen="bogus")
+        base = TransformSpec(recode=("c",))
+        skipping = TransformSpec(recode=("c",), on_unseen="skip_row")
+        assert base.on_unseen == "null"
+        assert base.fingerprint() != skipping.fingerprint()
