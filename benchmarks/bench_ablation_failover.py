@@ -1,0 +1,46 @@
+"""Ablation H: coordinator failover — kill the leader at every handshake
+point, keep the model bit-identical, re-stream nothing.
+
+Shape: every HA row trains the exact same model as the single-coordinator
+baseline; every kill point records exactly one takeover; ``stream.retry``
+is zero everywhere (control-plane failover is data-plane free — the new
+leader re-attaches live channels instead of replaying them); the journal
+is the only standing cost of HA, and the fault-free HA row moves the same
+stream bytes as the baseline.
+"""
+
+from repro.bench.ablation_failover import report, run_failover_ablation
+
+
+def test_failover_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_failover_ablation(
+            points=("none", "pre_registration", "post_split_plan", "mid_stream")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 5  # baseline + 4 HA points
+    baseline, by_point = rows[0], {r.point: r for r in rows[1:]}
+
+    # Weight-for-weight identity at every kill point.
+    assert all(r.model_ok for r in rows)
+    assert len({r.rows for r in rows}) == 1 and baseline.rows > 0
+
+    # Control-plane failover is data-plane free: nothing is ever re-streamed
+    # (unlike Ablation F's worker kills, which must replay blocks).
+    assert all(r.retry_bytes == 0 for r in rows)
+
+    # Exactly one takeover per kill point; none without a kill.
+    assert baseline.failovers == 0 and by_point["none"].failovers == 0
+    for point in ("pre_registration", "post_split_plan", "mid_stream"):
+        assert by_point[point].failovers == 1
+
+    # The journal is the only standing cost of HA: the fault-free HA row
+    # moves the same stream bytes as the no-HA baseline, plus journal bytes.
+    assert baseline.journal_bytes == 0
+    assert by_point["none"].journal_bytes > 0
+    assert by_point["none"].transfer_bytes == baseline.transfer_bytes
+
+    print()
+    print(report(rows))

@@ -67,6 +67,9 @@ class Deployment:
     ml: MLSystem
     coordinator: Coordinator
     pipeline: AnalyticsPipeline
+    #: the CoordinatorHAGroup when ``ha_standbys > 0`` (else None); its
+    #: ``failovers`` / ``journal_dump()`` are the HA observability surface
+    ha: object = None
 
     @property
     def broker(self):
@@ -88,6 +91,8 @@ def make_deployment(
     recovery=None,  # RecoveryManager | None (§6 recovery protocol)
     checkpoint_dir: str | None = None,  # DFS dir for training checkpoints
     checkpoint_interval: int = 0,  # iterations between saves; 0 = off
+    ha_standbys: int = 0,  # standby coordinators; 0 = single coordinator
+    zk=None,  # ZooKeeperLite | None — the HA coordination service
 ) -> Deployment:
     """Build the paper's testbed topology, fully wired.
 
@@ -116,19 +121,44 @@ def make_deployment(
     ``checkpoint_dir``, default ``/checkpoints``) snapshots iterative-model
     state every that-many iterations.  Off by default — the fault-free byte
     ledgers of Figures 3/4 stay bit-identical unless opted in.
+
+    ``ha_standbys > 0`` turns on coordinator high availability: a
+    :class:`~repro.transfer.ha.CoordinatorHAGroup` runs one leader plus
+    that many standbys behind a ZooKeeperLite lease (``zk`` supplies the
+    coordination service, default a fresh one), every session mutation is
+    journaled to ZK, and ``deployment.coordinator`` becomes the
+    :class:`~repro.transfer.ha.FailoverCoordinator` proxy clients retry
+    through after a takeover.  Off by default — no journal traffic, byte
+    ledgers bit-identical to the single-coordinator deployment.
     """
     cluster = make_paper_cluster(num_workers)
     dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
     engine = BigSQL(cluster, dfs)
     ml = MLSystem(cluster, workers_per_node=workers_per_node)
-    coordinator = Coordinator(
-        cluster,
-        buffer_bytes=buffer_bytes,
-        batch_rows=batch_rows,
-        transport=transport,
-        recovery=recovery,
-        fault_injector=fault_injector,
-    )
+    ha_group = None
+    if ha_standbys > 0:
+        from repro.transfer.ha import CoordinatorHAGroup
+
+        ha_group = CoordinatorHAGroup(
+            cluster,
+            zk=zk,
+            standbys=ha_standbys,
+            buffer_bytes=buffer_bytes,
+            batch_rows=batch_rows,
+            transport=transport,
+            recovery=recovery,
+            fault_injector=fault_injector,
+        )
+        coordinator = ha_group.proxy
+    else:
+        coordinator = Coordinator(
+            cluster,
+            buffer_bytes=buffer_bytes,
+            batch_rows=batch_rows,
+            transport=transport,
+            recovery=recovery,
+            fault_injector=fault_injector,
+        )
     effective_injector = fault_injector or (
         coordinator.recovery.injector if coordinator.recovery is not None else None
     )
@@ -159,4 +189,5 @@ def make_deployment(
         ml=ml,
         coordinator=coordinator,
         pipeline=pipeline,
+        ha=ha_group,
     )

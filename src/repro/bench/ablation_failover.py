@@ -1,0 +1,151 @@
+"""Ablation H: coordinator failover cost across the transfer stack (§6 HA).
+
+§6 says the coordinator itself must be resilient ("This can be achieved by
+using Zookeeper") but never prices it.  This ablation kills the leader
+coordinator at each failover point of the streaming handshake — before SQL
+registration, after split planning, and mid-stream — with one standby
+behind the ZooKeeperLite lease, and measures what a takeover actually
+costs.
+
+Expected shape: the model is weight-for-weight identical to the HA-free
+baseline at every point; the journal (``zk.journal``) is the only standing
+overhead; and — the headline — ``stream.retry`` stays at **zero** at every
+kill point, because channels live on the worker hosts and are re-attached
+by the new leader, never replayed.  Control-plane failover is data-plane
+free, unlike the worker-kill recoveries of Ablation F which must re-ship
+the failed group's blocks.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import make_deployment
+from repro.bench.common import format_table
+from repro.faults import FaultConfig, FaultInjector
+from repro.workloads.retail import generate_retail
+
+POINTS = ("none", "pre_registration", "post_split_plan", "mid_stream")
+SVM_ARGS = {"iterations": 5}
+
+
+@dataclass
+class FailoverAblationRow:
+    point: str  # where the leader died ("none" = fault-free HA)
+    ha: bool  # HA group installed (False = the single-coordinator baseline)
+    rows: int
+    wall_seconds: float
+    transfer_bytes: int  # stream.sent
+    retry_bytes: int  # stream.retry — zero is the headline
+    journal_bytes: int  # zk.journal
+    failovers: int
+    model_ok: bool  # weights identical to the HA-free baseline
+
+
+def _run(
+    point: str | None,
+    seed: int,
+    num_users: int,
+    num_carts: int,
+    baseline_weights=None,
+) -> tuple[FailoverAblationRow, "np.ndarray"]:
+    ha = point is not None
+    injector = None
+    if ha and point != "none":
+        injector = FaultInjector(FaultConfig(seed=seed, kill_coordinator_at=point))
+    deployment = make_deployment(
+        block_size=256 * 1024,
+        batch_rows=16,
+        ha_standbys=1 if ha else 0,
+        fault_injector=injector,
+    )
+    workload = generate_retail(
+        deployment.engine, deployment.dfs, num_users=num_users, num_carts=num_carts
+    )
+    deployment.pipeline.byte_scale = workload.byte_scale
+    ledger = deployment.cluster.ledger
+    before = ledger.snapshot()
+    result = deployment.pipeline.run_insql_stream(
+        workload.prep_sql, workload.spec, "svm_with_sgd", SVM_ARGS
+    )
+    delta = ledger.delta(before, ledger.snapshot())
+    weights = result.ml_result.model.weights
+    return FailoverAblationRow(
+        point=point if ha else "baseline",
+        ha=ha,
+        rows=result.ml_result.dataset.count(),
+        wall_seconds=result.stage("prep+trsfm+input").wall_seconds,
+        transfer_bytes=delta["stream.sent"],
+        retry_bytes=delta.get("stream.retry", 0),
+        journal_bytes=delta.get("zk.journal", 0),
+        failovers=result.failovers,
+        model_ok=(
+            True
+            if baseline_weights is None
+            else bool(np.array_equal(weights, baseline_weights))
+        ),
+    ), weights
+
+
+def run_failover_ablation(
+    points: tuple[str, ...] = POINTS,
+    seed: int = 11,
+    num_users: int = 400,
+    num_carts: int = 4_000,
+) -> list[FailoverAblationRow]:
+    """Kill the leader at each failover point; compare against no-HA.
+
+    The first row is the single-coordinator baseline every other row's
+    model is compared against; ``"none"`` is HA standing by with nothing
+    injected (its only delta must be the journal bytes).
+    """
+    baseline, weights = _run(None, seed, num_users, num_carts)
+    rows = [baseline]
+    for point in points:
+        row, _w = _run(point, seed, num_users, num_carts, baseline_weights=weights)
+        rows.append(row)
+    return rows
+
+
+def report(rows: list[FailoverAblationRow]) -> str:
+    table = [
+        [
+            r.point,
+            "yes" if r.ha else "no",
+            f"{r.rows}",
+            f"{r.wall_seconds * 1000:.0f} ms",
+            f"{r.transfer_bytes}",
+            f"{r.retry_bytes}",
+            f"{r.journal_bytes}",
+            f"{r.failovers}",
+            "ok" if r.model_ok else "DIVERGED",
+        ]
+        for r in rows
+    ]
+    return "\n".join(
+        [
+            "Ablation H — coordinator failover cost by kill point (§6 HA)",
+            format_table(
+                [
+                    "kill point",
+                    "ha",
+                    "rows",
+                    "wall",
+                    "stream bytes",
+                    "retry bytes",
+                    "journal bytes",
+                    "failovers",
+                    "model",
+                ],
+                table,
+            ),
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(report(run_failover_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -199,6 +199,10 @@ class CostLedger:
         "checkpoint.write",
         "checkpoint.read",
         "ml.replay",
+        # Coordinator HA (off by default): journal bytes written to
+        # ZooKeeperLite, and leader takeovers as a *count* (not bytes).
+        "zk.journal",
+        "coordinator.failover",
         # Row *counts* (not bytes) of dirty-data handling in the recode UDF.
         "transform.unseen_nulled",
         "transform.rows_skipped",

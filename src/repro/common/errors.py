@@ -56,6 +56,14 @@ class TransferError(ReproError):
     """The parallel streaming transfer failed (coordinator, channel, buffer)."""
 
 
+class CoordinatorUnavailableError(TransferError):
+    """The coordinator a client handshook with is dead or lost its leader
+    lease — *recoverable* under high availability: the client re-resolves
+    the current leader from ZooKeeperLite and retries the handshake
+    idempotently (re-register by ``(session_id, worker_id)``, re-claim by
+    ``(session_id, channel_id)``)."""
+
+
 class ChannelTimeoutError(TransferError):
     """A channel/socket/broker operation timed out — *recoverable*: the peer
     may be slow or briefly unreachable, so callers should retry with backoff

@@ -9,6 +9,7 @@ failed SQL worker together with its k paired ML workers.
 
 from repro.faults.injector import FaultConfig, FaultEvent, FaultInjector
 from repro.faults.recovery import (
+    LivenessMonitor,
     MLRecoveryEvent,
     RecoveryManager,
     RestartEvent,
@@ -19,6 +20,7 @@ __all__ = [
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",
+    "LivenessMonitor",
     "MLRecoveryEvent",
     "RecoveryManager",
     "RestartEvent",

@@ -28,7 +28,12 @@ Injection sites (all no-ops when the matching rate/point is unset):
 * ``check_checkpoint_write(site)`` — the ``checkpoint.write_fail`` site:
   fails a checkpoint commit between tmp-write and rename;
 * ``corrupt_checkpoint(payload, site)`` — the ``checkpoint.corrupt`` site:
-  flips a payload byte after the checksum is computed, so loads detect it.
+  flips a payload byte after the checksum is computed, so loads detect it;
+* ``check_coordinator_kill(point)`` / ``check_lease_expire(point)`` /
+  ``check_handshake_drop(point)`` — the coordinator-HA sites: crash the
+  leader, expire its ZooKeeper lease, or lose one handshake response at a
+  named failover point (recovered by leader election + idempotent
+  re-handshake; see :mod:`repro.transfer.ha`).
 
 Every injected event is recorded in :attr:`FaultInjector.events` so tests
 and the chaos benchmark can assert exactly what happened.
@@ -84,6 +89,25 @@ class FaultConfig:
     checkpoint_write_fail_rate: float = 0.0
     #: probability one checkpoint payload is corrupted after checksumming
     checkpoint_corrupt_rate: float = 0.0
+    #: the ``coordinator.kill`` site: one-shot crash of the *leader*
+    #: coordinator the next time a client handshake hits this failover
+    #: point ("create_session" / "pre_registration" / "split_plan" /
+    #: "post_split_plan" / "matchmaking" / "mid_stream" / "result")
+    kill_coordinator_at: str = ""
+    #: occurrences of the point to let pass before the kill fires (lets
+    #: "mid_stream" mean *mid*, not the first heartbeat)
+    coordinator_kill_skip: int = 0
+    #: the ``coordinator.lease_expire`` site: one-shot expiry of the
+    #: leader's ZooKeeper session at a failover point — the process stays
+    #: alive but loses its lease (and must be fenced out of the journal)
+    lease_expire_at: str = ""
+    lease_expire_skip: int = 0
+    #: the ``handshake.drop`` site: one-shot loss of a handshake *response*
+    #: at a failover point — the mutation applied server-side, the client
+    #: never heard, and must re-issue the call idempotently
+    handshake_drop_at: str = ""
+    #: probability any handshake response is dropped (budgeted)
+    handshake_drop_rate: float = 0.0
     #: cap on rate-driven kills (None = unlimited; kill_at is separate)
     max_kills: int | None = 1
     #: cap on all transient events — drops, stalls, corruptions, duplicates
@@ -103,6 +127,10 @@ class FaultConfig:
             or self.kill_train_at
             or self.checkpoint_write_fail_rate
             or self.checkpoint_corrupt_rate
+            or self.kill_coordinator_at
+            or self.lease_expire_at
+            or self.handshake_drop_at
+            or self.handshake_drop_rate
         )
 
 
@@ -125,6 +153,10 @@ class FaultInjector:
         self._killed: set[int] = set()  # workers already point-killed
         self._killed_ml: set[int] = set()  # ML readers already point-killed
         self._killed_train = False  # the one-shot ml.iteration_kill fired
+        self._coordinator_killed = False  # the one-shot coordinator.kill fired
+        self._lease_expired = False  # the one-shot coordinator.lease_expire fired
+        self._handshake_dropped = False  # the one-shot handshake.drop fired
+        self._point_hits = Counter()  # (site, point) -> handshakes seen
         self._kills = 0
         self._events_used = 0
         self.events: list[FaultEvent] = []
@@ -244,6 +276,65 @@ class FaultInjector:
                 self._record("stall", channel_key)
                 if self.config.stall_seconds > 0:
                     self._sleep(self.config.stall_seconds)
+
+    # ------------------------------------------------ coordinator HA sites
+
+    def check_coordinator_kill(self, point: str) -> bool:
+        """The ``coordinator.kill`` site: True when the leader coordinator
+        should crash at this failover point (one-shot; the caller — the
+        failover proxy — performs the kill so the election is observable)."""
+        if not self.enabled or self.config.kill_coordinator_at != point:
+            return False
+        with self._lock:
+            if self._coordinator_killed:
+                return False
+            self._point_hits[("coordinator_kill", point)] += 1
+            if (
+                self._point_hits[("coordinator_kill", point)]
+                <= self.config.coordinator_kill_skip
+            ):
+                return False
+            self._coordinator_killed = True
+        self._record("coordinator_kill", f"coordinator@{point}")
+        return True
+
+    def check_lease_expire(self, point: str) -> bool:
+        """The ``coordinator.lease_expire`` site: True when the leader's
+        ZooKeeper session should expire at this failover point (one-shot;
+        the leader process survives but is deposed and fenced)."""
+        if not self.enabled or self.config.lease_expire_at != point:
+            return False
+        with self._lock:
+            if self._lease_expired:
+                return False
+            self._point_hits[("lease_expire", point)] += 1
+            if self._point_hits[("lease_expire", point)] <= self.config.lease_expire_skip:
+                return False
+            self._lease_expired = True
+        self._record("lease_expire", f"coordinator@{point}")
+        return True
+
+    def check_handshake_drop(self, point: str) -> bool:
+        """The ``handshake.drop`` site: True when this handshake's *response*
+        is lost on the wire — the server-side mutation happened, but the
+        client must re-issue the call idempotently."""
+        if not self.enabled:
+            return False
+        if self.config.handshake_drop_at == point:
+            fire = False
+            with self._lock:
+                if not self._handshake_dropped:
+                    self._handshake_dropped = True
+                    fire = True
+            if fire:
+                self._record("handshake_drop", f"handshake@{point}")
+                return True
+        rate = self.config.handshake_drop_rate
+        if rate and self._rng(f"handshake/{point}").random() < rate:
+            if self._take_event_budget():
+                self._record("handshake_drop", f"handshake@{point}")
+                return True
+        return False
 
     # ------------------------------------------- ML training / checkpoints
 

@@ -254,6 +254,20 @@ class RecoveryManager:
 
     # -------------------------------------------------------------- summary
 
+    def monitor_actions(self) -> list[dict]:
+        """Partial restarts initiated by a :class:`LivenessMonitor` (rather
+        than by a sender noticing its own failure)."""
+        with self._lock:
+            return [
+                {
+                    "session_id": e.session_id,
+                    "sql_worker_id": e.sql_worker_id,
+                    "reason": e.reason,
+                }
+                for e in self.restart_events
+                if "liveness monitor" in e.reason
+            ]
+
     def summary(self) -> dict:
         """Recovery activity totals (for benchmarks and reports)."""
         with self._lock:
@@ -263,3 +277,104 @@ class RecoveryManager:
                 "ml_recoveries": len(self.ml_recovery_events),
                 "injected": dict(self.injector.counts),
             }
+
+
+class LivenessMonitor:
+    """The coordinator-side §6 failure detector, made *active*.
+
+    PR 2 detection was passive: :meth:`RecoveryManager.stale_workers` only
+    reported staleness when somebody asked.  This monitor asks — every
+    ``interval_s`` it sweeps the heartbeat table of every live session and
+    turns each stale worker into a proactive
+    :meth:`~repro.transfer.coordinator.Coordinator.plan_partial_restart`
+    call, so the restart plan exists before the dead sender's peers time
+    out.  Each (session, worker, beat-timestamp) is flagged at most once:
+    a worker that resumes beating and goes stale again is re-flagged, but a
+    still-stale worker is not restarted repeatedly.
+
+    ``clock``/``sleep`` are injectable and :meth:`sweep` is public, so tests
+    drive detection deterministically without real waiting; :meth:`start`
+    runs the production daemon thread.
+    """
+
+    def __init__(
+        self,
+        coordinator,
+        recovery: RecoveryManager,
+        interval_s: float = 0.5,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        self.coordinator = coordinator
+        self.recovery = recovery
+        self.interval_s = interval_s
+        self._clock = clock
+        self._sleep = sleep
+        self._flagged: set[tuple[str, int, float]] = set()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.actions: list[dict] = []
+
+    def sweep(self, now: float | None = None) -> list[dict]:
+        """One detection pass; returns the restart plans it initiated."""
+        from repro.common.errors import TransferError
+
+        if now is None:
+            now = self._clock()
+        initiated: list[dict] = []
+        try:
+            live = self.coordinator.live_sessions()
+        except TransferError:
+            return initiated  # deposed/killed coordinator: nothing to sweep
+        for session_id in live:
+            for worker_id in self.recovery.stale_workers(session_id, now=now):
+                beat = self.recovery.last_heartbeat(session_id, worker_id)
+                key = (session_id, worker_id, beat)
+                if key in self._flagged:
+                    continue
+                self._flagged.add(key)
+                reason = (
+                    f"heartbeat of SQL worker {worker_id} stale for > "
+                    f"{self.recovery.heartbeat_timeout_s}s (liveness monitor)"
+                )
+                try:
+                    # The budgeted path: records the RestartEvent and stops
+                    # restarting a worker whose budget is spent.
+                    plan = self.recovery.begin_partial_restart(
+                        self.coordinator, session_id, worker_id, reason
+                    )
+                except TransferError:
+                    continue  # session closed, coordinator deposed mid-sweep,
+                    # or this worker's restart budget is exhausted
+                action = {
+                    "session_id": session_id,
+                    "worker_id": worker_id,
+                    "plan": plan,
+                }
+                initiated.append(action)
+                self.actions.append(action)
+        return initiated
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.wait(timeout=self.interval_s):
+                try:
+                    self.sweep()
+                except Exception:
+                    # The detector must never take the coordinator down.
+                    continue
+
+        self._thread = threading.Thread(
+            target=run, name="liveness-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=2.0)

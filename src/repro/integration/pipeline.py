@@ -345,6 +345,7 @@ class AnalyticsPipeline:
                 self.coordinator.close_session(session_id)
         wall = time.perf_counter() - t0
         result.attempts = attempt
+        result.failovers = self._delta(before, "coordinator.failover")
         if result.ml_recovery_tier is None and ml_result.train_attempts > 1:
             # The cheapest tier ran *inside* the ML system: training crashed
             # and resumed in place from its checkpoint.

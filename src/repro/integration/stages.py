@@ -72,6 +72,9 @@ class PipelineResult:
     ml_recovery_tier: str | None = None
     #: dirty-data accounting from the recode UDF (rows nulled/skipped)
     transform_stats: dict = field(default_factory=dict)
+    #: coordinator-HA takeovers that happened during this run (0 = the
+    #: leader survived, or HA is off — the default)
+    failovers: int = 0
 
     @property
     def total_sim_seconds(self) -> float:

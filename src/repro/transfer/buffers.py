@@ -69,6 +69,31 @@ class SpillableBuffer:
             self._closed = True
             self._readable.notify_all()
 
+    def discard(self) -> None:
+        """Drop everything and release the spill file (session teardown).
+
+        Unlike :meth:`close`, pending items are *not* kept readable — a
+        blocked or late reader sees immediate EOF — and a spill file that
+        was never fully drained is closed and unlinked, so a finished (or
+        failed) session leaves nothing on disk.
+        """
+        with self._lock:
+            self._closed = True
+            self._memory.clear()
+            self._memory_bytes = 0
+            self._overflow.clear()
+            self._spill_pending = 0
+            if self._spill_file is not None:
+                path = self._spill_file.name
+                self._spill_file.close()
+                self._spill_file = None
+                self._spill_read_offset = 0
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            self._readable.notify_all()
+
     # ----------------------------------------------------------------- read
 
     def get(self, timeout: float | None = 30.0) -> bytes | None:

@@ -120,6 +120,13 @@ class StreamChannel:
         """End of stream from the sender."""
         self._buffer.close()
 
+    def release(self) -> None:
+        """Free transfer resources at session teardown: pending rows are
+        dropped and any leftover spill file is deleted (``close_session``
+        calls this so finished *and* failed sessions leave no spill files)."""
+        self._buffer.discard()
+        self._pending.clear()
+
     # ------------------------------------------------------------- ML side
 
     def receive_block(self, timeout: float | None = 30.0) -> list[tuple] | None:

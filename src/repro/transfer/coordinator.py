@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.cluster.cluster import Cluster
-from repro.common.errors import TransferError
+from repro.common.errors import CoordinatorUnavailableError, TransferError
 from repro.transfer.channel import ChannelId, StreamChannel
 
 DEFAULT_BUFFER_BYTES = 4096  # the paper's send/receive buffer setting
@@ -89,6 +89,8 @@ class Coordinator:
         state_store=None,  # CoordinatorStateStore | None (§6 resilience)
         recovery=None,  # RecoveryManager | None — installs §6 recovery
         fault_injector=None,  # FaultInjector | None — convenience wiring
+        coordinator_id: str = "coordinator-0",  # HA replica identity
+        channel_registry=None,  # ChannelRegistry | None (HA data plane)
     ):
         if transport not in ("memory", "socket"):
             raise TransferError(f"unknown transport {transport!r}")
@@ -110,8 +112,157 @@ class Coordinator:
         #: §6 recovery driver; when set, streaming senders take the resilient
         #: protocol (sequenced blocks, heartbeats, retries, partial restart).
         self.recovery = recovery
+        self.coordinator_id = coordinator_id
+        #: False once this replica crashed (it stops serving immediately)
+        self.alive = True
+        #: set by :class:`~repro.transfer.ha.CoordinatorHAGroup` on members
+        self.ha_group = None
+        #: leader term this replica last served in (fencing token)
+        self.fencing_epoch: int | None = None
+        #: shared data-plane registry: channels outlive a dead coordinator
+        self.channel_registry = channel_registry
+        self._monitor = None  # LivenessMonitor | None
         self._sessions: dict[str, StreamSession] = {}
         self._lock = threading.Lock()
+
+    # ----------------------------------------------------- HA: serving state
+
+    def _ensure_serving(self) -> None:
+        """Refuse requests unless this replica is alive and (under HA) holds
+        the leader lease.  Clients behind a
+        :class:`~repro.transfer.ha.FailoverCoordinator` catch the resulting
+        :class:`CoordinatorUnavailableError`, re-resolve the leader from
+        ZooKeeperLite, and retry the handshake idempotently."""
+        if not self.alive:
+            raise CoordinatorUnavailableError(
+                f"coordinator {self.coordinator_id!r} is dead"
+            )
+        group = self.ha_group
+        if group is not None and group.leader_id() != self.coordinator_id:
+            raise CoordinatorUnavailableError(
+                f"coordinator {self.coordinator_id!r} lost its leader lease"
+            )
+
+    def kill(self) -> None:
+        """Crash this replica (chaos hook).  All session events are set so
+        threads blocked in a wait wake up, re-check :meth:`_ensure_serving`,
+        and surface :class:`CoordinatorUnavailableError` instead of hanging
+        out their timeout against a dead service."""
+        self.alive = False
+        self.stop_liveness_monitor()
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.all_registered.set()
+            session.splits_ready.set()
+            session.result_ready.set()
+
+    def become_leader(self, state_store, epoch: int) -> list[str]:
+        """Take over as leader: bind the fenced journal for this term and
+        reconstruct every in-flight session from it.  Returns the adopted
+        session ids."""
+        self.state_store = state_store
+        self.fencing_epoch = epoch
+        return self.adopt_sessions()
+
+    def adopt_sessions(self) -> list[str]:
+        """Rebuild :class:`StreamSession` control state from the journal.
+
+        Control state (registrations, split plan, ML claims, recovery log,
+        status) comes from ZooKeeperLite; live channel objects — the data
+        plane, which conceptually lives on the worker hosts, not on the
+        coordinator — are re-attached from the shared channel registry, so
+        in-flight streams keep their buffers and dedup sequence state and
+        nothing is replayed just because the coordinator died.
+        """
+        store = self.state_store
+        if store is None:
+            return []
+        adopted: list[str] = []
+        for session_id in store.sessions():
+            with self._lock:
+                if session_id in self._sessions:
+                    continue
+            view = store.session_view(session_id)
+            if view["status"] == "closed":
+                continue
+            settings = view.get("settings") or {}
+            session = StreamSession(
+                session_id=session_id,
+                command=view.get("command"),
+                args=dict(view.get("args") or {}),
+                conf_props=dict(view.get("conf") or {}),
+                buffer_bytes=int(settings.get("buffer_bytes", self.buffer_bytes)),
+                batch_rows=int(settings.get("batch_rows", self.batch_rows)),
+                spill_dir=settings.get("spill_dir", self.spill_dir),
+            )
+            for worker_id, info in view["workers"].items():
+                session.sql_workers[worker_id] = SqlWorkerInfo(worker_id, info["ip"])
+                session.expected_sql_workers = info["total"]
+            groups = view.get("groups")
+            if groups is not None:
+                session.groups = {wid: list(cids) for wid, cids in groups.items()}
+                live = (
+                    self.channel_registry.channels_of(session_id)
+                    if self.channel_registry is not None
+                    else {}
+                )
+                for group in session.groups.values():
+                    for cid in group:
+                        if cid in live:
+                            session.channels[cid] = live[cid]
+                session.splits_ready.set()
+            session.ml_registrations = set(view.get("ml_claims") or [])
+            session.recovery_log = list(view.get("recovery_log") or [])
+            status = view["status"]
+            complete = (
+                session.expected_sql_workers is not None
+                and len(session.sql_workers) == session.expected_sql_workers
+            )
+            if complete:
+                session.all_registered.set()
+            session.launched = status in ("launched", "completed", "failed")
+            if status == "failed":
+                session.failed = True
+                session.failure_reason = "failed before coordinator takeover"
+                session.error = TransferError(session.failure_reason)
+                session.result_ready.set()
+            with self._lock:
+                self._sessions[session_id] = session
+            if self.ha_group is not None:
+                self.ha_group.replay_result(session_id, self)
+            # The old leader died between the last registration and the
+            # launch record: this term launches the ML job itself.
+            if complete and not session.launched and session.command is not None:
+                session.launched = True
+                store.record_status(session_id, "launched")
+                self._launch(session)
+            adopted.append(session_id)
+        return adopted
+
+    def apply_result(self, session_id: str, result, error) -> None:
+        """Deliver a finished ML job's outcome to this replica's session
+        (the HA group routes results here so a takeover mid-job still
+        unblocks ``wait_result`` callers on the new leader)."""
+        self._ensure_serving()
+        session = self.session(session_id)
+        self._apply_result(session, result, error)
+
+    def _apply_result(self, session: StreamSession, result, error) -> None:
+        if error is None:
+            session.result = result
+            if self.state_store is not None:
+                self.state_store.record_status(session.session_id, "completed")
+        else:
+            session.error = error
+            session.failed = True
+            session.failure_reason = str(error)
+            # Unblock SQL workers waiting for split planning: they get a
+            # prompt error instead of hanging until their timeout.
+            session.splits_ready.set()
+            if self.state_store is not None:
+                self.state_store.record_status(session.session_id, "failed")
+        session.result_ready.set()
 
     # ------------------------------------------------------------- sessions
 
@@ -124,15 +275,25 @@ class Coordinator:
         buffer_bytes: int | None = None,
         batch_rows: int | None = None,
         spill_dir: str | None = None,
+        exists_ok: bool = False,
     ) -> StreamSession:
-        """Pre-configure a session (the pipeline does this before the query)."""
+        """Pre-configure a session (the pipeline does this before the query).
+
+        ``exists_ok`` is the HA retry path: a client whose create *response*
+        was lost in a failover re-issues the call and gets the existing
+        session back instead of an error.
+        """
+        self._ensure_serving()
         props = dict(conf_props or {})
         if batch_rows is None:
             batch_rows = int(props.get("stream.batch_rows", self.batch_rows))
         if batch_rows < 1:
             raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
         with self._lock:
-            if session_id in self._sessions:
+            existing = self._sessions.get(session_id)
+            if existing is not None:
+                if exists_ok:
+                    return existing
                 raise TransferError(f"session {session_id!r} already exists")
             session = StreamSession(
                 session_id=session_id,
@@ -146,11 +307,20 @@ class Coordinator:
             self._sessions[session_id] = session
         if self.state_store is not None:
             self.state_store.record_session(
-                session_id, session.command, session.conf_props
+                session_id,
+                session.command,
+                session.conf_props,
+                args=session.args,
+                settings={
+                    "buffer_bytes": session.buffer_bytes,
+                    "batch_rows": session.batch_rows,
+                    "spill_dir": session.spill_dir,
+                },
             )
         return session
 
     def session(self, session_id: str) -> StreamSession:
+        self._ensure_serving()
         with self._lock:
             session = self._sessions.get(session_id)
         if session is None:
@@ -159,10 +329,29 @@ class Coordinator:
             )
         return session
 
-    def close_session(self, session_id: str) -> None:
-        """Forget a finished session."""
+    def live_sessions(self) -> list[str]:
+        """Ids of sessions this coordinator currently tracks."""
+        self._ensure_serving()
         with self._lock:
-            self._sessions.pop(session_id, None)
+            return sorted(self._sessions)
+
+    def close_session(self, session_id: str) -> None:
+        """Forget a finished session and release its transfer resources:
+        still-open channels are closed and their spill files deleted, so a
+        completed *or* failed session leaves nothing on disk."""
+        self._ensure_serving()
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            return
+        # release(), not close(): teardown must never block on a flush to a
+        # reader that is already gone, and it drops leftover spill files.
+        for channel in list(session.channels.values()):
+            channel.release()
+        if self.channel_registry is not None:
+            self.channel_registry.drop_session(session_id)
+        if self.state_store is not None:
+            self.state_store.record_status(session_id, "closed")
 
     # ------------------------------------------------- step 1: registration
 
@@ -174,8 +363,15 @@ class Coordinator:
         total_workers: int,
         command: str | None = None,
         args: dict | None = None,
+        reregister_ok: bool = False,
     ) -> StreamSession:
-        """A SQL worker announces itself; the last one triggers the launch."""
+        """A SQL worker announces itself; the last one triggers the launch.
+
+        ``reregister_ok`` is the HA retry path: re-registration by the same
+        ``(session_id, worker_id)`` converges (idempotent) instead of
+        erroring, so a handshake whose response was lost in a failover can
+        simply be re-issued against the new leader.
+        """
         session = self.session(session_id)
         launch = False
         with self._lock:
@@ -186,7 +382,7 @@ class Coordinator:
                     f"inconsistent SQL worker count for {session_id!r}: "
                     f"{session.expected_sql_workers} vs {total_workers}"
                 )
-            if worker_id in session.sql_workers:
+            if worker_id in session.sql_workers and not reregister_ok:
                 raise TransferError(
                     f"SQL worker {worker_id} registered twice in {session_id!r}"
                 )
@@ -221,20 +417,16 @@ class Coordinator:
 
         def run() -> None:
             try:
-                session.result = self.launcher(session)
-                if self.state_store is not None:
-                    self.state_store.record_status(session.session_id, "completed")
+                result, error = self.launcher(session), None
             except BaseException as exc:  # surfaced to wait_result callers
-                session.error = exc
-                session.failed = True
-                session.failure_reason = str(exc)
-                # Unblock SQL workers waiting for split planning: they get a
-                # prompt error instead of hanging until their timeout.
-                session.splits_ready.set()
-                if self.state_store is not None:
-                    self.state_store.record_status(session.session_id, "failed")
-            finally:
-                session.result_ready.set()
+                result, error = None, exc
+            # Under HA the outcome goes through the group, which records it
+            # and applies it on whichever replica leads *now* — the session
+            # object this thread launched from may belong to a dead leader.
+            if self.ha_group is not None:
+                self.ha_group.deliver_result(session.session_id, result, error)
+            else:
+                self._apply_result(session, result, error)
 
         thread = threading.Thread(
             target=run, name=f"ml-job-{session.session_id}", daemon=True
@@ -256,6 +448,7 @@ class Coordinator:
             raise TransferError(
                 f"timed out waiting for SQL workers of {session_id!r} to register"
             )
+        self._ensure_serving()  # a kill() sets the events to wake waiters
         with self._lock:
             if session.splits_ready.is_set():
                 return [cid for group in session.groups.values() for cid in group]
@@ -302,7 +495,11 @@ class Coordinator:
                     index += 1
                 session.groups[worker_id] = group
             session.splits_ready.set()
-            return channel_ids
+        if self.channel_registry is not None:
+            self.channel_registry.register(session_id, session.channels)
+        if self.state_store is not None:
+            self.state_store.record_splits(session_id, session.groups)
+        return channel_ids
 
     def _ml_slot_is_local(
         self, session: StreamSession, sql_worker_id: int, _index: int
@@ -324,23 +521,44 @@ class Coordinator:
             )
         return info.ip
 
+    def split_locations(
+        self, session_id: str, channel_ids: list[ChannelId]
+    ) -> dict[ChannelId, str]:
+        """Locality hosts of many splits in one handshake round-trip —
+        under HA every call crosses the failover proxy, so the input format
+        batches its n·k location lookups instead of paying one per split."""
+        return {
+            cid: self.split_location(session_id, cid) for cid in channel_ids
+        }
+
     # ------------------------------------------- steps 4-6: matchmaking
 
-    def register_ml_worker(self, session_id: str, channel_id: ChannelId) -> StreamChannel:
-        """An ML reader claims its split; returns its receive endpoint."""
+    def register_ml_worker(
+        self, session_id: str, channel_id: ChannelId, reclaim_ok: bool = False
+    ) -> StreamChannel:
+        """An ML reader claims its split; returns its receive endpoint.
+
+        ``reclaim_ok`` is the HA retry path: the same reader re-claiming its
+        split after a failover gets the same channel back (idempotent by
+        ``(session_id, channel_id)``) instead of a "claimed twice" error.
+        """
         session = self.session(session_id)
         if not session.splits_ready.wait(timeout=self.timeout_s):
             raise TransferError(f"splits of {session_id!r} were never planned")
+        self._ensure_serving()  # a kill() sets the events to wake waiters
         with self._lock:
             channel = session.channels.get(channel_id)
             if channel is None:
                 raise TransferError(
                     f"no channel {channel_id} in session {session_id!r}"
                 )
-            if channel_id in session.ml_registrations:
+            if channel_id in session.ml_registrations and not reclaim_ok:
                 raise TransferError(f"split {channel_id} claimed twice")
+            already = channel_id in session.ml_registrations
             session.ml_registrations.add(channel_id)
-            return channel
+        if self.state_store is not None and not already:
+            self.state_store.record_ml_claim(session_id, channel_id)
+        return channel
 
     def sql_worker_channels(self, session_id: str, worker_id: int) -> list[StreamChannel]:
         """A SQL worker collects its matched send endpoints (blocks on step 3)."""
@@ -350,6 +568,7 @@ class Coordinator:
                 f"timed out waiting for split planning in {session_id!r} "
                 "(was the ML job launched?)"
             )
+        self._ensure_serving()  # a kill() sets the events to wake waiters
         with self._lock:
             group = session.groups.get(worker_id)
             if group is None:
@@ -366,10 +585,17 @@ class Coordinator:
     # ----------------------------------------------------- results & faults
 
     def wait_result(self, session_id: str, timeout: float | None = None):
-        """Block until the launched ML job finishes; re-raises its error."""
+        """Block until the launched ML job finishes; re-raises its error.
+
+        ``timeout=0`` means "poll, don't wait" — only ``None`` selects the
+        default (``timeout or default`` would silently turn an explicit 0
+        into a multi-second block).
+        """
         session = self.session(session_id)
-        if not session.result_ready.wait(timeout=timeout or self.timeout_s * 4):
+        effective = timeout if timeout is not None else self.timeout_s * 4
+        if not session.result_ready.wait(timeout=effective):
             raise TransferError(f"ML job of session {session_id!r} never finished")
+        self._ensure_serving()  # a kill() sets the events to wake waiters
         if session.error is not None:
             raise TransferError(
                 f"ML job of session {session_id!r} failed: {session.error}"
@@ -391,9 +617,15 @@ class Coordinator:
         with self._lock:
             session.failed = True
             session.failure_reason = reason or f"channel of SQL worker {sql_worker_id} failed"
-            # Close the group's channels so stuck readers see EOF, not a hang.
-            for cid in session.groups.get(sql_worker_id, []):
-                session.channels[cid].close()
+            doomed = [
+                session.channels[cid]
+                for cid in session.groups.get(sql_worker_id, [])
+            ]
+        # Close *outside* the lock: close() can block on a buffer/socket a
+        # backpressured sender holds, and that sender may be about to call
+        # back into the coordinator — closing under self._lock deadlocks.
+        for channel in doomed:
+            channel.close()
         return session.restart_plan(sql_worker_id)
 
     def plan_partial_restart(
@@ -406,19 +638,62 @@ class Coordinator:
         its partition over them with sequenced blocks, and its k paired ML
         readers (exactly the ``restart_plan`` set, nobody else) dedup the
         replay by block sequence number.  The failure is logged on the
-        session for post-mortem inspection.
+        session (and journaled, so a takeover keeps the restart history).
         """
         session = self.session(session_id)
+        entry = {
+            "sql_worker_id": sql_worker_id,
+            "reason": reason or f"SQL worker {sql_worker_id} failed",
+        }
         with self._lock:
-            session.recovery_log.append(
-                {
-                    "sql_worker_id": sql_worker_id,
-                    "reason": reason or f"SQL worker {sql_worker_id} failed",
-                }
-            )
-            return session.restart_plan(sql_worker_id)
+            session.recovery_log.append(entry)
+            plan = session.restart_plan(sql_worker_id)
+        if self.state_store is not None:
+            self.state_store.record_recovery(session_id, entry)
+        return plan
 
     def record_heartbeat(self, session_id: str, worker_id: int) -> None:
-        """Liveness beat from a streaming worker (delegates to recovery)."""
+        """Liveness beat from a streaming worker (delegates to recovery).
+
+        Beats cross the control plane — under HA they go through the
+        failover proxy, which is what makes a mid-stream leader kill
+        observable and survivable (the shared RecoveryManager keeps the
+        heartbeat history across takeovers).
+        """
+        self._ensure_serving()
         if self.recovery is not None:
             self.recovery.heartbeat(session_id, worker_id)
+
+    # ------------------------------------------------- §6 active liveness
+
+    def start_liveness_monitor(
+        self,
+        interval_s: float = 0.5,
+        clock=None,
+        sleep=None,
+    ):
+        """Run a coordinator-side failure detector: a daemon thread that
+        periodically sweeps heartbeat timestamps and turns stale workers
+        into proactive :meth:`plan_partial_restart` calls, instead of
+        waiting for a sender to notice its own death.  Returns the monitor
+        (idempotent — an already-running monitor is returned as is)."""
+        if self.recovery is None:
+            raise TransferError("liveness monitoring needs a RecoveryManager")
+        if self._monitor is None:
+            from repro.faults.recovery import LivenessMonitor
+
+            kwargs = {}
+            if clock is not None:
+                kwargs["clock"] = clock
+            if sleep is not None:
+                kwargs["sleep"] = sleep
+            self._monitor = LivenessMonitor(
+                self, self.recovery, interval_s=interval_s, **kwargs
+            )
+            self._monitor.start()
+        return self._monitor
+
+    def stop_liveness_monitor(self) -> None:
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None

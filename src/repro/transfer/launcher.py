@@ -13,6 +13,13 @@ def connect(coordinator: Coordinator, ml_system: MLSystem) -> None:
     ``ml_system.run_job(command, args, SQLStreamInputFormat(), conf)`` on a
     separate thread — the paper's step 2 — with the session's configuration
     properties carried into the job conf.
+
+    ``coordinator`` may be a plain :class:`Coordinator` or a
+    :class:`~repro.transfer.ha.FailoverCoordinator`: under HA the launcher
+    installs on *every* replica (whichever replica leads at registration
+    time launches the job), while the job conf always carries the failover
+    proxy — so the ML-side handshakes (split planning, reader claims)
+    survive a leader change mid-job.
     """
 
     def launch(session: StreamSession) -> MLJobResult:
@@ -28,4 +35,6 @@ def connect(coordinator: Coordinator, ml_system: MLSystem) -> None:
             num_workers=int(requested) if requested else None,
         )
 
-    coordinator.launcher = launch
+    replicas = getattr(coordinator, "replicas", None)
+    for target in replicas if replicas else [coordinator]:
+        target.launcher = launch

@@ -131,6 +131,18 @@ class SocketStreamChannel:
             pass
         self._send_sock.close()
 
+    def release(self) -> None:
+        """Free both socket ends at session teardown (no blocking flush:
+        a failed session's unread bytes are dropped, not delivered)."""
+        self._closed = True
+        self._overflow.clear()
+        self._pending.clear()
+        for sock in (self._send_sock, self._recv_sock):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
     def _try_send(self, data: bytes) -> int:
         try:
             return self._send_sock.send(data)

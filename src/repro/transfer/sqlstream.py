@@ -87,11 +87,15 @@ class SQLStreamInputFormat(InputFormat):
         channel_ids = coordinator.plan_input_splits(
             session_id, int(requested) if requested else None
         )
+        # One batched location lookup instead of n*k round-trips: under HA
+        # every handshake crosses the failover proxy (leader resolution +
+        # chaos sites), so the m per-split calls would multiply that cost.
+        locations = coordinator.split_locations(session_id, channel_ids)
         return [
             StreamSplit(
                 session_id=session_id,
                 channel_id=cid,
-                location_ip=coordinator.split_location(session_id, cid),
+                location_ip=locations[cid],
             )
             for cid in channel_ids
         ]

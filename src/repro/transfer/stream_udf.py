@@ -187,7 +187,12 @@ class StreamTransferUDF(TableUDF):
                     rows_streamed = 0
                     for target, seq, block in blocks:
                         channel = channels[target]
-                        recovery.heartbeat(session_id, ctx.worker_id)
+                        # Beat through the *coordinator*, not the recovery
+                        # manager directly: the beat is a control-plane
+                        # handshake, so under HA it resolves the current
+                        # leader (the mid-stream failover point) while the
+                        # data plane below never touches the coordinator.
+                        coordinator.record_heartbeat(session_id, ctx.worker_id)
                         injector.check_kill(ctx.worker_id, rows_streamed)
                         recovery.send_with_retry(
                             lambda c=channel, b=block, s=seq, r=epoch > 0: (

@@ -201,48 +201,130 @@ class ZooKeeperLite:
 
 
 class CoordinatorStateStore:
-    """Mirror of transfer-session metadata in ZooKeeperLite (§6 resilience).
+    """Replicated journal of transfer-session control state (§6 resilience).
 
-    The coordinator writes each session's command/conf and every SQL-worker
-    registration as znodes under ``/coordinator/sessions/<id>``; a
-    replacement coordinator (or an operator) reads them back after a crash.
+    The coordinator versioned-writes every session mutation — create,
+    SQL-worker registration, split plan, ML-worker claims, recovery-log
+    entries, result status — as znodes under ``/coordinator/sessions/<id>``,
+    and :meth:`session_view` reads it all back, so a standby coordinator can
+    reconstruct :class:`~repro.transfer.coordinator.StreamSession` *control*
+    state on takeover (channel buffers are data-plane state living on the
+    worker hosts and are re-attached, not replayed — see DESIGN.md §9).
+
+    Writes are fenced by leader epoch: a store bound to an epoch (via
+    :meth:`for_epoch`) refuses to write once a newer leader has CAS-bumped
+    the epoch znode, so a deposed leader that is still running cannot corrupt
+    the journal mid-takeover.  Journal traffic is metered into the
+    ``zk.journal`` ledger counter when a ledger is attached (off by default —
+    the non-HA byte totals stay bit-identical).
     """
 
     ROOT = "/coordinator/sessions"
+    EPOCH_PATH = "/coordinators/epoch"
 
-    def __init__(self, zk: ZooKeeperLite):
+    def __init__(self, zk: ZooKeeperLite, ledger=None, fencing_epoch: int | None = None):
         self.zk = zk
+        self.ledger = ledger
+        #: leader term this store writes on behalf of; None = unfenced
+        #: (the single-coordinator deployments of PR 2/3)
+        self.fencing_epoch = fencing_epoch
         zk.ensure_path(self.ROOT)
 
-    def record_session(self, session_id: str, command: str | None, conf: dict) -> None:
+    def for_epoch(self, epoch: int) -> "CoordinatorStateStore":
+        """A fenced view of the same journal, bound to one leader term."""
+        return CoordinatorStateStore(self.zk, ledger=self.ledger, fencing_epoch=epoch)
+
+    # ------------------------------------------------------------- writing
+
+    def _check_fence(self) -> None:
+        if self.fencing_epoch is None or not self.zk.exists(self.EPOCH_PATH):
+            return
+        data, _v = self.zk.get(self.EPOCH_PATH)
+        current = int(data or b"0")
+        if current != self.fencing_epoch:
+            raise ZkError(
+                f"fenced: journal write from stale leader epoch "
+                f"{self.fencing_epoch} (current epoch is {current})"
+            )
+
+    def _write(self, path: str, payload: bytes) -> None:
+        """Fenced, versioned journal write (create, or CAS on the version
+        just read — a concurrent stale-leader write loses the race loudly)."""
+        self._check_fence()
+        if self.zk.exists(path):
+            _data, version = self.zk.get(path)
+            self.zk.set(path, payload, expected_version=version)
+        else:
+            self.zk.create(path, payload)
+        if self.ledger is not None:
+            self.ledger.add("zk.journal", len(payload))
+
+    def record_session(
+        self,
+        session_id: str,
+        command: str | None,
+        conf: dict,
+        args: dict | None = None,
+        settings: dict | None = None,
+    ) -> None:
         base = f"{self.ROOT}/{session_id}"
         self.zk.ensure_path(base)
-        payload = json.dumps({"command": command, "conf": conf}).encode()
-        if self.zk.exists(f"{base}/meta"):
-            self.zk.set(f"{base}/meta", payload)
-        else:
-            self.zk.create(f"{base}/meta", payload)
         self.zk.ensure_path(f"{base}/workers")
+        self.zk.ensure_path(f"{base}/ml")
+        self.zk.ensure_path(f"{base}/recovery")
+        payload = json.dumps(
+            {
+                "command": command,
+                "conf": conf,
+                "args": args or {},
+                "settings": settings or {},
+            }
+        ).encode()
+        self._write(f"{base}/meta", payload)
 
     def record_worker(
         self, session_id: str, worker_id: int, ip: str, total_workers: int
     ) -> None:
         base = f"{self.ROOT}/{session_id}/workers"
         payload = json.dumps({"ip": ip, "total": total_workers}).encode()
-        self.zk.create(f"{base}/{worker_id}", payload)
+        self._write(f"{base}/{worker_id}", payload)
+
+    def record_splits(self, session_id: str, groups: dict) -> None:
+        """Journal the split plan: SQL worker id -> its channel ids."""
+        payload = json.dumps(
+            {
+                str(worker_id): [[cid.sql_worker_id, cid.index] for cid in group]
+                for worker_id, group in groups.items()
+            }
+        ).encode()
+        self._write(f"{self.ROOT}/{session_id}/splits", payload)
+
+    def record_ml_claim(self, session_id: str, channel_id) -> None:
+        """Journal one ML reader's split claim."""
+        base = f"{self.ROOT}/{session_id}/ml"
+        payload = json.dumps([channel_id.sql_worker_id, channel_id.index]).encode()
+        self._write(f"{base}/{channel_id.index}", payload)
+
+    def record_recovery(self, session_id: str, entry: dict) -> None:
+        """Append one recovery-log entry (sequential child znodes)."""
+        base = f"{self.ROOT}/{session_id}/recovery"
+        if not self.zk.exists(base):
+            self.zk.ensure_path(base)
+        seq = len(self.zk.children(base))
+        self._write(f"{base}/{seq:06d}", json.dumps(entry).encode())
 
     def record_status(self, session_id: str, status: str) -> None:
-        path = f"{self.ROOT}/{session_id}/status"
-        if self.zk.exists(path):
-            self.zk.set(path, status.encode())
-        else:
-            self.zk.create(path, status.encode())
+        self._write(f"{self.ROOT}/{session_id}/status", status.encode())
+
+    # ------------------------------------------------------------- reading
 
     def sessions(self) -> list[str]:
         return self.zk.children(self.ROOT)
 
     def session_view(self, session_id: str) -> dict:
         """Everything a replacement coordinator needs to know."""
+        from repro.transfer.channel import ChannelId
+
         base = f"{self.ROOT}/{session_id}"
         meta, _v = self.zk.get(f"{base}/meta")
         view = json.loads(meta.decode())
@@ -251,9 +333,47 @@ class CoordinatorStateStore:
             data, _v = self.zk.get(f"{base}/workers/{name}")
             workers[int(name)] = json.loads(data.decode())
         view["workers"] = workers
+        if self.zk.exists(f"{base}/splits"):
+            raw, _v = self.zk.get(f"{base}/splits")
+            view["groups"] = {
+                int(worker_id): [ChannelId(w, i) for w, i in group]
+                for worker_id, group in json.loads(raw.decode()).items()
+            }
+        else:
+            view["groups"] = None
+        claims = []
+        if self.zk.exists(f"{base}/ml"):
+            for name in self.zk.children(f"{base}/ml"):
+                data, _v = self.zk.get(f"{base}/ml/{name}")
+                w, i = json.loads(data.decode())
+                claims.append(ChannelId(w, i))
+        view["ml_claims"] = claims
+        log = []
+        if self.zk.exists(f"{base}/recovery"):
+            for name in self.zk.children(f"{base}/recovery"):
+                data, _v = self.zk.get(f"{base}/recovery/{name}")
+                log.append(json.loads(data.decode()))
+        view["recovery_log"] = log
         if self.zk.exists(f"{base}/status"):
             status, _v = self.zk.get(f"{base}/status")
             view["status"] = status.decode()
         else:
             view["status"] = "registering"
         return view
+
+    def journal_dump(self) -> dict:
+        """Every znode under the journal root, decoded — the CI artifact a
+        failed chaos run uploads so takeover state can be inspected."""
+        dump = {}
+        with self.zk._lock:
+            paths = sorted(p for p in self.zk._nodes if p.startswith("/coordinator"))
+        for path in paths:
+            try:
+                data, version = self.zk.get(path)
+            except ZkError:
+                continue
+            dump[path] = {
+                "version": version,
+                "data": data.decode("utf-8", errors="replace"),
+            }
+        return dump

@@ -2,6 +2,7 @@
 fault hooks — Figure 2's steps, unit-tested without a SQL engine."""
 
 import threading
+import time
 
 import pytest
 
@@ -261,3 +262,126 @@ class TestSQLStreamInputFormat:
         reader = fmt.create_record_reader(target, conf)
         assert list(reader) == [(1, "x"), (2, "y")]
         assert reader.bytes_read > 0
+
+
+class TestWaitResultTimeout:
+    def test_timeout_zero_polls_instead_of_blocking(self, coordinator):
+        """Regression: ``timeout=0`` is falsy but must mean "poll, don't
+        wait" — the old ``timeout or default`` turned it into a multi-second
+        block on the default timeout."""
+        coordinator.create_session("s", command="noop")
+        start = time.monotonic()
+        with pytest.raises(TransferError, match="never finished"):
+            coordinator.wait_result("s", timeout=0)
+        assert time.monotonic() - start < 1.0
+
+    def test_timeout_none_still_selects_the_default(self, coordinator):
+        coordinator.timeout_s = 0.05
+        coordinator.create_session("s", command="noop")
+        with pytest.raises(TransferError, match="never finished"):
+            coordinator.wait_result("s")  # waits timeout_s * 4, then raises
+
+
+class TestSessionTeardown:
+    def _spilled_session(self, tmp_path, fail=False):
+        cluster = make_paper_cluster()
+        coord = Coordinator(
+            cluster,
+            launcher=lambda session: "launched",
+            timeout_s=2.0,
+            buffer_bytes=64,
+            spill_dir=str(tmp_path),
+        )
+        coord.create_session("s", command="noop")
+        register_all(coord, "s", n=2)
+        coord.plan_input_splits("s", 2)
+        # Overflow every channel's 64-byte buffer so spill files exist.
+        for worker_id in range(2):
+            for channel in coord.sql_worker_channels("s", worker_id):
+                for i in range(50):
+                    channel.send_row((i, "x" * 32))
+        if fail:
+            coord.notify_channel_failure("s", 0, "injected")
+        return coord
+
+    def test_close_releases_spill_files_of_completed_session(self, tmp_path):
+        coord = self._spilled_session(tmp_path)
+        assert any(tmp_path.iterdir()), "test needs real spill files"
+        coord.close_session("s")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_close_releases_spill_files_of_failed_session(self, tmp_path):
+        coord = self._spilled_session(tmp_path, fail=True)
+        assert any(tmp_path.iterdir()), "test needs real spill files"
+        coord.close_session("s")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_close_gives_late_readers_immediate_eof(self, coordinator):
+        coordinator.create_session("s", command="noop")
+        register_all(coordinator, "s", n=2)
+        (cid, *_rest) = coordinator.plan_input_splits("s", 2)
+        channel = coordinator.session("s").channels[cid]
+        channel.send_row((1, "x"))
+        coordinator.close_session("s")
+        # release() drops pending rows: a reader that shows up after
+        # teardown sees EOF at once instead of hanging on its timeout.
+        assert channel.receive(timeout=0.1) is None
+
+
+class TestFailureNotificationLocking:
+    def test_channel_close_runs_outside_the_session_lock(self, coordinator):
+        """Regression: ``notify_channel_failure`` used to close channels
+        while holding ``coordinator._lock``.  A close that blocks on a
+        backpressured sender then deadlocks every other coordinator call.
+        Here each close proves the lock is free by making a coordinator
+        call from another thread and waiting for it."""
+        coordinator.create_session("s", command="noop")
+        register_all(coordinator, "s", n=2)
+        coordinator.plan_input_splits("s", 2)
+        session = coordinator.session("s")
+        unblocked = threading.Event()
+
+        def probing_close(original_close):
+            def close():
+                probe = threading.Thread(
+                    target=lambda: (coordinator.session("s"), unblocked.set())
+                )
+                probe.start()
+                assert unblocked.wait(timeout=2.0), (
+                    "coordinator lock held during channel close"
+                )
+                original_close()
+
+            return close
+
+        for cid in session.groups[0]:
+            channel = session.channels[cid]
+            channel.close = probing_close(channel.close)
+        coordinator.notify_channel_failure("s", 0, "probe")
+
+
+class TestIdempotentHandshakes:
+    """The HA retry forms: duplicates still raise by default, while the
+    failover proxy's opt-in flags converge on the existing state."""
+
+    def test_create_session_exists_ok(self, coordinator):
+        first = coordinator.create_session("s", command="noop")
+        with pytest.raises(TransferError, match="already exists"):
+            coordinator.create_session("s", command="noop")
+        assert coordinator.create_session("s", command="noop", exists_ok=True) is first
+
+    def test_reregister_ok_converges(self, coordinator):
+        coordinator.create_session("s", command="noop")
+        coordinator.register_sql_worker("s", 0, "10.0.0.2", 2)
+        session = coordinator.register_sql_worker(
+            "s", 0, "10.0.0.2", 2, reregister_ok=True
+        )
+        assert set(session.sql_workers) == {0}
+        assert not session.all_registered.is_set()  # still waiting for worker 1
+
+    def test_reclaim_ok_returns_the_same_channel(self, coordinator):
+        coordinator.create_session("s", command="noop")
+        register_all(coordinator, "s", n=2)
+        (cid, *_rest) = coordinator.plan_input_splits("s", 2)
+        first = coordinator.register_ml_worker("s", cid)
+        assert coordinator.register_ml_worker("s", cid, reclaim_ok=True) is first

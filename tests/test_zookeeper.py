@@ -3,7 +3,9 @@
 import pytest
 
 from repro import make_deployment
+from repro.cluster.cost import CostLedger
 from repro.sql.types import DataType, Schema
+from repro.transfer.channel import ChannelId
 from repro.transfer.zk import CoordinatorStateStore, ZkError, ZooKeeperLite
 
 
@@ -253,3 +255,106 @@ class TestCoordinatorResilience:
             )
         view = store.session_view("doomed")
         assert view["status"] == "failed"
+
+
+class TestFailoverSemantics:
+    """The exact ZooKeeperLite behaviours coordinator HA leans on."""
+
+    def test_lease_loss_is_observed_before_expiry_returns(self):
+        """Leader election hinges on this: the deletion watch on an expired
+        ephemeral lease fires *synchronously inside* ``expire_session``, so
+        a standby's takeover completes before the expiry call returns."""
+        zk = ZooKeeperLite()
+        zk.start_session("leader-0")
+        zk.ensure_path("/coordinators")
+        zk.create("/coordinators/leader", b"leader-0", ephemeral_owner="leader-0")
+        elected = []
+
+        def takeover(_path, event):
+            if event == "deleted":
+                zk.start_session("leader-1")
+                zk.create(
+                    "/coordinators/leader", b"leader-1", ephemeral_owner="leader-1"
+                )
+                elected.append("leader-1")
+
+        zk.watch("/coordinators/leader", takeover)
+        zk.expire_session("leader-0")
+        assert elected == ["leader-1"]
+        assert zk.get("/coordinators/leader")[0] == b"leader-1"
+
+    def test_versioned_set_fences_the_slower_of_two_leaders(self):
+        """Fencing: two would-be leaders read the epoch at the same version
+        and both try to CAS-bump it — exactly one write can win."""
+        zk = ZooKeeperLite()
+        zk.create("/epoch", b"0")
+        _data, version = zk.get("/epoch")
+        zk.set("/epoch", b"1", expected_version=version)  # fast leader wins
+        with pytest.raises(ZkError, match="version conflict"):
+            zk.set("/epoch", b"1", expected_version=version)  # slow one loses
+
+    def test_fenced_store_refuses_stale_epoch_writes(self):
+        zk = ZooKeeperLite()
+        zk.ensure_path("/coordinators")
+        zk.create(CoordinatorStateStore.EPOCH_PATH, b"1")
+        old_term = CoordinatorStateStore(zk).for_epoch(1)
+        old_term.record_session("s", "noop", {})
+        old_term.record_status("s", "launched")  # current term: accepted
+        zk.set(CoordinatorStateStore.EPOCH_PATH, b"2")  # a new leader took over
+        with pytest.raises(ZkError, match="fenced"):
+            old_term.record_status("s", "completed")
+        # The journal still holds the last *accepted* write, untouched.
+        assert CoordinatorStateStore(zk).session_view("s")["status"] == "launched"
+
+    def test_session_view_roundtrips_full_control_state(self):
+        """Satellite check: everything a takeover needs — registrations,
+        split plan, ML claims, recovery log, status — survives the journal
+        round-trip with types intact."""
+        zk = ZooKeeperLite()
+        store = CoordinatorStateStore(zk)
+        groups = {
+            0: [ChannelId(0, 0), ChannelId(0, 1)],
+            1: [ChannelId(1, 2), ChannelId(1, 3)],
+        }
+        store.record_session(
+            "s",
+            "svm_with_sgd",
+            {"record.format": "labeled_csv"},
+            args={"iterations": 5},
+            settings={"buffer_bytes": 4096, "batch_rows": 16, "spill_dir": None},
+        )
+        store.record_worker("s", 0, "10.0.0.2", 2)
+        store.record_worker("s", 1, "10.0.0.3", 2)
+        store.record_splits("s", groups)
+        store.record_ml_claim("s", ChannelId(0, 0))
+        store.record_ml_claim("s", ChannelId(1, 2))
+        store.record_recovery("s", {"sql_worker_id": 1, "reason": "stale"})
+        store.record_status("s", "launched")
+
+        view = CoordinatorStateStore(zk).session_view("s")
+        assert view["command"] == "svm_with_sgd"
+        assert view["args"] == {"iterations": 5}
+        assert view["settings"]["batch_rows"] == 16
+        assert sorted(view["workers"]) == [0, 1]
+        assert view["groups"] == groups
+        assert view["ml_claims"] == [ChannelId(0, 0), ChannelId(1, 2)]
+        assert view["recovery_log"] == [{"sql_worker_id": 1, "reason": "stale"}]
+        assert view["status"] == "launched"
+
+    def test_reregistration_overwrites_instead_of_duplicating(self):
+        """The idempotent-handshake contract at the journal level: writing
+        the same worker twice bumps the znode version, not the child count."""
+        zk = ZooKeeperLite()
+        store = CoordinatorStateStore(zk)
+        store.record_session("s", "noop", {})
+        store.record_worker("s", 0, "10.0.0.2", 1)
+        store.record_worker("s", 0, "10.0.0.2", 1)
+        assert zk.children("/coordinator/sessions/s/workers") == ["0"]
+        assert zk.get("/coordinator/sessions/s/workers/0")[1] == 1  # version bumped
+
+    def test_journal_traffic_is_metered(self):
+        ledger = CostLedger()
+        store = CoordinatorStateStore(ZooKeeperLite(), ledger=ledger)
+        store.record_session("s", "noop", {})
+        store.record_status("s", "launched")
+        assert ledger.get("zk.journal") > 0
