@@ -85,6 +85,7 @@ def make_deployment(
     cost_model: CostModel | None = None,
     buffer_bytes: int = 4096,
     batch_rows: int = 256,
+    columnar: bool = False,
     workers_per_node: int = 6,
     transport: str = "memory",
     fault_injector=None,  # FaultInjector | None (§6 chaos testing)
@@ -110,6 +111,15 @@ def make_deployment(
     broker record.  ``batch_rows=1`` reproduces the seed's per-row wire
     format exactly.
 
+    ``columnar=True`` switches the whole data plane to typed ColumnBatches:
+    the SQL executor runs vectorized kernels over columnar partitions,
+    stream sessions default to one ``C`` wire frame per channel, and ML
+    ingestion builds (X, y) arrays directly from the received batches
+    (an :class:`~repro.ml.dataset.ArrayDataset`).  Off by default — the
+    row/RowBlock wire format and the Figure 3/4 byte ledgers stay
+    bit-identical to the seed.  Row↔column adapters at every seam mean
+    unsupported expressions or UDFs fall back per-partition, never fail.
+
     ``fault_injector`` / ``recovery`` install the §6 fault-tolerance stack:
     a seeded :class:`~repro.faults.injector.FaultInjector` (chaos source)
     and/or a :class:`~repro.faults.recovery.RecoveryManager` (heartbeats,
@@ -133,7 +143,7 @@ def make_deployment(
     """
     cluster = make_paper_cluster(num_workers)
     dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
-    engine = BigSQL(cluster, dfs)
+    engine = BigSQL(cluster, dfs, columnar=columnar)
     ml = MLSystem(cluster, workers_per_node=workers_per_node)
     ha_group = None
     if ha_standbys > 0:
@@ -145,6 +155,7 @@ def make_deployment(
             standbys=ha_standbys,
             buffer_bytes=buffer_bytes,
             batch_rows=batch_rows,
+            columnar=columnar,
             transport=transport,
             recovery=recovery,
             fault_injector=fault_injector,
@@ -155,6 +166,7 @@ def make_deployment(
             cluster,
             buffer_bytes=buffer_bytes,
             batch_rows=batch_rows,
+            columnar=columnar,
             transport=transport,
             recovery=recovery,
             fault_injector=fault_injector,

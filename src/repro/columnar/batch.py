@@ -1,0 +1,352 @@
+"""Typed columnar batches: one numpy array per column plus a validity mask.
+
+A :class:`ColumnBatch` is the in-memory unit of the columnar data plane
+(DESIGN §10): the scan produces one per RCOL1 part file, the executor's
+vectorized kernels filter/project it without materializing Python tuples,
+the transfer layer ships it as a single ``C`` wire frame, and ML ingestion
+turns it into ``(X, y)`` arrays with no per-row ``LabeledPoint``
+construction.
+
+Storage per SQL type:
+
+========  ===================  ================
+SQL type  numpy storage        NULL placeholder
+========  ===================  ================
+INT       int64                0
+BIGINT    int64                0
+DOUBLE    float64              0.0
+BOOLEAN   bool\\_               False
+VARCHAR   int32 codes + dict   -1
+========  ===================  ================
+
+Every column carries an explicit boolean validity mask, so placeholders
+never leak: a slot is NULL iff ``valid`` is False there.  VARCHAR columns
+are dictionary-encoded in first-occurrence order (0-based) — the same
+layout the RCOL1 part files use, so a columnar scan adopts file
+dictionaries without re-encoding, and transforms can recode by mapping the
+(tiny) dictionary instead of the (huge) value column.
+
+Conversion from rows is strict about Python types (an ``int`` in a DOUBLE
+column widens, but a ``float`` in an INT column raises), so callers can
+attempt batch construction and fall back to the row representation on any
+mismatch instead of silently corrupting values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sql.types import DataType, Schema
+
+_NUMPY_DTYPE = {
+    DataType.INT: np.int64,
+    DataType.BIGINT: np.int64,
+    DataType.DOUBLE: np.float64,
+    DataType.BOOLEAN: np.bool_,
+    DataType.VARCHAR: np.int32,  # dictionary codes
+}
+
+
+def _coerce(dtype: DataType, value):
+    """Validate/widen one non-NULL Python value for columnar storage."""
+    if dtype in (DataType.INT, DataType.BIGINT):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError(f"{dtype.value} column got {type(value).__name__}")
+        return value
+    if dtype is DataType.DOUBLE:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(f"DOUBLE column got {type(value).__name__}")
+        return float(value)
+    if dtype is DataType.BOOLEAN:
+        if not isinstance(value, bool):
+            raise TypeError(f"BOOLEAN column got {type(value).__name__}")
+        return value
+    if not isinstance(value, str):
+        raise TypeError(f"VARCHAR column got {type(value).__name__}")
+    return value
+
+
+@dataclass
+class ColumnVector:
+    """One typed column: data array + validity mask (+ dictionary)."""
+
+    dtype: DataType
+    data: np.ndarray
+    valid: np.ndarray
+    dictionary: list[str] | None = None
+
+    @classmethod
+    def from_values(cls, dtype: DataType, values: list) -> "ColumnVector":
+        """Build a vector from Python values (``None`` marks NULL).
+
+        Raises ``TypeError``/``OverflowError`` on a value the storage type
+        cannot represent faithfully — callers fall back to rows.
+        """
+        n = len(values)
+        if n:
+            # Fast path: a clean, NULL-free column skips per-value _coerce.
+            # ``type(v) is`` (not isinstance) keeps _coerce's strictness —
+            # bool is not an INT and not a DOUBLE operand here; mixed or
+            # NULL-bearing columns take the per-value path below.
+            if dtype is DataType.VARCHAR:
+                if all(type(v) is str for v in values):
+                    positions: dict[str, int] = {}
+                    setdefault = positions.setdefault
+                    codes = np.fromiter(
+                        (setdefault(v, len(positions)) for v in values),
+                        dtype=np.int32,
+                        count=n,
+                    )
+                    return cls(
+                        dtype, codes, np.ones(n, dtype=np.bool_), list(positions)
+                    )
+            else:
+                if dtype is DataType.DOUBLE:
+                    clean = all(type(v) in (float, int) for v in values)
+                elif dtype is DataType.BOOLEAN:
+                    clean = all(type(v) is bool for v in values)
+                else:
+                    clean = all(type(v) is int for v in values)
+                if clean:
+                    return cls(
+                        dtype,
+                        np.array(values, dtype=_NUMPY_DTYPE[dtype]),
+                        np.ones(n, dtype=np.bool_),
+                    )
+        valid = np.fromiter((v is not None for v in values), dtype=np.bool_, count=n)
+        if dtype is DataType.VARCHAR:
+            dictionary: list[str] = []
+            positions: dict[str, int] = {}
+            codes = np.empty(n, dtype=np.int32)
+            for i, value in enumerate(values):
+                if value is None:
+                    codes[i] = -1
+                    continue
+                value = _coerce(dtype, value)
+                position = positions.get(value)
+                if position is None:
+                    position = len(dictionary)
+                    positions[value] = position
+                    dictionary.append(value)
+                codes[i] = position
+            return cls(dtype, codes, valid, dictionary)
+        zero = False if dtype is DataType.BOOLEAN else 0
+        data = np.fromiter(
+            (zero if v is None else _coerce(dtype, v) for v in values),
+            dtype=_NUMPY_DTYPE[dtype],
+            count=n,
+        )
+        return cls(dtype, data, valid)
+
+    @classmethod
+    def from_dict_codes(
+        cls, codes: list[int | None] | np.ndarray, dictionary: list[str]
+    ) -> "ColumnVector":
+        """Adopt an RCOL1-style dictionary column (``None``/-1 = NULL)."""
+        arr = np.fromiter(
+            (-1 if c is None else c for c in codes), dtype=np.int32, count=len(codes)
+        )
+        return cls(DataType.VARCHAR, arr, arr >= 0, list(dictionary))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def take(self, indices: np.ndarray) -> "ColumnVector":
+        return ColumnVector(
+            self.dtype, self.data[indices], self.valid[indices], self.dictionary
+        )
+
+    def with_dictionary(self, dictionary: list[str], codes: np.ndarray) -> "ColumnVector":
+        """Re-encoded copy: same validity, new dictionary + code array."""
+        return ColumnVector(self.dtype, codes, self.valid.copy(), list(dictionary))
+
+    def to_pylist(self) -> list:
+        """Back to Python values, ``None`` where invalid."""
+        raw = self.data.tolist()
+        valid = self.valid.tolist()
+        if self.dtype is DataType.VARCHAR:
+            words = self.dictionary or []
+            return [words[c] if ok else None for c, ok in zip(raw, valid)]
+        return [v if ok else None for v, ok in zip(raw, valid)]
+
+    def value_bytes(self) -> int:
+        """Seed-formula byte estimate of this column's values
+        (``estimate_value_bytes``: NULL=1, bool=1, int/float=8, str=len+4)."""
+        n = len(self.data)
+        nulls = n - int(self.valid.sum())
+        if self.dtype is DataType.BOOLEAN:
+            return n  # 1 byte either way
+        if self.dtype is DataType.VARCHAR:
+            lens = np.fromiter(
+                (len(w) + 4 for w in self.dictionary or []), dtype=np.int64
+            )
+            return int(lens[self.data[self.valid]].sum()) + nulls
+        return 8 * (n - nulls) + nulls
+
+
+class ColumnBatch:
+    """A batch of rows stored column-wise; the executor/transfer/ML unit."""
+
+    def __init__(self, schema: Schema, columns: list[ColumnVector]):
+        self.schema = schema
+        self.columns = columns
+        self.num_rows = len(columns[0]) if columns else 0
+        self._rows: list[tuple] | None = None
+
+    # ------------------------------------------------------------- building
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: list[tuple]) -> "ColumnBatch":
+        """Pivot row tuples into typed columns (single ``zip(*rows)`` pass).
+
+        Raises on a type the storage cannot represent (callers keep rows).
+        """
+        rows = rows if isinstance(rows, list) else list(rows)
+        pivoted = list(zip(*rows)) if rows else [[] for _ in schema]
+        if len(pivoted) != len(schema):
+            raise TypeError(
+                f"rows have {len(pivoted)} fields, schema has {len(schema)}"
+            )
+        columns = [
+            ColumnVector.from_values(col.dtype, list(values))
+            for col, values in zip(schema, pivoted)
+        ]
+        batch = cls(schema, columns)
+        batch.num_rows = len(rows)
+        return batch
+
+    @classmethod
+    def from_columns(
+        cls, schema: Schema, columns: list[ColumnVector], num_rows: int | None = None
+    ) -> "ColumnBatch":
+        batch = cls(schema, columns)
+        if num_rows is not None:
+            batch.num_rows = num_rows
+        return batch
+
+    # ------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, index: int) -> ColumnVector:
+        return self.columns[index]
+
+    def to_rows(self) -> list[tuple]:
+        """Row-tuple view (memoized — the seam adapter used by every
+        operator without a columnar kernel)."""
+        if self._rows is None:
+            if not self.columns:
+                self._rows = [()] * self.num_rows
+            else:
+                self._rows = list(zip(*(c.to_pylist() for c in self.columns)))
+        return self._rows
+
+    # ------------------------------------------------------------- kernels
+
+    def filter(self, mask: np.ndarray) -> "ColumnBatch":
+        """Keep rows where ``mask`` is True (boolean array, len == rows)."""
+        columns = [c.take(mask) for c in self.columns]
+        batch = ColumnBatch(self.schema, columns)
+        batch.num_rows = int(mask.sum()) if not columns else batch.num_rows
+        return batch
+
+    def take(self, indices: np.ndarray) -> "ColumnBatch":
+        """Row subset/reorder by integer index array."""
+        columns = [c.take(indices) for c in self.columns]
+        batch = ColumnBatch(self.schema, columns)
+        batch.num_rows = len(indices) if not columns else batch.num_rows
+        return batch
+
+    def slice_step(self, start: int, step: int) -> "ColumnBatch":
+        """Rows ``start::step`` — the round-robin channel fan-out split."""
+        return self.take(np.arange(start, self.num_rows, step))
+
+    @classmethod
+    def concat(cls, schema: Schema, batches: list["ColumnBatch"]) -> "ColumnBatch":
+        """Stack batches vertically.  VARCHAR columns are re-mapped into a
+        union dictionary (dictionary-sized work, not row-sized)."""
+        if len(batches) == 1:
+            return batches[0]
+        num_rows = sum(b.num_rows for b in batches)
+        vectors = []
+        for index, column in enumerate(schema):
+            parts = [b.columns[index] for b in batches]
+            valid = np.concatenate([p.valid for p in parts])
+            if column.dtype is DataType.VARCHAR:
+                union: list[str] = []
+                positions: dict[str, int] = {}
+                remapped = []
+                for part in parts:
+                    words = part.dictionary or []
+                    lookup = np.empty(max(len(words), 1), dtype=np.int32)
+                    for i, word in enumerate(words):
+                        position = positions.get(word)
+                        if position is None:
+                            position = len(union)
+                            positions[word] = position
+                            union.append(word)
+                        lookup[i] = position
+                    remapped.append(
+                        np.where(part.data >= 0, lookup[np.clip(part.data, 0, None)], -1)
+                    )
+                codes = (
+                    np.concatenate(remapped).astype(np.int32)
+                    if remapped
+                    else np.empty(0, dtype=np.int32)
+                )
+                vectors.append(ColumnVector(column.dtype, codes, valid, union))
+            else:
+                data = np.concatenate([p.data for p in parts])
+                vectors.append(ColumnVector(column.dtype, data, valid))
+        return cls.from_columns(schema, vectors, num_rows)
+
+    # ----------------------------------------------------------- accounting
+
+    def logical_bytes(self) -> int:
+        """Ledger-accountable size: the seed ``estimate_row_bytes`` formula
+        (2 per row + per-value estimate) computed vectorized."""
+        return 2 * self.num_rows + sum(c.value_bytes() for c in self.columns)
+
+
+def batch_to_xy(
+    batch: ColumnBatch, label_index: int, label_offset: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """(features, labels) float64 arrays straight from a batch — the
+    columnar replacement for per-row ``labeled_point_from_fields``.
+
+    Every column is interpreted numerically (the transfer feeds the trainer
+    recoded/dummy-coded numerics); NULLs become ``nan`` like ``float(None)``
+    would have raised in the row path — callers upstream already guarantee
+    non-NULL ML inputs, so this only matters for malformed feeds.
+    """
+    n = batch.num_rows
+    label_index = label_index % len(batch.columns) if batch.columns else 0
+    feature_cols = []
+    label = None
+    for i, col in enumerate(batch.columns):
+        if col.dtype is DataType.VARCHAR:
+            words = np.fromiter(
+                (float(w) for w in col.dictionary or []),
+                dtype=np.float64,
+                count=len(col.dictionary or []),
+            )
+            values = np.where(col.valid, words[np.clip(col.data, 0, None)]
+                              if len(words) else np.zeros(n), np.nan)
+        else:
+            values = col.data.astype(np.float64)
+            if not col.valid.all():
+                values = np.where(col.valid, values, np.nan)
+        if i == label_index:
+            label = values - float(label_offset)
+        else:
+            feature_cols.append(values)
+    X = (
+        np.column_stack(feature_cols)
+        if feature_cols
+        else np.empty((n, 0), dtype=np.float64)
+    )
+    y = label if label is not None else np.empty(n, dtype=np.float64)
+    return X, y

@@ -32,8 +32,11 @@ MAGIC = "RCOL1"
 def encode_partition(schema: Schema, rows: list[tuple]) -> bytes:
     """Encode one partition's rows into a columnar part file."""
     columns = []
+    # One zip(*rows) pivots all columns at once instead of one O(rows)
+    # comprehension per column.
+    pivoted = list(zip(*rows)) if rows else [()] * len(schema)
     for index, column in enumerate(schema):
-        values = [row[index] for row in rows]
+        values = pivoted[index]
         if column.dtype is DataType.VARCHAR:
             dictionary: list[str] = []
             positions: dict[str, int] = {}
@@ -102,6 +105,39 @@ def decode_partition(data: bytes) -> tuple[list[str], list[tuple]]:
             f"decoded {len(rows)}"
         )
     return names, rows
+
+
+def decode_partition_batch(data: bytes, schema: Schema):
+    """Decode a part file straight into a typed
+    :class:`~repro.columnar.batch.ColumnBatch` — the columnar scan path.
+
+    Dictionary-encoded VARCHAR columns *adopt* the file-local dictionary
+    (codes are copied, never re-encoded); plain columns land in numpy
+    arrays.  No row tuples are materialized.
+    """
+    from repro.columnar.batch import ColumnBatch, ColumnVector
+
+    document = json.loads(data.decode("utf-8"))
+    if document.get("magic") != MAGIC:
+        raise ExecutionError("not a columnar part file (bad magic)")
+    if len(document["columns"]) != len(schema):
+        raise ExecutionError(
+            f"columnar file has {len(document['columns'])} columns, "
+            f"schema expects {len(schema)}"
+        )
+    vectors = []
+    for column, doc in zip(schema, document["columns"]):
+        if doc["encoding"] == "dict":
+            vectors.append(ColumnVector.from_dict_codes(doc["codes"], doc["dictionary"]))
+        else:
+            vectors.append(ColumnVector.from_values(column.dtype, doc["values"]))
+    batch = ColumnBatch.from_columns(schema, vectors, document["rows"])
+    if vectors and len(vectors[0]) != document["rows"]:
+        raise ExecutionError(
+            f"columnar file corrupt: header says {document['rows']} rows, "
+            f"decoded {len(vectors[0])}"
+        )
+    return batch
 
 
 def read_partition_dictionary(

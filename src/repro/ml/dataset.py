@@ -106,6 +106,75 @@ class Dataset:
         return out
 
 
+def points_to_arrays(points: list) -> tuple[np.ndarray, np.ndarray]:
+    """Stack a list of LabeledPoints into one (X, y) pair."""
+    if not points:
+        return np.empty((0, 0)), np.empty((0,))
+    X = np.stack([p.features for p in points]).astype(float)
+    y = np.array([p.label for p in points], dtype=float)
+    return X, y
+
+
+class ArrayDataset(Dataset):
+    """A Dataset whose partitions are (X, y) feature/label arrays.
+
+    Columnar ingestion lands here: received ColumnBatches become float64
+    matrices directly and the iterative solvers read
+    :meth:`partition_arrays` with no per-row LabeledPoint objects ever
+    built.  Row-oriented accessors (``collect``, ``map``, ``first``, ...)
+    still work — LabeledPoints are synthesized lazily, once, only when
+    something actually asks for rows.
+    """
+
+    def __init__(self, arrays: list[tuple[np.ndarray, np.ndarray]]):
+        self._arrays = [
+            (np.asarray(X, dtype=float), np.asarray(y, dtype=float))
+            for X, y in arrays
+        ]
+        self._rows: list[list] | None = None  # lazy LabeledPoint partitions
+
+    # Base-class methods read ``self._partitions``; materialize it on first
+    # row-level access so the fast paths below never pay for it.
+    @property
+    def _partitions(self) -> list[list]:
+        if self._rows is None:
+            self._rows = [
+                [
+                    LabeledPoint(float(label), np.asarray(features, dtype=float))
+                    for label, features in zip(y, X)
+                ]
+                for X, y in self._arrays
+            ]
+        return self._rows
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._arrays)
+
+    def count(self) -> int:
+        return sum(len(y) for _, y in self._arrays)
+
+    def first(self):
+        for X, y in self._arrays:
+            if len(y):
+                return LabeledPoint(float(y[0]), np.asarray(X[0], dtype=float))
+        raise IndexError("dataset is empty")
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        pairs = [(X, y) for X, y in self._arrays if len(y)]
+        if not pairs:
+            return np.empty((0, 0)), np.empty((0,))
+        if len(pairs) == 1:
+            return pairs[0]
+        return (
+            np.concatenate([X for X, _ in pairs]),
+            np.concatenate([y for _, y in pairs]),
+        )
+
+    def partition_arrays(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(X, y) for X, y in self._arrays if len(y)]
+
+
 def labeled_point_from_fields(
     fields: list, label_index: int = -1
 ) -> LabeledPoint:

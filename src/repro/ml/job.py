@@ -5,10 +5,13 @@ from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cluster.cluster import Cluster
+from repro.columnar.batch import ColumnBatch
 from repro.common.errors import IngestError, MLError, WorkerFailedError
 from repro.iofmt.inputformat import InputFormat, JobConf
-from repro.ml.dataset import Dataset
+from repro.ml.dataset import ArrayDataset, Dataset, points_to_arrays
 
 
 @dataclass
@@ -38,6 +41,10 @@ class MLJob:
     conf: JobConf
     num_workers: int
     record_parser: Callable | None = None
+    #: columnar kernel: ColumnBatch -> (X, y).  When set, batches received
+    #: from a columnar stream become float64 arrays directly and ingest()
+    #: returns an ArrayDataset — no per-row LabeledPoint construction.
+    batch_parser: Callable | None = None
 
     def ingest(self) -> tuple[Dataset, IngestStats]:
         """Read all splits into a Dataset (one partition per split)."""
@@ -48,8 +55,9 @@ class MLJob:
         stats = IngestStats(num_splits=len(splits))
         known_ips = {n.ip for n in self.cluster.nodes}
         parser = self.record_parser
+        batch_parser = self.batch_parser
 
-        def consume(split) -> tuple[list, int, bool]:
+        def consume(split) -> tuple[list, list, int, bool]:
             locations = split.locations()
             is_local = any(ip in known_ips for ip in locations)
             node_ip = next((ip for ip in locations if ip in known_ips), None)
@@ -57,15 +65,27 @@ class MLJob:
             if node_ip is not None:
                 conf.set("client.ip", node_ip)
             records: list = []
+            arrays: list = []  # (X, y) pairs from columnar frames
             with self.input_format.create_record_reader(split, conf) as reader:
                 for record in reader:
-                    records.append(parser(record) if parser else record)
+                    if isinstance(record, ColumnBatch):
+                        # A columnar frame that survived the wire intact:
+                        # straight to arrays when a batch kernel exists,
+                        # else pivot once and parse like any other rows.
+                        if batch_parser is not None:
+                            arrays.append(batch_parser(record))
+                        elif parser is not None:
+                            records.extend(parser(r) for r in record.to_rows())
+                        else:
+                            records.extend(record.to_rows())
+                    else:
+                        records.append(parser(record) if parser else record)
                 # Streaming readers count actual received bytes; file readers
                 # fall back to the split's nominal length.
                 nbytes = getattr(reader, "bytes_read", None)
             if nbytes is None:
                 nbytes = split.length()
-            return records, nbytes, is_local
+            return records, arrays, nbytes, is_local
 
         # Typed per-split error handling: every split's outcome is collected
         # so a failure names exactly which split ids died (and, for worker
@@ -93,13 +113,41 @@ class MLJob:
                 failed_split_ids=failed_ids,
             ) from first
 
+        columnar = any(arrays for _, arrays, _, _ in results)
         partitions: list[list] = []
-        for records, nbytes, is_local in results:
-            partitions.append(records)
-            stats.records += len(records)
+        array_parts: list[tuple] = []
+        for records, arrays, nbytes, is_local in results:
+            if columnar:
+                # Splits that saw only row frames (or none) still join the
+                # ArrayDataset: their parsed LabeledPoints stack into one
+                # (X, y) pair so the partition layout stays one-per-split.
+                pairs = list(arrays)
+                if records:
+                    pairs.append(points_to_arrays(records))
+                array_parts.append(_merge_pairs(pairs))
+                stats.records += len(array_parts[-1][1])
+            else:
+                partitions.append(records)
+                stats.records += len(records)
             stats.bytes += nbytes
             if is_local:
                 stats.local_splits += 1
         self.cluster.ledger.add("ml.ingest", stats.bytes)
         stats.wall_seconds = time.perf_counter() - started
+        if columnar:
+            return ArrayDataset(array_parts), stats
         return Dataset(partitions), stats
+
+
+def _merge_pairs(pairs: list[tuple]) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate one split's (X, y) pairs into a single partition pair."""
+    pairs = [(X, y) for X, y in pairs if len(y)]
+    if not pairs:
+        return np.empty((0, 0)), np.empty((0,))
+    if len(pairs) == 1:
+        X, y = pairs[0]
+        return np.asarray(X, dtype=float), np.asarray(y, dtype=float)
+    return (
+        np.concatenate([np.asarray(X, dtype=float) for X, _ in pairs]),
+        np.concatenate([np.asarray(y, dtype=float) for _, y in pairs]),
+    )

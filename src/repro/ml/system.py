@@ -161,14 +161,17 @@ class MLSystem:
         """Ingest through ``input_format`` and train ``command`` on the RDD."""
         trainer = self.trainer(command)
         args = dict(args or {})
+        batch_parser = None
         if record_parser is None:
             record_parser = self._parser_from_conf(conf, command)
+            batch_parser = self._batch_parser_from_conf(conf)
         job = MLJob(
             cluster=self.cluster,
             input_format=input_format,
             conf=conf,
             num_workers=num_workers or self.default_parallelism,
             record_parser=record_parser,
+            batch_parser=batch_parser,
         )
         dataset, stats = job.ingest()
         return self._train(trainer, command, args, dataset, stats, conf)
@@ -298,3 +301,17 @@ class MLSystem:
 
             return lambda fields: np.array([float(v) for v in fields], dtype=float)
         raise MLError(f"unknown record.format {record_format!r}")
+
+    @staticmethod
+    def _batch_parser_from_conf(conf: JobConf) -> Callable | None:
+        """The columnar twin of :meth:`_parser_from_conf`: a ColumnBatch ->
+        (X, y) kernel for ``labeled_csv`` jobs.  Row-frame streams never see
+        it; a columnar stream's batches go straight to float64 arrays with
+        the same label selection and offset as the per-row parser."""
+        if conf.get("record.format", "labeled_csv") != "labeled_csv":
+            return None
+        label_index = int(conf.get("label.index", -1))
+        label_offset = float(conf.get("label.offset", 0.0))
+        from repro.columnar.batch import batch_to_xy
+
+        return lambda batch: batch_to_xy(batch, label_index, label_offset)

@@ -7,7 +7,12 @@ from repro.cluster.cluster import Cluster
 from repro.common.errors import CatalogError, PlanError
 from repro.sql.ast import SelectQuery
 from repro.sql.catalog import Catalog
-from repro.sql.executor import DistRelation, ExecutionContext, Executor
+from repro.sql.executor import (
+    DistRelation,
+    ExecutionContext,
+    Executor,
+    partition_rows as relation_rows,
+)
 from repro.sql.expressions import FunctionRegistry
 from repro.sql.parser import parse
 from repro.sql.plan import LogicalPlan
@@ -27,9 +32,13 @@ class BigSQL:
     public surface everything in this reproduction builds on.
     """
 
-    def __init__(self, cluster: Cluster, dfs: Any = None):
+    def __init__(self, cluster: Cluster, dfs: Any = None, columnar: bool = False):
         self.cluster = cluster
         self.dfs = dfs
+        #: Run queries on the columnar data plane (ColumnBatch partitions +
+        #: vectorized kernels).  Off by default: the row path is the seed
+        #: behaviour and stays bit-identical on the wire.
+        self.columnar = bool(columnar)
         self.num_workers = len(cluster.workers)
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
@@ -122,15 +131,13 @@ class BigSQL:
         entry = self.catalog.get_entry(name)
         relation = self.execute_distributed(f"SELECT * FROM {name}")
         row_count = relation.total_rows()
-        total_bytes = sum(
-            estimate_row_bytes(r) for p in relation.partitions for r in p
-        )
+        all_rows = relation.all_rows()
+        total_bytes = sum(estimate_row_bytes(r) for r in all_rows)
         distinct: list[set] = [set() for _ in relation.schema]
-        for partition in relation.partitions:
-            for row in partition:
-                for i, value in enumerate(row):
-                    if value is not None:
-                        distinct[i].add(value)
+        for row in all_rows:
+            for i, value in enumerate(row):
+                if value is not None:
+                    distinct[i].add(value)
         stats = TableStats(
             row_count=row_count,
             avg_row_bytes=(total_bytes / row_count) if row_count else 0.0,
@@ -195,7 +202,7 @@ class BigSQL:
             name=f"_result_{self._result_counter}",
             schema=relation.schema,
             partitions=[
-                Partition(rows=rows, worker_id=i)
+                Partition(rows=relation_rows(rows), worker_id=i)
                 for i, rows in enumerate(relation.partitions)
             ],
         )
@@ -211,6 +218,7 @@ class BigSQL:
                 functions=self.functions,
                 services=dict(self.services),
                 dfs=self.dfs,
+                columnar=self.columnar,
             )
         )
         return executor.execute(plan)
@@ -233,7 +241,7 @@ class BigSQL:
             name=name,
             schema=relation.schema,
             partitions=[
-                Partition(rows=rows, worker_id=i)
+                Partition(rows=relation_rows(rows), worker_id=i)
                 for i, rows in enumerate(relation.partitions)
             ],
         )

@@ -14,9 +14,11 @@ from typing import Any
 
 from repro.cluster.cost import CostLedger
 from repro.cluster.node import Node
+from repro.columnar.batch import ColumnBatch
 from repro.common.errors import ExecutionError
 from repro.iofmt.inputformat import JobConf
 from repro.iofmt.text import CsvInputFormat, FileSplit
+from repro.sql import vectorized
 from repro.sql.expressions import Binder, FunctionRegistry, Star
 from repro.sql.plan import (
     LogicalAggregate,
@@ -37,12 +39,32 @@ from repro.sql.types import Schema, estimate_row_bytes
 from repro.sql.udf import UdfContext
 
 
+def partition_rows(partition) -> list[tuple]:
+    """Row view of one partition — the seam adapter between columnar and
+    row-oriented operators (a no-op for row partitions; ``to_rows`` is
+    memoized on batches)."""
+    if isinstance(partition, ColumnBatch):
+        return partition.to_rows()
+    return partition
+
+
+# Runtime conditions under which a vectorized kernel abdicates to the row
+# path: explicit fallbacks, plus type/shape refusals from strict conversion.
+_VECTOR_FALLBACK_ERRORS = (TypeError, ValueError, OverflowError)
+
+
 @dataclass
 class DistRelation:
-    """An intermediate result: one row list per worker slot."""
+    """An intermediate result: one partition per worker slot.
+
+    A partition is a ``list[tuple]``, or — on the columnar data plane — a
+    :class:`~repro.columnar.batch.ColumnBatch`.  Operators with columnar
+    kernels consume batches directly; everything else goes through
+    :func:`partition_rows`.
+    """
 
     schema: Schema
-    partitions: list[list[tuple]]
+    partitions: list  # list[list[tuple] | ColumnBatch]
 
     def total_rows(self) -> int:
         return sum(len(p) for p in self.partitions)
@@ -50,11 +72,18 @@ class DistRelation:
     def all_rows(self) -> list[tuple]:
         rows: list[tuple] = []
         for p in self.partitions:
-            rows.extend(p)
+            rows.extend(partition_rows(p))
         return rows
 
     def estimated_bytes(self) -> int:
-        return sum(estimate_row_bytes(r) for p in self.partitions for r in p)
+        # ColumnBatch.logical_bytes() computes the same per-row estimate
+        # formula vectorized, so the two representations account equally.
+        return sum(
+            p.logical_bytes()
+            if isinstance(p, ColumnBatch)
+            else sum(estimate_row_bytes(r) for r in p)
+            for p in self.partitions
+        )
 
 
 @dataclass
@@ -67,6 +96,7 @@ class ExecutionContext:
     functions: FunctionRegistry
     services: dict[str, Any]
     dfs: Any = None  # DistributedFileSystem | None
+    columnar: bool = False  # carry ColumnBatch partitions + vector kernels
 
 
 class Executor:
@@ -113,7 +143,7 @@ class Executor:
         partitions = self._empty_partitions()
         for relation in results:
             for worker_id, rows in enumerate(relation.partitions):
-                partitions[worker_id].extend(rows)
+                partitions[worker_id].extend(partition_rows(rows))
         return DistRelation(schema=plan.schema, partitions=partitions)
 
     def _map_partitions(self, partitions, fn) -> list:
@@ -136,10 +166,23 @@ class Executor:
         else:
             partitions = self._redistribute_table(table)
             self._ctx.ledger.add("sql.scan", table.estimated_bytes())
+        if self._ctx.columnar:
+            partitions = [
+                self._to_batch(plan.schema, p) if not isinstance(p, ColumnBatch) else p
+                for p in partitions
+            ]
         relation = DistRelation(schema=plan.schema, partitions=partitions)
         if plan.pushed_filter is not None:
             relation = self._apply_filter(relation, plan.pushed_filter)
         return relation
+
+    def _to_batch(self, schema: Schema, rows: list[tuple]):
+        """Best-effort columnarization: rows whose Python types don't fit
+        the typed storage stay rows (the adapters handle either shape)."""
+        try:
+            return ColumnBatch.from_rows(schema, rows)
+        except _VECTOR_FALLBACK_ERRORS:
+            return rows
 
     def _redistribute_table(self, table: Table) -> list[list[tuple]]:
         n = self._ctx.num_workers
@@ -194,8 +237,13 @@ class Executor:
 
         Scan bytes are the (dictionary-compressed) file bytes — columnar
         tables cost less I/O than text, exactly the Parquet/ORC advantage
-        §2.1 alludes to."""
-        from repro.columnar.format import ColumnarInputFormat
+        §2.1 alludes to.
+
+        On the columnar data plane the scan skips row materialization
+        entirely: each part file decodes straight into a
+        :class:`~repro.columnar.batch.ColumnBatch`, adopting the file's
+        dictionary encoding."""
+        from repro.columnar.format import ColumnarInputFormat, decode_partition_batch
 
         conf = JobConf({"input.path": table.external.path}, dfs=self._ctx.dfs)
         fmt = ColumnarInputFormat()
@@ -203,6 +251,20 @@ class Executor:
         assignments = assign_splits(splits, self._ctx.worker_nodes)
         self._ctx.ledger.add("sql.scan", sum(s.length() for s in splits))
         expected_width = len(table.schema)
+
+        if self._ctx.columnar:
+
+            def read_worker_batch(worker_id: int, worker_splits):
+                node = self._ctx.worker_nodes[worker_id % len(self._ctx.worker_nodes)]
+                batches = []
+                for split in worker_splits:
+                    data = self._ctx.dfs.read_bytes(split.path, client_ip=node.ip)
+                    batches.append(decode_partition_batch(data, table.schema))
+                if not batches:
+                    return ColumnBatch.from_rows(table.schema, [])
+                return ColumnBatch.concat(table.schema, batches)
+
+            return self._map_partitions(assignments, read_worker_batch)
 
         def read_worker(worker_id: int, worker_splits) -> list[tuple]:
             node = self._ctx.worker_nodes[worker_id % len(self._ctx.worker_nodes)]
@@ -233,8 +295,23 @@ class Executor:
     def _apply_filter(self, relation: DistRelation, predicate) -> DistRelation:
         binder = Binder(relation.schema, self._ctx.functions)
         evaluate = predicate.bind_batch(binder)
+        vec_predicate = (
+            vectorized.compile_predicate(predicate, relation.schema)
+            if self._ctx.columnar
+            else None
+        )
 
-        def filter_partition(_w: int, rows: list[tuple]) -> list[tuple]:
+        def filter_partition(_w: int, partition) -> list[tuple]:
+            if isinstance(partition, ColumnBatch):
+                if vec_predicate is not None:
+                    try:
+                        return partition.filter(vec_predicate(partition))
+                    except (vectorized.VectorFallback, *_VECTOR_FALLBACK_ERRORS):
+                        pass
+                rows = partition.to_rows()
+                kept = [r for r, keep in zip(rows, evaluate(rows)) if keep is True]
+                return self._to_batch(relation.schema, kept)
+            rows = partition
             # One batch evaluation per partition, then a zip-scan: no
             # per-row closure-tree dispatch on the hot path.
             return [r for r, keep in zip(rows, evaluate(rows)) if keep is True]
@@ -246,8 +323,24 @@ class Executor:
         child = self._execute(plan.child)
         binder = Binder(child.schema, self._ctx.functions)
         evaluators = [e.bind_batch(binder) for e in plan.exprs]
+        vec_project = (
+            vectorized.compile_projection(plan.exprs, plan.schema, child.schema)
+            if self._ctx.columnar
+            else None
+        )
 
-        def project(_w: int, rows: list[tuple]) -> list[tuple]:
+        def project(_w: int, partition) -> list[tuple]:
+            if isinstance(partition, ColumnBatch):
+                if vec_project is not None:
+                    try:
+                        return vec_project(partition)
+                    except (vectorized.VectorFallback, *_VECTOR_FALLBACK_ERRORS):
+                        pass
+                rows = partition.to_rows()
+                columns = [fn(rows) for fn in evaluators]
+                out_rows = list(zip(*columns)) if rows else []
+                return self._to_batch(plan.schema, out_rows)
+            rows = partition
             # Column-at-a-time evaluation, re-zipped into row tuples.
             columns = [fn(rows) for fn in evaluators]
             return list(zip(*columns)) if rows else []
@@ -260,7 +353,7 @@ class Executor:
     def _exec_table_function(self, plan: LogicalTableFunction) -> DistRelation:
         child = self._execute(plan.child)
 
-        def run_udf(worker_id: int, rows: list[tuple]) -> list[tuple]:
+        def run_udf(worker_id: int, partition) -> list[tuple]:
             node = self._ctx.worker_nodes[worker_id % len(self._ctx.worker_nodes)]
             ctx = UdfContext(
                 worker_id=worker_id,
@@ -269,6 +362,20 @@ class Executor:
                 ledger=self._ctx.ledger,
                 services=self._ctx.services,
             )
+            if self._ctx.columnar and not isinstance(partition, ColumnBatch):
+                # Seam adapter: a row-only operator upstream (sort, limit,
+                # global distinct, ...) dropped out of the columnar plane;
+                # re-batch so the UDF's columnar kernel still engages.
+                partition = self._to_batch(child.schema, partition)
+            if isinstance(partition, ColumnBatch):
+                # A UDF with a columnar kernel consumes the batch directly;
+                # returning None means "no columnar path for these args".
+                out = plan.udf.process_batch(partition, child.schema, plan.args, ctx)
+                if out is not None:
+                    return out
+                rows = partition.to_rows()
+            else:
+                rows = partition
             return list(
                 plan.udf.process_partition(rows, child.schema, plan.args, ctx)
             )
@@ -313,6 +420,20 @@ class Executor:
                 plan, left, right, left_key_fns, right_key_fns
             )
 
+        if self._ctx.columnar:
+            # Joins build/probe over row tuples; re-enter the columnar plane
+            # at their output so everything downstream (projections, UDFs,
+            # the stream sender) vectorizes again.
+            relation = DistRelation(
+                schema=relation.schema,
+                partitions=[
+                    p
+                    if isinstance(p, ColumnBatch)
+                    else self._to_batch(relation.schema, p)
+                    for p in relation.partitions
+                ],
+            )
+
         if plan.residual is not None:
             if plan.kind == "left":
                 raise ExecutionError(
@@ -344,7 +465,8 @@ class Executor:
         left_join = plan.kind == "left"
         null_pad = (None,) * len(build.schema)
 
-        def probe_partition(_w: int, rows: list[tuple]) -> list[tuple]:
+        def probe_partition(_w: int, partition) -> list[tuple]:
+            rows = partition_rows(partition)
             out: list[tuple] = []
             for row, key in zip(rows, _batch_key_tuples(probe_key_fns, rows)):
                 matches = (
@@ -403,7 +525,8 @@ class Executor:
         buckets = self._empty_partitions()
         key_buckets: list[list[tuple]] = [[] for _ in range(n)]
         moved_bytes = 0
-        for source, rows in enumerate(relation.partitions):
+        for source, partition in enumerate(relation.partitions):
+            rows = partition_rows(partition)
             for row, key in zip(rows, _batch_key_tuples(key_fns, rows)):
                 target = hash(key) % n
                 if target != source:
@@ -418,7 +541,8 @@ class Executor:
     def _exec_distinct(self, plan: LogicalDistinct) -> DistRelation:
         child = self._execute(plan.child)
         local = self._map_partitions(
-            child.partitions, lambda _w, rows: list(dict.fromkeys(rows))
+            child.partitions,
+            lambda _w, rows: list(dict.fromkeys(partition_rows(rows))),
         )
         # Key tuple is (row,) — identical hash placement to the seed path.
         shuffled, _keys = self._repartition_by_key(
@@ -444,15 +568,62 @@ class Executor:
                 arg_fn = call.arg.bind_batch(binder)
             agg_specs.append((call.func, arg_fn, call.distinct))
 
-        def partial(_w: int, rows: list[tuple]) -> dict[tuple, list]:
+        vec_global = vec_keys = vec_args = None
+        arg_positions: list[int | None] = []
+        if self._ctx.columnar:
+            if not plan.group_exprs:
+                vec_global = vectorized.compile_global_aggregate(
+                    plan.agg_calls, child.schema
+                )
+            else:
+                vec_keys = vectorized.compile_value_lists(
+                    plan.group_exprs, child.schema
+                )
+                arg_exprs = []
+                for call in plan.agg_calls:
+                    if call.func == "count" and isinstance(call.arg, Star):
+                        arg_positions.append(None)
+                    else:
+                        arg_positions.append(len(arg_exprs))
+                        arg_exprs.append(call.arg)
+                vec_args = vectorized.compile_value_lists(arg_exprs, child.schema)
+
+        def partial(_w: int, partition) -> dict[tuple, list]:
+            if isinstance(partition, ColumnBatch):
+                # Global aggregates reduce whole arrays; grouped aggregates
+                # vectorize key/argument extraction and keep the (hash-based)
+                # grouping loop.  Either way the partial shape matches the
+                # row path, so merge/finalize below are shared.
+                if vec_global is not None:
+                    try:
+                        return vec_global(partition)
+                    except (vectorized.VectorFallback, *_VECTOR_FALLBACK_ERRORS):
+                        pass
+                if vec_keys is not None and vec_args is not None:
+                    try:
+                        keys = list(zip(*vec_keys(partition)))
+                        value_columns = vec_args(partition)
+                        arg_columns = [
+                            value_columns[pos] if pos is not None else None
+                            for pos in arg_positions
+                        ]
+                        return group_partial(keys, arg_columns)
+                    except (vectorized.VectorFallback, *_VECTOR_FALLBACK_ERRORS):
+                        pass
+                rows = partition.to_rows()
+            else:
+                rows = partition
             # Group keys and aggregate arguments are evaluated once per
             # partition as columns; the grouping loop only indexes them.
-            groups: dict[tuple, list] = {}
             keys = _batch_key_tuples(key_fns, rows)
             arg_columns = [
                 arg_fn(rows) if arg_fn is not None else None
                 for _f, arg_fn, _d in agg_specs
             ]
+            return group_partial(keys, arg_columns)
+
+        def group_partial(keys: list[tuple], arg_columns: list) -> dict[tuple, list]:
+            groups: dict[tuple, list] = {}
             for idx, key in enumerate(keys):
                 acc = groups.get(key)
                 if acc is None:
@@ -531,10 +702,10 @@ class Executor:
         child = self._execute(plan.child)
         partitions = self._empty_partitions()
         taken: list[tuple] = []
-        for rows in child.partitions:
+        for partition in child.partitions:
             if len(taken) >= plan.limit:
                 break
-            taken.extend(rows[: plan.limit - len(taken)])
+            taken.extend(partition_rows(partition)[: plan.limit - len(taken)])
         partitions[0] = taken
         return DistRelation(schema=plan.schema, partitions=partitions)
 

@@ -73,3 +73,11 @@ class TableUDF(ABC):
         ctx: UdfContext,
     ) -> Iterable[tuple]:
         """Transform one input partition into output rows."""
+
+    def process_batch(self, batch, input_schema: Schema, args: tuple, ctx: UdfContext):
+        """Optional columnar kernel: consume one
+        :class:`~repro.columnar.batch.ColumnBatch`, return a ColumnBatch (or
+        a row list), or ``None`` to decline — the executor then falls back to
+        :meth:`process_partition` over ``batch.to_rows()``.  Only called on
+        the columnar data plane."""
+        return None

@@ -193,46 +193,121 @@ def decode_row(payload: bytes) -> tuple:
 
 _BLOCK_HEADER = struct.Struct(">Q")
 _PICKLE_MARKER = b"\x80"  # first byte of every protocol >= 2 pickle
+_BLOCK_MARKER = b"B"  # leading byte of a RowBlock frame (0x42)
+COLUMNAR_MARKER = b"C"  # leading byte of a columnar frame (0x43)
 
 
 def encode_block(rows: Sequence[tuple]) -> bytes:
     """Serialize a RowBlock — a batch of rows moved as one frame.
 
     One block is one buffer/spill/socket/broker item, so the whole batch
-    costs a single lock acquisition, frame header, and pickle round-trip
-    instead of one per row.
+    costs a single lock acquisition, frame header, and ledger entry instead
+    of one per row.
 
-    The frame starts with an 8-byte header recording the block's *logical*
-    size: the bytes these rows would occupy in the seed's per-row framing.
-    All ledger byte accounting charges the logical size, so the simulated
-    cost of a transfer is identical at every ``batch_rows`` setting — only
-    real wall-clock changes.  (The actual frame is smaller than the logical
-    size: per-row pickles each pay protocol/frame/stop overhead that the
-    block amortizes.)
+    Frame layout: ``B`` marker, an 8-byte header recording the block's
+    *logical* size (the bytes these rows would occupy in the seed's per-row
+    framing), then each row as a length-prefixed per-row pickle.  Because
+    the body reuses the per-row pickles verbatim, the logical size is the
+    sum of the body's row-frame lengths — one serialization pass computes
+    both (the seed encoder pickled every row twice: once for the header,
+    once inside a block-level list pickle).  All ledger byte accounting
+    charges the logical size, so the simulated cost of a transfer is
+    identical at every ``batch_rows`` setting — only real wall-clock
+    changes.
     """
-    rows = list(rows)
-    logical = sum(
-        len(pickle.dumps(row, protocol=pickle.HIGHEST_PROTOCOL)) for row in rows
-    )
-    return _BLOCK_HEADER.pack(logical) + pickle.dumps(
-        rows, protocol=pickle.HIGHEST_PROTOCOL
-    )
+    frames = [
+        pickle.dumps(row, protocol=pickle.HIGHEST_PROTOCOL) for row in rows
+    ]
+    logical = sum(len(frame) for frame in frames)
+    body = b"".join(_LENGTH.pack(len(frame)) + frame for frame in frames)
+    return _BLOCK_MARKER + _BLOCK_HEADER.pack(logical) + body
+
+
+def _decode_row_frames(body: bytes) -> list[tuple]:
+    rows = []
+    offset, end = 0, len(body)
+    while offset < end:
+        (length,) = _LENGTH.unpack_from(body, offset)
+        offset += _LENGTH.size
+        rows.append(pickle.loads(body[offset : offset + length]))
+        offset += length
+    return rows
 
 
 def decode_block(payload: bytes) -> list[tuple]:
-    """Inverse of :func:`encode_block`.
+    """Inverse of :func:`encode_block`, returning a list of row tuples.
 
-    Also accepts an :func:`encode_row` frame, returned as a one-row block:
-    per-row frames are bare pickles and start with the pickle protocol
-    marker, block frames start with their length header.  The two framings
-    therefore interoperate on one channel, which is what lets
-    ``batch_rows=1`` reproduce the seed's per-row wire format exactly.
+    Accepts every framing on the wire and normalizes to rows:
+
+    * an :func:`encode_row` frame (bare pickle, leading 0x80) becomes a
+      one-row block — which is what lets ``batch_rows=1`` reproduce the
+      seed's per-row wire format exactly;
+    * a sequenced frame is unwrapped (sequence number discarded — use
+      :func:`split_seq_frame` when dedup matters);
+    * a columnar ``C`` frame is decoded and pivoted to rows, so row-oriented
+      receivers interoperate with columnar senders;
+    * a legacy headerless block frame (pre-``B`` layout: 8-byte header
+      followed by one list pickle) still decodes, recognized by its shape.
     """
-    if payload[:1] == _PICKLE_MARKER:
+    first = payload[:1]
+    if first == _PICKLE_MARKER:
         return [pickle.loads(payload)]
+    if first == _SEQ_MARKER:
+        payload = payload[1 + _BLOCK_HEADER.size :]
+        first = payload[:1]
+    if first == _BLOCK_MARKER:
+        return _decode_row_frames(payload[1 + _BLOCK_HEADER.size :])
+    if first == COLUMNAR_MARKER:
+        return decode_col_block(payload).to_rows()
+    return pickle.loads(payload[_BLOCK_HEADER.size :])
+
+
+def encode_col_block(batch) -> bytes:
+    """Serialize a :class:`~repro.columnar.batch.ColumnBatch` as one frame.
+
+    Frame layout: ``C`` marker, 8-byte logical-size header (the batch's
+    seed-formula :meth:`logical_bytes`, so ledgers account columnar traffic
+    on the same scale as row traffic), then one pickle of the batch's
+    column arrays.  numpy arrays pickle as raw buffers, so the whole batch
+    costs a handful of memcpys instead of per-row pickling — this is where
+    the columnar wire path's speedup comes from.
+    """
+    names = tuple(column.name for column in batch.schema)
+    dtypes = tuple(column.dtype.value for column in batch.schema)
+    columns = tuple(
+        (vector.data, vector.valid, vector.dictionary) for vector in batch.columns
+    )
+    body = pickle.dumps(
+        (names, dtypes, batch.num_rows, columns), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    return COLUMNAR_MARKER + _BLOCK_HEADER.pack(batch.logical_bytes()) + body
+
+
+def decode_col_block(payload: bytes):
+    """Inverse of :func:`encode_col_block` (accepts a sequenced wrapper)."""
+    from repro.columnar.batch import ColumnBatch, ColumnVector
+    from repro.sql.types import DataType, Schema
+
     if payload[:1] == _SEQ_MARKER:
         payload = payload[1 + _BLOCK_HEADER.size :]
-    return pickle.loads(payload[_BLOCK_HEADER.size :])
+    if payload[:1] != COLUMNAR_MARKER:
+        raise TransferError("not a columnar frame")
+    names, dtypes, num_rows, columns = pickle.loads(
+        payload[1 + _BLOCK_HEADER.size :]
+    )
+    schema = Schema.of(*((n, DataType(d)) for n, d in zip(names, dtypes)))
+    vectors = [
+        ColumnVector(DataType(dtype), data, valid, dictionary)
+        for dtype, (data, valid, dictionary) in zip(dtypes, columns)
+    ]
+    return ColumnBatch.from_columns(schema, vectors, num_rows)
+
+
+def is_columnar_frame(payload: bytes) -> bool:
+    """True when the (possibly sequenced) frame carries a ColumnBatch."""
+    if payload[:1] == _SEQ_MARKER:
+        payload = payload[1 + _BLOCK_HEADER.size :]
+    return payload[:1] == COLUMNAR_MARKER
 
 
 _SEQ_MARKER = b"S"  # leading byte of a sequenced frame (0x53)
@@ -246,9 +321,10 @@ def encode_seq_block(rows: Sequence[tuple], seq: int) -> bytes:
     re-streams its partition from the beginning with the same per-channel
     block numbering, and the receiver drops every frame whose number it has
     already accepted, so each logical row crosses the ML boundary exactly
-    once.  The prefix is unambiguous against the other two framings: per-row
-    frames start with the pickle protocol marker (0x80) and plain block
-    frames with the high byte of their 8-byte logical size (0x00 for any
+    once.  The prefix is unambiguous against the other framings: per-row
+    frames start with the pickle protocol marker (0x80), block frames with
+    ``B`` (0x42), columnar frames with ``C`` (0x43), and legacy headerless
+    blocks with the high byte of their 8-byte logical size (0x00 for any
     realistic block).
     """
     return _SEQ_MARKER + _BLOCK_HEADER.pack(seq) + encode_block(rows)
@@ -271,14 +347,21 @@ def block_logical_bytes(payload: bytes) -> int:
     length so byte accounting — and therefore simulated time — is invariant
     under re-batching.
 
-    Payloads that are neither framing (the broker stores opaque records)
-    are charged at their wire length.  A block frame is recognized by its
-    shape: no leading pickle marker, but one right after the 8-byte header.
+    Block (``B``) and columnar (``C``) frames carry their logical size in
+    the 8-byte header after the marker.  Payloads that are none of the
+    framings (the broker stores opaque records) are charged at their wire
+    length; a legacy headerless block frame is recognized by its shape —
+    no leading pickle marker, but one right after the 8-byte header.
     """
-    if payload[:1] == _PICKLE_MARKER:
+    first = payload[:1]
+    if first == _PICKLE_MARKER:
         return len(payload)
-    if payload[:1] == _SEQ_MARKER:
+    if first == _SEQ_MARKER:
         payload = payload[1 + _BLOCK_HEADER.size :]
+        first = payload[:1]
+    if first == _BLOCK_MARKER or first == COLUMNAR_MARKER:
+        (logical,) = _BLOCK_HEADER.unpack_from(payload, 1)
+        return logical
     if len(payload) > _BLOCK_HEADER.size and payload[8:9] == _PICKLE_MARKER:
         (logical,) = _BLOCK_HEADER.unpack_from(payload)
         return logical

@@ -9,9 +9,12 @@ from repro.transfer.buffers import (
     SpillableBuffer,
     block_logical_bytes,
     decode_block,
+    decode_col_block,
     encode_block,
+    encode_col_block,
     encode_row,
     encode_seq_block,
+    is_columnar_frame,
     split_seq_frame,
 )
 
@@ -86,6 +89,18 @@ class StreamChannel:
         self.rows_sent += len(rows)
         self._account_sent(block_logical_bytes(payload))
 
+    def send_col_batch(self, batch) -> None:
+        """Serialize and enqueue a :class:`ColumnBatch` as one columnar
+        (``C``) frame.  Accounted at the batch's logical (seed per-row
+        formula) size, so ledgers stay on the row-path scale while the wire
+        carries pickled numpy arrays instead of per-row pickles."""
+        if not len(batch):
+            return
+        payload = encode_col_block(batch)
+        self._buffer.put(payload)
+        self.rows_sent += len(batch)
+        self._account_sent(block_logical_bytes(payload))
+
     def send_block(self, rows: Sequence[tuple], seq: int, retry: bool = False) -> None:
         """Enqueue a *sequenced* RowBlock (the §6 resilient send path).
 
@@ -156,6 +171,36 @@ class StreamChannel:
             self.rows_received += len(rows)
             self.bytes_received += block_logical_bytes(frame)
             return rows
+
+    def receive_frame(self, timeout: float | None = 30.0):
+        """Next frame in its native representation: a
+        :class:`~repro.columnar.batch.ColumnBatch` for columnar frames, a
+        row list otherwise, or None at end of stream.  Same dedup and
+        counting as :meth:`receive_block` — columnar-aware receivers use
+        this to skip the rows pivot entirely."""
+        if self._pending:
+            rows = list(self._pending)
+            self._pending.clear()
+            return rows
+        while True:
+            payload = self._buffer.get(timeout=timeout)
+            if payload is None:
+                return None
+            seq, frame = split_seq_frame(payload)
+            if seq is not None:
+                if seq <= self._last_seq:
+                    self.duplicate_blocks += 1
+                    self.duplicate_bytes += block_logical_bytes(frame)
+                    continue
+                self._last_seq = seq
+            out = (
+                decode_col_block(frame)
+                if is_columnar_frame(frame)
+                else decode_block(frame)
+            )
+            self.rows_received += len(out)
+            self.bytes_received += block_logical_bytes(frame)
+            return out
 
     def receive(self, timeout: float | None = 30.0) -> tuple | None:
         """Next row, or None at end of stream."""

@@ -23,6 +23,13 @@ DEFAULT_BATCH_ROWS = 256  # rows per RowBlock frame; 1 = seed's per-row wire
 DEFAULT_TIMEOUT_S = 30.0
 
 
+def _as_bool(value) -> bool:
+    """Conf-prop boolean: accepts real bools and the usual string spellings."""
+    if isinstance(value, str):
+        return value.strip().lower() in ("1", "true", "yes", "on")
+    return bool(value)
+
+
 @dataclass
 class SqlWorkerInfo:
     """Registration record of one SQL worker (step 1)."""
@@ -41,6 +48,8 @@ class StreamSession:
     conf_props: dict = field(default_factory=dict)
     buffer_bytes: int = DEFAULT_BUFFER_BYTES
     batch_rows: int = DEFAULT_BATCH_ROWS
+    #: ship ColumnBatch (``C``) frames instead of RowBlocks; off = seed wire
+    columnar: bool = False
     spill_dir: str | None = None
     expected_sql_workers: int | None = None
     sql_workers: dict[int, SqlWorkerInfo] = field(default_factory=dict)
@@ -83,6 +92,7 @@ class Coordinator:
         default_k: int = 6,
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         batch_rows: int = DEFAULT_BATCH_ROWS,
+        columnar: bool = False,
         spill_dir: str | None = None,
         timeout_s: float = DEFAULT_TIMEOUT_S,
         transport: str = "memory",
@@ -101,6 +111,7 @@ class Coordinator:
         self.default_k = default_k
         self.buffer_bytes = buffer_bytes
         self.batch_rows = batch_rows
+        self.columnar = bool(columnar)
         self.spill_dir = spill_dir
         self.timeout_s = timeout_s
         self.transport = transport
@@ -194,6 +205,7 @@ class Coordinator:
                 conf_props=dict(view.get("conf") or {}),
                 buffer_bytes=int(settings.get("buffer_bytes", self.buffer_bytes)),
                 batch_rows=int(settings.get("batch_rows", self.batch_rows)),
+                columnar=_as_bool(settings.get("columnar", self.columnar)),
                 spill_dir=settings.get("spill_dir", self.spill_dir),
             )
             for worker_id, info in view["workers"].items():
@@ -274,6 +286,7 @@ class Coordinator:
         conf_props: dict | None = None,
         buffer_bytes: int | None = None,
         batch_rows: int | None = None,
+        columnar: bool | None = None,
         spill_dir: str | None = None,
         exists_ok: bool = False,
     ) -> StreamSession:
@@ -289,6 +302,8 @@ class Coordinator:
             batch_rows = int(props.get("stream.batch_rows", self.batch_rows))
         if batch_rows < 1:
             raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
+        if columnar is None:
+            columnar = _as_bool(props.get("stream.columnar", self.columnar))
         with self._lock:
             existing = self._sessions.get(session_id)
             if existing is not None:
@@ -302,6 +317,7 @@ class Coordinator:
                 conf_props=props,
                 buffer_bytes=buffer_bytes or self.buffer_bytes,
                 batch_rows=batch_rows,
+                columnar=bool(columnar),
                 spill_dir=spill_dir if spill_dir is not None else self.spill_dir,
             )
             self._sessions[session_id] = session
@@ -314,6 +330,7 @@ class Coordinator:
                 settings={
                     "buffer_bytes": session.buffer_bytes,
                     "batch_rows": session.batch_rows,
+                    "columnar": session.columnar,
                     "spill_dir": session.spill_dir,
                 },
             )

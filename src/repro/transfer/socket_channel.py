@@ -22,9 +22,12 @@ from repro.common.errors import ChannelTimeoutError, TransferError
 from repro.transfer.buffers import (
     block_logical_bytes,
     decode_block,
+    decode_col_block,
     encode_block,
+    encode_col_block,
     encode_row,
     encode_seq_block,
+    is_columnar_frame,
     split_seq_frame,
 )
 from repro.transfer.channel import ChannelId
@@ -92,6 +95,13 @@ class SocketStreamChannel:
         if not rows:
             return
         self._send_payload(encode_seq_block(rows, seq), num_rows=len(rows), retry=retry)
+
+    def send_col_batch(self, batch) -> None:
+        """Send a ColumnBatch as one columnar (``C``) frame (see
+        :meth:`StreamChannel.send_col_batch`)."""
+        if not len(batch):
+            return
+        self._send_payload(encode_col_block(batch), num_rows=len(batch))
 
     def _send_payload(self, payload: bytes, num_rows: int, retry: bool = False) -> None:
         if self._closed:
@@ -214,6 +224,43 @@ class SocketStreamChannel:
             self.rows_received += len(rows)
             self.bytes_received += block_logical_bytes(frame)
             return rows
+
+    def receive_frame(self, timeout: float | None = None):
+        """Next frame in its native representation: a ColumnBatch for
+        columnar frames, a row list otherwise, None at EOF (see
+        :meth:`StreamChannel.receive_frame`)."""
+        if self._pending:
+            rows = list(self._pending)
+            self._pending.clear()
+            return rows
+        if timeout is not None:
+            self._recv_sock.settimeout(timeout)
+        while True:
+            header = self._read_exact(_FRAME.size)
+            if header is None:
+                return None
+            (length,) = _FRAME.unpack(header)
+            payload = self._read_exact(length)
+            if payload is None:
+                raise TransferError(
+                    f"channel {self.channel_id} truncated mid-frame "
+                    f"(expected {length} payload bytes)"
+                )
+            seq, frame = split_seq_frame(payload)
+            if seq is not None:
+                if seq <= self._last_seq:
+                    self.duplicate_blocks += 1
+                    self.duplicate_bytes += block_logical_bytes(frame)
+                    continue
+                self._last_seq = seq
+            out = (
+                decode_col_block(frame)
+                if is_columnar_frame(frame)
+                else decode_block(frame)
+            )
+            self.rows_received += len(out)
+            self.bytes_received += block_logical_bytes(frame)
+            return out
 
     def receive(self, timeout: float | None = None) -> tuple | None:
         if not self._pending:

@@ -13,6 +13,7 @@ Required job configuration: ``stream.session`` property and a
 
 from dataclasses import dataclass
 
+from repro.common.errors import TransferError
 from repro.iofmt.inputformat import InputFormat, InputSplit, JobConf, RecordReader
 from repro.transfer.channel import ChannelId, StreamChannel
 from repro.transfer.coordinator import Coordinator
@@ -34,12 +35,26 @@ class StreamSplit(InputSplit):
 
 
 class StreamRecordReader(RecordReader):
-    """Drains one channel until EOF; exposes ``bytes_read`` for accounting."""
+    """Drains one channel until EOF; exposes ``bytes_read`` for accounting.
 
-    def __init__(self, channel: StreamChannel, timeout_s: float, injector=None):
+    With ``frames=True`` (set by the input format for columnar sessions)
+    each received columnar frame is yielded *intact* as one ColumnBatch
+    record instead of being pivoted back into rows — the ingestion side
+    decides what to do with it.  Row frames still yield per-row either way,
+    so mixed streams are fine.
+    """
+
+    def __init__(
+        self,
+        channel: StreamChannel,
+        timeout_s: float,
+        injector=None,
+        frames: bool = False,
+    ):
         self._channel = channel
         self._timeout_s = timeout_s
         self._injector = injector  # FaultInjector | None (§6 ML-side chaos)
+        self._frames = frames
         self.bytes_read = 0
         self.rows_read = 0
 
@@ -55,11 +70,14 @@ class StreamRecordReader(RecordReader):
         return self._channel.duplicate_bytes
 
     def __iter__(self):
-        # Drain whole RowBlocks: one receive (one lock acquisition / frame
+        # Drain whole frames: one receive (one lock acquisition / frame
         # decode) per block, regardless of how many rows it carries.
+        receive = (
+            self._channel.receive_frame if self._frames else self._channel.receive_block
+        )
         while True:
             before = self._channel.bytes_received
-            block = self._channel.receive_block(timeout=self._timeout_s)
+            block = receive(timeout=self._timeout_s)
             if block is None:
                 return
             self.bytes_read += self._channel.bytes_received - before
@@ -68,7 +86,10 @@ class StreamRecordReader(RecordReader):
                 self._injector.check_ml_kill(
                     self._channel.channel_id.index, self.rows_read
                 )
-            yield from block
+            if isinstance(block, list):
+                yield from block
+            else:
+                yield block  # a ColumnBatch travels intact as one record
 
 
 class SQLStreamInputFormat(InputFormat):
@@ -108,4 +129,8 @@ class SQLStreamInputFormat(InputFormat):
         timeout_s = float(conf.get("stream.timeout_s", coordinator.timeout_s))
         recovery = coordinator.recovery
         injector = recovery.injector if recovery is not None else None
-        return StreamRecordReader(channel, timeout_s, injector=injector)
+        try:
+            frames = coordinator.session(split.session_id).columnar
+        except TransferError:
+            frames = False
+        return StreamRecordReader(channel, timeout_s, injector=injector, frames=frames)

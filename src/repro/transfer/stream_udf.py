@@ -153,6 +153,59 @@ class StreamTransferUDF(TableUDF):
             sum(c.spilled_bytes for c in channels),
         )
 
+    def process_batch(self, batch, input_schema: Schema, args: tuple, ctx: UdfContext):
+        """Columnar step 8: stream the partition as ``C`` frames, one per
+        channel, fanned out by ``batch.slice_step(j, k)`` — the exact
+        ``i % k`` row placement of the seed path, computed as an index take
+        instead of a per-row dispatch loop.
+
+        Declines (``None`` → the executor re-runs :meth:`process_partition`
+        over ``batch.to_rows()``) when the session is not columnar or the §6
+        recovery protocol is installed — resilient replay is defined over
+        sequenced RowBlocks.
+        """
+        session_id, command, ml_args = self._parse_args(args)
+        coordinator: Coordinator = ctx.service("coordinator")
+        # Peek at the session *before* registering: registration is not
+        # idempotent, and a decline must leave it to process_partition.
+        try:
+            columnar = coordinator.session(session_id).columnar
+        except TransferError:
+            columnar = bool(getattr(coordinator, "columnar", False))
+        if not columnar or coordinator.recovery is not None:
+            return None
+
+        coordinator.register_sql_worker(
+            session_id,
+            worker_id=ctx.worker_id,
+            ip=ctx.node.ip,
+            total_workers=ctx.num_workers,
+            command=command,
+            args=ml_args,
+        )
+        channels = coordinator.sql_worker_channels(session_id, ctx.worker_id)
+        if not channels:
+            raise TransferError(f"worker {ctx.worker_id} was matched to no channels")
+        k = len(channels)
+        rows_sent = 0
+        try:
+            for j, channel in enumerate(channels):
+                part = batch.slice_step(j, k) if k > 1 else batch
+                if len(part):
+                    channel.send_col_batch(part)
+                    rows_sent += len(part)
+        finally:
+            for channel in channels:
+                channel.close()
+        return [
+            (
+                ctx.worker_id,
+                rows_sent,
+                sum(c.bytes_sent for c in channels),
+                sum(c.spilled_bytes for c in channels),
+            )
+        ]
+
     def _stream_resilient(
         self,
         coordinator: Coordinator,

@@ -96,6 +96,45 @@ class DummyCodeUDF(TableUDF):
                     out.extend(indicators)
             yield tuple(out)
 
+    def process_batch(self, batch, input_schema: Schema, args: tuple, ctx: UdfContext):
+        """Columnar one-hot: K equality comparisons over the whole code
+        array per expanded column, no per-row indicator lists."""
+        import numpy as np
+
+        from repro.columnar.batch import ColumnBatch, ColumnVector
+
+        handle, columns = self._parse_args(args)
+        recode_map: RecodeMap = self._transforms.get(handle)
+        targets = {c.lower() for c in columns}
+        for i, column in enumerate(input_schema):
+            if column.name.lower() in targets and batch.columns[i].dtype not in (
+                DataType.INT,
+                DataType.BIGINT,
+            ):
+                return None  # not recoded integers: the row path raises properly
+        out_vectors: list[ColumnVector] = []
+        n = batch.num_rows
+        for i, column in enumerate(input_schema):
+            vector = batch.columns[i]
+            if column.name.lower() not in targets:
+                out_vectors.append(vector)
+                continue
+            k = len(recode_map.mapping_or_empty(column.name))
+            bad = vector.valid & ((vector.data < 1) | (vector.data > k))
+            if bad.any():
+                code = int(vector.data[np.argmax(bad)])
+                raise ExecutionError(
+                    f"dummy_code expects recoded values in 1..{k}, "
+                    f"got {code!r} (recode the column first)"
+                )
+            ones = np.ones(n, dtype=np.bool_)
+            for value in range(1, k + 1):
+                # NULL input produces all-zero (non-NULL) indicators.
+                indicator = (vector.valid & (vector.data == value)).astype(np.int64)
+                out_vectors.append(ColumnVector(DataType.INT, indicator, ones))
+        out_schema = self.output_schema(input_schema, args)
+        return ColumnBatch.from_columns(out_schema, out_vectors, n)
+
     @staticmethod
     def _parse_args(args: tuple) -> tuple[str, list[str]]:
         if len(args) < 2:

@@ -132,6 +132,28 @@ class LocalDistinctUDF(TableUDF):
                 seen.add((col_name, value))
         return sorted(seen)
 
+    def process_batch(self, batch, input_schema: Schema, args: tuple, ctx: UdfContext):
+        """Columnar phase 1: the local distincts of a dictionary-encoded
+        column are just its *used* dictionary words — one ``np.unique`` over
+        the code array instead of a per-row set insert."""
+        import numpy as np
+
+        from repro.sql.types import DataType
+
+        indexes = self._column_indexes(input_schema, args)
+        seen: set[tuple[str, str]] = set()
+        for col_name, index in indexes:
+            vector = batch.columns[index]
+            if vector.dtype is DataType.VARCHAR and vector.dictionary is not None:
+                words = vector.dictionary
+                for code in np.unique(vector.data[vector.valid]).tolist():
+                    seen.add((col_name, words[code]))
+            else:
+                for value in vector.to_pylist():
+                    if value is not None:
+                        seen.add((col_name, value))
+        return sorted(seen)
+
     @staticmethod
     def _column_indexes(schema: Schema, args: tuple) -> list[tuple[str, int]]:
         if not args:
@@ -217,6 +239,79 @@ class RecodeUDF(TableUDF):
                 ctx.ledger.add("transform.unseen_nulled", nulled)
             if skipped:
                 ctx.ledger.add("transform.rows_skipped", skipped)
+
+    def process_batch(self, batch, input_schema: Schema, args: tuple, ctx: UdfContext):
+        """Columnar recode: remap each target column's *dictionary* (K words)
+        instead of its value array (N rows) — the O(cardinality) payoff of
+        keeping VARCHAR dictionary-encoded end-to-end."""
+        import numpy as np
+
+        from repro.columnar.batch import ColumnBatch, ColumnVector
+        from repro.sql.types import DataType
+
+        handle, columns, policy = self._parse_args(args)
+        recode_map: RecodeMap = self._transforms.get(handle)
+        out_schema = self.output_schema(input_schema, args)
+        indexes = {input_schema.resolve(None, c): c for c in columns}
+        for index in indexes:
+            vector = batch.columns[index]
+            if vector.dtype is not DataType.VARCHAR or vector.dictionary is None:
+                return None  # odd input shape: use the row path
+        drop = (
+            np.zeros(batch.num_rows, dtype=np.bool_) if policy == "skip_row" else None
+        )
+        # (row, column position, column, word) candidates for policy=error —
+        # resolved after the scan so the raise matches row-major order.
+        first_errors: list[tuple[int, int, str, str]] = []
+        out_vectors: list[ColumnVector] = []
+        nulled = 0
+        for index, vector in enumerate(batch.columns):
+            col_name = indexes.get(index)
+            if col_name is None:
+                out_vectors.append(vector)
+                continue
+            mapping = recode_map.mapping_or_empty(col_name)
+            words = vector.dictionary or []
+            # Codes are 1..K, so 0 marks an unseen dictionary word.
+            word_codes = np.fromiter(
+                (mapping.get(w, 0) for w in words), dtype=np.int64, count=len(words)
+            )
+            data = (
+                word_codes[np.clip(vector.data, 0, None)]
+                if len(words)
+                else np.zeros(batch.num_rows, dtype=np.int64)
+            )
+            unseen = vector.valid & (data == 0)
+            if unseen.any():
+                if policy == "error":
+                    row = int(np.argmax(unseen))
+                    first_errors.append(
+                        (row, columns.index(col_name), col_name, words[vector.data[row]])
+                    )
+                elif policy == "skip_row":
+                    drop |= unseen
+                else:
+                    nulled += int(unseen.sum())
+            out_vectors.append(
+                ColumnVector(DataType.INT, data, vector.valid & ~unseen)
+            )
+        try:
+            if first_errors:
+                _row, _pos, col_name, value = min(first_errors)
+                raise TransformError(
+                    f"unseen value {value!r} in recoded column {col_name!r}",
+                    column=col_name,
+                    value=value,
+                )
+            out = ColumnBatch.from_columns(out_schema, out_vectors, batch.num_rows)
+            if drop is not None and drop.any():
+                return out.filter(~drop)
+            return out
+        finally:
+            if nulled:
+                ctx.ledger.add("transform.unseen_nulled", nulled)
+            if drop is not None and drop.any():
+                ctx.ledger.add("transform.rows_skipped", int(drop.sum()))
 
     @staticmethod
     def _parse_args(args: tuple) -> tuple[str, list[str], str]:
