@@ -1,0 +1,51 @@
+"""Multi-tenant serving smoke: interleaved sessions stay correct and bounded.
+
+Acceptance bars for the shared-worker-pool serving stack:
+
+- A ~16-session closed-loop run at a mid-size admission cap completes with
+  every session's trained weights bit-identical to a solo re-run of the
+  same seed (the isolation bar — concurrency may change timing, never
+  results).
+- p99 session-completion latency stays under ``MULTITENANT_P99_CEILING``
+  seconds (default 30; CI's shared runners can relax it via the env var).
+- ``BENCH_MULTITENANT_JSON`` (when set) receives the JSON results artifact.
+"""
+
+import os
+
+from repro.bench.multitenant import persist_results, report, run_acceptance, run_cap_sweep
+
+
+def test_multitenant_smoke(benchmark):
+    ceiling = float(os.environ.get("MULTITENANT_P99_CEILING", "30.0"))
+    sessions = int(os.environ.get("MULTITENANT_SMOKE_SESSIONS", "16"))
+
+    def run():
+        rows = run_cap_sweep(caps=(1, 4), num_sessions=sessions, num_clients=8)
+        acceptance, load_report = run_acceptance(
+            num_sessions=sessions, num_clients=8, cap=4
+        )
+        return rows, acceptance, load_report
+
+    rows, acceptance, load_report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert acceptance.weight_identical, (
+        "interleaved sessions diverged from solo baselines: "
+        f"{[o.session_id for o in load_report.outcomes if o.error]}"
+    )
+    assert not load_report.failures
+    assert acceptance.p99_s <= ceiling, (
+        f"p99 session latency {acceptance.p99_s:.2f}s exceeds "
+        f"ceiling {ceiling:.2f}s"
+    )
+    # cap=1 must strictly serialize: with 8 clients offering sessions, all
+    # but the first admitted one pass through the admission queue.
+    serialized = rows[0]
+    assert serialized.max_concurrent == 1
+    assert serialized.sessions_queued > 0
+
+    out_path = os.environ.get("BENCH_MULTITENANT_JSON")
+    if out_path:
+        persist_results(rows, out_path, acceptance=acceptance)
+    print()
+    print(report(rows, acceptance))

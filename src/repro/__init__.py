@@ -94,6 +94,10 @@ def make_deployment(
     checkpoint_interval: int = 0,  # iterations between saves; 0 = off
     ha_standbys: int = 0,  # standby coordinators; 0 = single coordinator
     zk=None,  # ZooKeeperLite | None — the HA coordination service
+    max_concurrent_sessions: int = 1,  # >1 turns on multi-tenant serving
+    tenant_quotas: dict | None = None,  # tenant -> max concurrent sessions
+    tenant_spill_budgets: dict | None = None,  # tenant -> spill-byte budget
+    admission_queue_depth: int = 64,  # bounded FIFO behind the quota gate
 ) -> Deployment:
     """Build the paper's testbed topology, fully wired.
 
@@ -140,11 +144,50 @@ def make_deployment(
     :class:`~repro.transfer.ha.FailoverCoordinator` proxy clients retry
     through after a takeover.  Off by default — no journal traffic, byte
     ledgers bit-identical to the single-coordinator deployment.
+
+    ``max_concurrent_sessions > 1`` (or any ``tenant_quotas`` /
+    ``tenant_spill_budgets``) turns on multi-tenant serving: a
+    :class:`~repro.transfer.admission.SessionAdmission` gate with per-tenant
+    quotas and a bounded FIFO queue in front of ``create_session``, a
+    :class:`~repro.transfer.admission.WorkerPoolScheduler` leasing the
+    shared ML worker slots fairly across live sessions, a
+    :class:`~repro.transfer.admission.SpillGovernor` isolating one tenant's
+    spill backpressure from everyone else's streams, and — on the socket
+    transport — mux channels sharing one socket pair per SQL worker.  The
+    default (1, None, None) is the seed single-session behavior: none of
+    the objects exist, no new ledger categories are emitted, and the
+    fault-free Figure 3/4 byte totals stay bit-identical.
     """
     cluster = make_paper_cluster(num_workers)
     dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
     engine = BigSQL(cluster, dfs, columnar=columnar)
     ml = MLSystem(cluster, workers_per_node=workers_per_node)
+    admission = worker_pool = spill_governor = None
+    multitenant = (
+        max_concurrent_sessions > 1 or tenant_quotas or tenant_spill_budgets
+    )
+    if multitenant:
+        from repro.transfer.admission import (
+            SessionAdmission,
+            SpillGovernor,
+            WorkerPoolScheduler,
+        )
+
+        admission = SessionAdmission(
+            max_concurrent_sessions=max_concurrent_sessions,
+            tenant_quotas=tenant_quotas,
+            max_queue_depth=admission_queue_depth,
+            ledger=cluster.ledger,
+        )
+        worker_pool = WorkerPoolScheduler(
+            total_slots=num_workers * workers_per_node,
+            ledger=cluster.ledger,
+        )
+        if tenant_spill_budgets:
+            spill_governor = SpillGovernor(
+                tenant_budgets=tenant_spill_budgets,
+                ledger=cluster.ledger,
+            )
     ha_group = None
     if ha_standbys > 0:
         from repro.transfer.ha import CoordinatorHAGroup
@@ -159,6 +202,9 @@ def make_deployment(
             transport=transport,
             recovery=recovery,
             fault_injector=fault_injector,
+            admission=admission,
+            worker_pool=worker_pool,
+            spill_governor=spill_governor,
         )
         coordinator = ha_group.proxy
     else:
@@ -170,6 +216,9 @@ def make_deployment(
             transport=transport,
             recovery=recovery,
             fault_injector=fault_injector,
+            admission=admission,
+            worker_pool=worker_pool,
+            spill_governor=spill_governor,
         )
     effective_injector = fault_injector or (
         coordinator.recovery.injector if coordinator.recovery is not None else None

@@ -23,5 +23,6 @@ __all__ = [
     "common",
     "figure3",
     "figure4",
+    "multitenant",
     "svm_end2end",
 ]

@@ -1,0 +1,189 @@
+"""Ablation J: multi-tenant serving — session latency vs. admitted concurrency.
+
+Sweeps the coordinator's ``max_concurrent_sessions`` cap while a fixed
+closed-loop client population offers the same session stream, measuring
+p50/p99 session-completion latency and aggregate throughput at each cap.
+``cap=1`` serializes the whole stream through the admission queue — the
+latency cost of strict isolation; larger caps trade queueing delay for
+scheduler contention on the shared worker pool.
+
+The acceptance run then drives ~100 interleaved sessions at a mid-size cap
+and checks the multi-tenant correctness bar: every session's trained
+weights bit-identical to a solo re-run of the same seed on a fresh,
+identically configured deployment.
+"""
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro import make_deployment
+from repro.workloads.loadgen import (
+    BASE_SEED,
+    LoadReport,
+    make_points_table,
+    run_closed_loop,
+    solo_weights,
+    verify_against_solo,
+)
+
+#: The Ablation J sweep: admission caps under a fixed 16-client offered load.
+DEFAULT_CAPS = (1, 4, 8, 16)
+DEFAULT_SWEEP_SESSIONS = 32
+DEFAULT_CLIENTS = 16
+
+#: The acceptance run (the ISSUE's ~100-interleaved-session bar).
+ACCEPTANCE_SESSIONS = 100
+ACCEPTANCE_CAP = 8
+ACCEPTANCE_CLIENTS = 8
+
+
+@dataclass
+class MultitenantRow:
+    """One sweep point: latency distribution at one admission cap."""
+
+    max_concurrent: int
+    num_sessions: int
+    num_clients: int
+    wall_seconds: float
+    p50_s: float
+    p99_s: float
+    mean_s: float
+    sessions_per_second: float
+    sessions_queued: int
+    scheduler_waits: int
+
+
+@dataclass
+class AcceptanceRow:
+    """The 100-session correctness run."""
+
+    num_sessions: int
+    num_clients: int
+    max_concurrent: int
+    wall_seconds: float
+    p50_s: float
+    p99_s: float
+    weight_identical: bool
+
+
+def _fresh_loaded_deployment(cap: int):
+    # ``max_concurrent_sessions=1`` alone is the seed default (admission
+    # off, unmanaged concurrency).  The sweep's cap=1 point should measure
+    # *strict serialization*, so force the admission gate on with an
+    # equivalent tenant quota.
+    quotas = {"default": 1} if cap == 1 else None
+    deployment = make_deployment(max_concurrent_sessions=cap, tenant_quotas=quotas)
+    make_points_table(deployment.engine)
+    return deployment
+
+
+def run_cap_sweep(
+    caps: tuple[int, ...] = DEFAULT_CAPS,
+    num_sessions: int = DEFAULT_SWEEP_SESSIONS,
+    num_clients: int = DEFAULT_CLIENTS,
+) -> list[MultitenantRow]:
+    """One closed-loop run per admission cap, fresh deployment each time."""
+    rows = []
+    for cap in caps:
+        deployment = _fresh_loaded_deployment(cap)
+        report = run_closed_loop(
+            deployment, num_sessions=num_sessions, num_clients=num_clients
+        )
+        ledger = deployment.cluster.ledger
+        rows.append(
+            MultitenantRow(
+                max_concurrent=cap,
+                num_sessions=report.num_sessions,
+                num_clients=report.num_clients,
+                wall_seconds=report.wall_seconds,
+                p50_s=report.p50_s,
+                p99_s=report.p99_s,
+                mean_s=report.mean_s,
+                sessions_per_second=report.sessions_per_second,
+                sessions_queued=int(ledger.get("admission.queued")),
+                scheduler_waits=int(ledger.get("scheduler.waits")),
+            )
+        )
+    return rows
+
+
+def run_acceptance(
+    num_sessions: int = ACCEPTANCE_SESSIONS,
+    num_clients: int = ACCEPTANCE_CLIENTS,
+    cap: int = ACCEPTANCE_CAP,
+) -> tuple[AcceptanceRow, LoadReport]:
+    """~100 interleaved sessions, every one weight-checked against solo."""
+    loaded = _fresh_loaded_deployment(cap)
+    report = run_closed_loop(
+        loaded, num_sessions=num_sessions, num_clients=num_clients
+    )
+    solo = _fresh_loaded_deployment(cap)
+    baselines = solo_weights(
+        solo, [BASE_SEED + i for i in range(num_sessions)]
+    )
+    verify_against_solo(report, baselines)
+    row = AcceptanceRow(
+        num_sessions=report.num_sessions,
+        num_clients=report.num_clients,
+        max_concurrent=cap,
+        wall_seconds=report.wall_seconds,
+        p50_s=report.p50_s,
+        p99_s=report.p99_s,
+        weight_identical=bool(report.weight_identical),
+    )
+    return row, report
+
+
+def report(rows: list[MultitenantRow], acceptance: AcceptanceRow | None = None) -> str:
+    lines = [
+        "Ablation J — session latency vs admitted concurrency "
+        f"({rows[0].num_sessions} sessions, {rows[0].num_clients} clients)"
+    ]
+    for r in rows:
+        lines.append(
+            f"  cap={r.max_concurrent:>3}  p50 {r.p50_s * 1000:7.1f} ms"
+            f"  p99 {r.p99_s * 1000:7.1f} ms"
+            f"  {r.sessions_per_second:6.1f} sessions/s"
+            f"  queued={r.sessions_queued}"
+        )
+    if acceptance is not None:
+        lines.append(
+            f"  acceptance: {acceptance.num_sessions} sessions @ cap="
+            f"{acceptance.max_concurrent} — p50 {acceptance.p50_s * 1000:.1f} ms, "
+            f"p99 {acceptance.p99_s * 1000:.1f} ms, weights "
+            + ("bit-identical to solo" if acceptance.weight_identical else "DIVERGED")
+        )
+    return "\n".join(lines)
+
+
+def persist_results(
+    rows: list[MultitenantRow],
+    path: str,
+    acceptance: AcceptanceRow | None = None,
+) -> None:
+    """Write the run as JSON (the CI multitenant-smoke artifact)."""
+    doc = {
+        "benchmark": "multitenant",
+        "results": [asdict(r) for r in rows],
+    }
+    if acceptance is not None:
+        doc["acceptance"] = asdict(acceptance)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    import sys
+
+    rows = run_cap_sweep()
+    acceptance, _report = run_acceptance()
+    print(report(rows, acceptance))
+    if not acceptance.weight_identical:
+        raise SystemExit("acceptance run: interleaved weights diverged from solo")
+    if len(sys.argv) > 1:
+        persist_results(rows, sys.argv[1], acceptance=acceptance)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

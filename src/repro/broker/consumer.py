@@ -1,8 +1,29 @@
 """Consumer client: offset-tracked, at-least-once reads of one partition."""
 
+import pickle
+import struct
+
 from repro.broker.broker import MessageBroker
 from repro.common.errors import TransferError
 from repro.transfer.buffers import block_logical_bytes, decode_block
+
+#: What wire corruption actually looks like when a frame fails to decode:
+#: a damaged pickle stream (UnpicklingError, or the EOF/Value/Key errors the
+#: pickle VM raises on truncated or bit-flipped input), a mangled
+#: length-prefix header (struct.error), or an inner TransferError from a
+#: frame whose marker byte no longer matches any framing.  Anything else —
+#: a TypeError from a decoder bug, say — is a defect and must propagate,
+#: not silently loop through the retained log.
+_CORRUPTION_ERRORS = (
+    pickle.UnpicklingError,
+    struct.error,
+    EOFError,
+    ValueError,
+    KeyError,
+    IndexError,
+    MemoryError,
+    TransferError,
+)
 
 
 class BrokerConsumer:
@@ -92,7 +113,7 @@ class BrokerConsumer:
             payload = self._injector.corrupt_fetch(payload, f"{site}@{offset}")
         try:
             rows = decode_block(payload)
-        except Exception:
+        except _CORRUPTION_ERRORS:
             refetched, _next, _end = self._broker.fetch(
                 self._topic,
                 self._partition,

@@ -4,7 +4,7 @@ import itertools
 import threading
 from dataclasses import dataclass
 
-from repro.common.errors import CacheError
+from repro.common.errors import CacheError, CatalogError, ParseError, PlanError
 from repro.rewriter.matching import (
     FullCacheMatch,
     QueryShape,
@@ -220,9 +220,12 @@ class CacheManager:
         return self._engine.parse(query) if isinstance(query, str) else query
 
     def _shape_or_none(self, query: SelectQuery | str) -> QueryShape | None:
+        # Only the typed "this query has no cacheable shape" failures read as
+        # a miss; a genuine defect (TypeError, AttributeError, ...) in shape
+        # extraction must propagate, not silently disable the cache.
         try:
             return extract_shape(self._parse(query), self._engine)
-        except Exception:
+        except (ParseError, PlanError, CatalogError, CacheError):
             return None
 
     def _versions(self, shape: QueryShape) -> dict[str, int]:
@@ -236,8 +239,8 @@ class CacheManager:
             try:
                 if self._engine.catalog.get_entry(table).version != version:
                     return False
-            except Exception:
-                return False
+            except CatalogError:
+                return False  # base table dropped since caching = stale
         return True
 
     @staticmethod

@@ -56,6 +56,12 @@ class TransferError(ReproError):
     """The parallel streaming transfer failed (coordinator, channel, buffer)."""
 
 
+class AdmissionError(TransferError):
+    """Session admission refused or timed out: the tenant's quota plus the
+    bounded FIFO queue could not absorb the request.  *Recoverable* by the
+    client — back off and resubmit, or route to another tenant."""
+
+
 class CoordinatorUnavailableError(TransferError):
     """The coordinator a client handshook with is dead or lost its leader
     lease — *recoverable* under high availability: the client re-resolves

@@ -254,6 +254,7 @@ class AnalyticsPipeline:
         use_cache: bool = False,
         max_attempts: int = 1,
         degrade_to_dfs: bool = False,
+        tenant: str = "default",
     ) -> PipelineResult:
         """Figure 3 "insql+stream": everything pipelined, no DFS touch.
 
@@ -316,6 +317,7 @@ class AnalyticsPipeline:
                 command=command,
                 args=dict(args or {}),
                 conf_props=conf_props,
+                tenant=tenant,
             )
             try:
                 self.engine.execute(plan.final_sql(session_id))

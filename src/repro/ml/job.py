@@ -56,8 +56,22 @@ class MLJob:
         known_ips = {n.ip for n in self.cluster.nodes}
         parser = self.record_parser
         batch_parser = self.batch_parser
+        # Multi-tenant deployments share the fixed ML worker pool: each split
+        # drain holds one fair lease from the coordinator's scheduler while
+        # it reads.  Sound without deadlock because SQL-side senders never
+        # block (full buffers spill) — a reader waiting for a slot only
+        # delays its own stream.  worker_pool is None on seed deployments.
+        coordinator = self.conf.get_object("coordinator")
+        worker_pool = getattr(coordinator, "worker_pool", None)
+        session_key = self.conf.get("stream.session") or "local"
 
         def consume(split) -> tuple[list, list, int, bool]:
+            if worker_pool is not None:
+                with worker_pool.lease(session_key):
+                    return _consume(split)
+            return _consume(split)
+
+        def _consume(split) -> tuple[list, list, int, bool]:
             locations = split.locations()
             is_local = any(ip in known_ips for ip in locations)
             node_ip = next((ip for ip in locations if ip in known_ips), None)

@@ -4,7 +4,7 @@ from collections.abc import Callable
 from typing import Any
 
 from repro.cluster.cluster import Cluster
-from repro.common.errors import CatalogError, PlanError
+from repro.common.errors import CatalogError, HdfsError, PlanError
 from repro.sql.ast import SelectQuery
 from repro.sql.catalog import Catalog
 from repro.sql.executor import (
@@ -260,8 +260,13 @@ class BigSQL:
         if table.is_external:
             if self.dfs is None:
                 return float(2**40)
+            # Only a typed DFS failure (path missing, block lost) degrades to
+            # the pessimistic 2^40 estimate — and each such degradation is
+            # counted, so a planner silently costing on fiction is visible.
+            # Any other exception is a bug and propagates.
             try:
                 return float(self.dfs.total_size(table.external.path))
-            except Exception:
+            except HdfsError:
+                self.cluster.ledger.add("planner.estimate_fallback", 1)
                 return float(2**40)
         return float(table.estimated_bytes())

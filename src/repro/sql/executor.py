@@ -182,7 +182,16 @@ class Executor:
         try:
             return ColumnBatch.from_rows(schema, rows)
         except _VECTOR_FALLBACK_ERRORS:
+            self._count_columnar_fallback()
             return rows
+
+    def _count_columnar_fallback(self) -> None:
+        """Every columnar->row degradation (unsupported tree at compile
+        time, VectorFallback at runtime, rows that refuse typed storage)
+        charges one ``columnar.fallback`` tick, so the columnar plane can't
+        quietly decay into the row path.  Reached only in columnar mode —
+        default deployments emit no such ledger category."""
+        self._ctx.ledger.add("columnar.fallback", 1)
 
     def _redistribute_table(self, table: Table) -> list[list[tuple]]:
         n = self._ctx.num_workers
@@ -300,6 +309,8 @@ class Executor:
             if self._ctx.columnar
             else None
         )
+        if self._ctx.columnar and vec_predicate is None:
+            self._count_columnar_fallback()
 
         def filter_partition(_w: int, partition) -> list[tuple]:
             if isinstance(partition, ColumnBatch):
@@ -307,7 +318,7 @@ class Executor:
                     try:
                         return partition.filter(vec_predicate(partition))
                     except (vectorized.VectorFallback, *_VECTOR_FALLBACK_ERRORS):
-                        pass
+                        self._count_columnar_fallback()
                 rows = partition.to_rows()
                 kept = [r for r, keep in zip(rows, evaluate(rows)) if keep is True]
                 return self._to_batch(relation.schema, kept)
@@ -328,6 +339,8 @@ class Executor:
             if self._ctx.columnar
             else None
         )
+        if self._ctx.columnar and vec_project is None:
+            self._count_columnar_fallback()
 
         def project(_w: int, partition) -> list[tuple]:
             if isinstance(partition, ColumnBatch):
@@ -335,7 +348,7 @@ class Executor:
                     try:
                         return vec_project(partition)
                     except (vectorized.VectorFallback, *_VECTOR_FALLBACK_ERRORS):
-                        pass
+                        self._count_columnar_fallback()
                 rows = partition.to_rows()
                 columns = [fn(rows) for fn in evaluators]
                 out_rows = list(zip(*columns)) if rows else []
@@ -587,6 +600,8 @@ class Executor:
                         arg_positions.append(len(arg_exprs))
                         arg_exprs.append(call.arg)
                 vec_args = vectorized.compile_value_lists(arg_exprs, child.schema)
+            if (vec_global is None) and (vec_keys is None or vec_args is None):
+                self._count_columnar_fallback()
 
         def partial(_w: int, partition) -> dict[tuple, list]:
             if isinstance(partition, ColumnBatch):
@@ -598,7 +613,7 @@ class Executor:
                     try:
                         return vec_global(partition)
                     except (vectorized.VectorFallback, *_VECTOR_FALLBACK_ERRORS):
-                        pass
+                        self._count_columnar_fallback()
                 if vec_keys is not None and vec_args is not None:
                     try:
                         keys = list(zip(*vec_keys(partition)))
@@ -609,7 +624,7 @@ class Executor:
                         ]
                         return group_partial(keys, arg_columns)
                     except (vectorized.VectorFallback, *_VECTOR_FALLBACK_ERRORS):
-                        pass
+                        self._count_columnar_fallback()
                 rows = partition.to_rows()
             else:
                 rows = partition

@@ -34,6 +34,7 @@ from typing import Callable
 import numpy as np
 
 from repro.columnar.batch import ColumnBatch, ColumnVector
+from repro.common.errors import PlanError
 from repro.sql.expressions import (
     And,
     Arithmetic,
@@ -105,9 +106,13 @@ _CMP_PY = {
 
 
 def _expr_type(expr: Expr, schema: Schema) -> DataType | None:
+    # PlanError is the binder's typed "this expression doesn't type under
+    # this schema" signal — the legitimate compile-to-row-path fallback.
+    # Any other exception is a bug in the binder or a kernel and must
+    # surface rather than silently degrade the columnar plane.
     try:
         return expr.data_type(Binder(schema))
-    except Exception:
+    except PlanError:
         return None
 
 

@@ -1,0 +1,365 @@
+"""Multi-tenant serving: admission control, shared-worker scheduling, and
+spill isolation.
+
+Everything before this module ran one streaming session at a time; the
+coordinator protocol (§3) never said it had to.  Three small, independent
+mechanisms make many concurrent prep+train sessions safe on one deployment:
+
+* :class:`SessionAdmission` — a per-tenant quota gate in front of
+  ``create_session``.  At most ``max_concurrent_sessions`` run at once and
+  at most ``tenant_quotas[tenant]`` of them belong to one tenant; everyone
+  else waits in a bounded FIFO queue.  Promotion is *fair* FIFO: a
+  quota-blocked tenant's ticket is skipped (not cancelled) so one noisy
+  tenant cannot head-of-line-block the rest of the queue.
+* :class:`WorkerPoolScheduler` — fair slot leases over the shared ML worker
+  pool.  Each streaming split drain holds one lease; when sessions contend,
+  the next free slot goes to a waiter from the session holding the fewest
+  slots, so k-reader sessions interleave instead of convoying.  This is
+  sound without deadlock because SQL-side senders *never block*
+  (:class:`~repro.transfer.buffers.SpillableBuffer.put` spills instead), so
+  a reader waiting for a slot only delays its own drain.
+* :class:`SpillGovernor` — per-tenant spill-byte budgets.  A tenant whose
+  outstanding spilled bytes exceed its budget has its own senders pause
+  until its own readers drain (or a bounded wait elapses — the governor
+  shapes, it never wedges); other tenants' channels are untouched, which is
+  the backpressure-isolation half of multi-tenancy.
+
+All three are off by default (``make_deployment(max_concurrent_sessions=1)``
+wires none of them), and their counters — ``admission.queued``,
+``admission.rejected``, ``scheduler.waits``, ``governor.throttled`` — are
+dedicated ledger categories, so the fault-free Figure 3/4 byte totals stay
+bit-identical to the seed unless a deployment opts in.
+"""
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.common.errors import AdmissionError
+
+DEFAULT_QUEUE_DEPTH = 64
+
+
+@dataclass
+class AdmissionStats:
+    """Observability counters for one admission gate."""
+
+    admitted: int = 0
+    queued: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    peak_running: int = 0
+    peak_queued: int = 0
+
+
+@dataclass
+class _Ticket:
+    session_id: str
+    tenant: str
+    ready: threading.Event = field(default_factory=threading.Event)
+
+
+class SessionAdmission:
+    """Per-tenant quotas plus a bounded, fair FIFO queue for sessions.
+
+    ``acquire`` is idempotent by session id — the HA retry path re-issues
+    ``create_session`` after a failover, and a session already counted as
+    running must not be charged twice.
+    """
+
+    def __init__(
+        self,
+        max_concurrent_sessions: int,
+        tenant_quotas: dict[str, int] | None = None,
+        max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        timeout_s: float = 30.0,
+        ledger=None,
+    ):
+        if max_concurrent_sessions < 1:
+            raise AdmissionError(
+                f"max_concurrent_sessions must be >= 1, got {max_concurrent_sessions}"
+            )
+        self.max_concurrent = int(max_concurrent_sessions)
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.max_queue_depth = int(max_queue_depth)
+        self.timeout_s = timeout_s
+        self._ledger = ledger
+        self._running: dict[str, str] = {}  # session_id -> tenant
+        self._queue: list[_Ticket] = []
+        self._lock = threading.Lock()
+        self.stats = AdmissionStats()
+
+    # ------------------------------------------------------------- admission
+
+    def _tenant_running(self, tenant: str) -> int:
+        return sum(1 for t in self._running.values() if t == tenant)
+
+    def _admissible(self, tenant: str) -> bool:
+        """Caller holds the lock."""
+        if len(self._running) >= self.max_concurrent:
+            return False
+        quota = self.tenant_quotas.get(tenant)
+        return quota is None or self._tenant_running(tenant) < quota
+
+    def acquire(
+        self, session_id: str, tenant: str = "default", timeout_s: float | None = None
+    ) -> bool:
+        """Block until the session may run.  Returns True when this call
+        admitted it, False when it was already running (idempotent retry).
+
+        Raises :class:`AdmissionError` when the queue is full or the wait
+        exceeds the timeout — the rejection never disturbs running sessions.
+        """
+        with self._lock:
+            if session_id in self._running:
+                return False
+            if self._admissible(tenant):
+                self._admit_locked(session_id, tenant)
+                return True
+            if len(self._queue) >= self.max_queue_depth:
+                self.stats.rejected += 1
+                if self._ledger is not None:
+                    self._ledger.add("admission.rejected", 1)
+                raise AdmissionError(
+                    f"admission queue full ({self.max_queue_depth} waiting); "
+                    f"session {session_id!r} of tenant {tenant!r} rejected"
+                )
+            ticket = _Ticket(session_id, tenant)
+            self._queue.append(ticket)
+            self.stats.queued += 1
+            self.stats.peak_queued = max(self.stats.peak_queued, len(self._queue))
+            if self._ledger is not None:
+                self._ledger.add("admission.queued", 1)
+        effective = timeout_s if timeout_s is not None else self.timeout_s
+        if not ticket.ready.wait(timeout=effective):
+            with self._lock:
+                if ticket in self._queue:
+                    self._queue.remove(ticket)
+                    self.stats.timeouts += 1
+                    raise AdmissionError(
+                        f"session {session_id!r} of tenant {tenant!r} waited "
+                        f"{effective}s for admission (quota "
+                        f"{self.tenant_quotas.get(tenant)}, "
+                        f"{len(self._running)}/{self.max_concurrent} running)"
+                    )
+            # Promoted in the race between wait() expiry and lock acquisition.
+        return True
+
+    def _admit_locked(self, session_id: str, tenant: str) -> None:
+        self._running[session_id] = tenant
+        self.stats.admitted += 1
+        self.stats.peak_running = max(self.stats.peak_running, len(self._running))
+
+    def release(self, session_id: str) -> None:
+        """Free the session's slot and promote as many waiters as now fit
+        (fair FIFO, skipping — not cancelling — quota-blocked tenants)."""
+        promoted: list[_Ticket] = []
+        with self._lock:
+            if self._running.pop(session_id, None) is None:
+                # A queued session being torn down before it ever ran.
+                self._queue = [t for t in self._queue if t.session_id != session_id]
+                return
+            for ticket in list(self._queue):
+                if not self._admissible(ticket.tenant):
+                    continue
+                self._queue.remove(ticket)
+                self._admit_locked(ticket.session_id, ticket.tenant)
+                promoted.append(ticket)
+        for ticket in promoted:
+            ticket.ready.set()
+
+    # --------------------------------------------------------- HA takeover
+
+    def adopt(self, session_id: str, tenant: str) -> None:
+        """Re-sync one journaled running session after a coordinator
+        takeover (idempotent — the group-shared gate usually already has it)."""
+        with self._lock:
+            if session_id not in self._running:
+                self._admit_locked(session_id, tenant)
+
+    def adopt_state(self, state: dict | None) -> None:
+        """Merge a journaled :meth:`queue_state` snapshot (running set only:
+        queued clients are still blocked in their own ``acquire`` calls and
+        will re-enter through the live gate)."""
+        if not state:
+            return
+        for session_id, tenant in (state.get("running") or {}).items():
+            self.adopt(session_id, tenant)
+
+    # ------------------------------------------------------- observability
+
+    def queue_state(self) -> dict:
+        """Snapshot for the HA journal: who runs, who waits, in what order."""
+        with self._lock:
+            return {
+                "running": dict(self._running),
+                "queued": [[t.session_id, t.tenant] for t in self._queue],
+            }
+
+    def running_count(self) -> int:
+        with self._lock:
+            return len(self._running)
+
+    def queued_count(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+
+class WorkerPoolScheduler:
+    """Fair, leased sharing of the fixed ML worker pool across sessions.
+
+    One lease = one worker slot draining one input split.  The grant rule is
+    least-held-first: a waiter is granted a free slot only if no other
+    *waiting* session holds fewer slots, which keeps a wide session (many
+    splits) from starving a narrow one.
+    """
+
+    def __init__(self, total_slots: int, timeout_s: float = 120.0, ledger=None):
+        if total_slots < 1:
+            raise AdmissionError(f"total_slots must be >= 1, got {total_slots}")
+        self.total_slots = int(total_slots)
+        self.timeout_s = timeout_s
+        self._ledger = ledger
+        self._free = int(total_slots)
+        self._held: dict[str, int] = {}  # session -> slots held
+        self._waiting: dict[str, int] = {}  # session -> waiters blocked
+        self._cond = threading.Condition()
+        self.waits = 0  # grants that had to block first
+        self.peak_sessions = 0
+
+    def _grantable(self, session_id: str) -> bool:
+        """Caller holds the condition lock."""
+        if self._free < 1:
+            return False
+        mine = self._held.get(session_id, 0)
+        floor = min(
+            (self._held.get(s, 0) for s in self._waiting if s != session_id),
+            default=mine,
+        )
+        return mine <= floor
+
+    @contextmanager
+    def lease(self, session_id: str, timeout_s: float | None = None):
+        self.acquire_slot(session_id, timeout_s=timeout_s)
+        try:
+            yield
+        finally:
+            self.release_slot(session_id)
+
+    def acquire_slot(self, session_id: str, timeout_s: float | None = None) -> None:
+        effective = timeout_s if timeout_s is not None else self.timeout_s
+        deadline = time.monotonic() + effective
+        with self._cond:
+            waited = False
+            while not self._grantable(session_id):
+                if not waited:
+                    waited = True
+                    self.waits += 1
+                    if self._ledger is not None:
+                        self._ledger.add("scheduler.waits", 1)
+                    self._waiting[session_id] = self._waiting.get(session_id, 0) + 1
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    self._unwait_locked(session_id)
+                    raise AdmissionError(
+                        f"session {session_id!r} waited {effective}s for a "
+                        f"worker slot ({self.total_slots} total, "
+                        f"{len(self._held)} sessions holding)"
+                    )
+            if waited:
+                self._unwait_locked(session_id)
+            self._free -= 1
+            self._held[session_id] = self._held.get(session_id, 0) + 1
+            self.peak_sessions = max(self.peak_sessions, len(self._held))
+
+    def _unwait_locked(self, session_id: str) -> None:
+        count = self._waiting.get(session_id, 0) - 1
+        if count > 0:
+            self._waiting[session_id] = count
+        else:
+            self._waiting.pop(session_id, None)
+
+    def release_slot(self, session_id: str) -> None:
+        with self._cond:
+            held = self._held.get(session_id, 0)
+            if held <= 1:
+                self._held.pop(session_id, None)
+            else:
+                self._held[session_id] = held - 1
+            self._free += 1
+            self._cond.notify_all()
+
+    def held_by(self, session_id: str) -> int:
+        with self._cond:
+            return self._held.get(session_id, 0)
+
+
+class SpillGovernor:
+    """Per-tenant spill budgets: over-budget tenants throttle *themselves*.
+
+    Channels charge spilled bytes here as they overflow and credit them back
+    as readers drain; a sender whose tenant is over budget pauses in
+    :meth:`throttle` until the tenant's own readers catch up.  The wait is
+    bounded (``timeout_s``) and then proceeds — the governor shapes flow, it
+    must never deadlock a stream whose reader has not started yet — and a
+    tenant with no configured budget is never touched.
+    """
+
+    def __init__(
+        self,
+        tenant_budgets: dict[str, int] | None = None,
+        default_budget: int | None = None,
+        timeout_s: float = 10.0,
+        ledger=None,
+    ):
+        self.tenant_budgets = dict(tenant_budgets or {})
+        self.default_budget = default_budget
+        self.timeout_s = timeout_s
+        self._ledger = ledger
+        self._outstanding: dict[str, int] = {}
+        self._cond = threading.Condition()
+        self.throttled = 0  # sends that had to pause
+        self.forced_through = 0  # throttle waits that hit the bound
+
+    def _budget(self, tenant: str) -> int | None:
+        return self.tenant_budgets.get(tenant, self.default_budget)
+
+    def charge(self, tenant: str, nbytes: int) -> None:
+        """More of this tenant's bytes sit in spill (called under the
+        channel/buffer lock — this only touches the governor's own lock)."""
+        if nbytes <= 0:
+            return
+        with self._cond:
+            self._outstanding[tenant] = self._outstanding.get(tenant, 0) + nbytes
+
+    def credit(self, tenant: str, nbytes: int) -> None:
+        """Spilled bytes drained back out; unblock the tenant's senders."""
+        if nbytes <= 0:
+            return
+        with self._cond:
+            level = self._outstanding.get(tenant, 0) - nbytes
+            self._outstanding[tenant] = max(level, 0)
+            self._cond.notify_all()
+
+    def outstanding(self, tenant: str) -> int:
+        with self._cond:
+            return self._outstanding.get(tenant, 0)
+
+    def throttle(self, tenant: str) -> None:
+        """Pause the calling sender while its tenant is over budget."""
+        budget = self._budget(tenant)
+        if budget is None:
+            return
+        deadline = time.monotonic() + self.timeout_s
+        with self._cond:
+            if self._outstanding.get(tenant, 0) <= budget:
+                return
+            self.throttled += 1
+            if self._ledger is not None:
+                self._ledger.add("governor.throttled", 1)
+            while self._outstanding.get(tenant, 0) > budget:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    self.forced_through += 1
+                    return

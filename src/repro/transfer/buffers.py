@@ -30,10 +30,20 @@ class SpillableBuffer:
         capacity_bytes: int,
         spill_path: str | None = None,
         ledger=None,
+        governor=None,
+        tenant: str = "default",
     ):
         if capacity_bytes < 1:
             raise ValueError("capacity_bytes must be >= 1")
         self._capacity = capacity_bytes
+        # Multi-tenant backpressure isolation: outstanding spill bytes are
+        # charged to a SpillGovernor per tenant; the *sender* consults it
+        # (before put) so an over-budget tenant throttles itself while other
+        # tenants' buffers stay untouched.  Charge/credit only ever touch the
+        # governor's own lock, so calling them under this buffer's lock is
+        # deadlock-free.
+        self._governor = governor
+        self._tenant = tenant
         self._memory: deque[bytes] = deque()
         self._memory_bytes = 0
         self._spill_path = spill_path
@@ -46,6 +56,7 @@ class SpillableBuffer:
         self._lock = threading.Lock()
         self._readable = threading.Condition(self._lock)
         self.spilled_bytes = 0
+        self._governed = 0  # spilled bytes charged to the governor, not yet credited
 
     # ---------------------------------------------------------------- write
 
@@ -81,6 +92,9 @@ class SpillableBuffer:
             self._closed = True
             self._memory.clear()
             self._memory_bytes = 0
+            if self._governor is not None and self._governed:
+                self._governor.credit(self._tenant, self._governed)
+                self._governed = 0
             self._overflow.clear()
             self._spill_pending = 0
             if self._spill_file is not None:
@@ -141,6 +155,9 @@ class SpillableBuffer:
         self.spilled_bytes += len(item)
         if self._ledger is not None:
             self._ledger.add("stream.spilled", len(item))
+        if self._governor is not None:
+            self._governor.charge(self._tenant, len(item))
+            self._governed += len(item)
         if self._spill_path is None:
             self._overflow.append(item)
         else:
@@ -159,6 +176,9 @@ class SpillableBuffer:
             self._memory.append(item)
             self._memory_bytes += len(item)
             self._spill_pending -= 1
+            if self._governor is not None:
+                self._governor.credit(self._tenant, len(item))
+                self._governed = max(self._governed - len(item), 0)
         if self._spill_pending == 0 and self._spill_file is not None:
             path = self._spill_file.name
             self._spill_file.close()

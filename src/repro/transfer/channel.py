@@ -48,12 +48,25 @@ class StreamChannel:
         ledger: CostLedger | None = None,
         spill_path: str | None = None,
         local: bool = False,
+        governor=None,
+        tenant: str = "default",
     ):
         self.channel_id = channel_id
         self.local = local
         self._ledger = ledger
+        # Backpressure isolation (multi-tenant deployments only): senders
+        # consult the tenant's SpillGovernor *before* enqueueing, so a tenant
+        # whose spill is over budget pauses its own producers while every
+        # other tenant's channels keep flowing.  governor=None (the default)
+        # is the seed path — zero extra work per send.
+        self._governor = governor
+        self._tenant = tenant
         self._buffer = SpillableBuffer(
-            capacity_bytes=buffer_bytes, spill_path=spill_path, ledger=ledger
+            capacity_bytes=buffer_bytes,
+            spill_path=spill_path,
+            ledger=ledger,
+            governor=governor,
+            tenant=tenant,
         )
         self.rows_sent = 0
         self.bytes_sent = 0
@@ -73,6 +86,8 @@ class StreamChannel:
     def send_row(self, row: tuple) -> None:
         """Serialize and enqueue one row (the seed's per-row wire format)."""
         payload = encode_row(row)
+        if self._governor is not None:
+            self._governor.throttle(self._tenant)
         self._buffer.put(payload)
         self.rows_sent += 1
         self._account_sent(len(payload))
@@ -85,6 +100,8 @@ class StreamChannel:
         if not rows:
             return
         payload = encode_block(rows)
+        if self._governor is not None:
+            self._governor.throttle(self._tenant)
         self._buffer.put(payload)
         self.rows_sent += len(rows)
         self._account_sent(block_logical_bytes(payload))
@@ -97,6 +114,8 @@ class StreamChannel:
         if not len(batch):
             return
         payload = encode_col_block(batch)
+        if self._governor is not None:
+            self._governor.throttle(self._tenant)
         self._buffer.put(payload)
         self.rows_sent += len(batch)
         self._account_sent(block_logical_bytes(payload))
@@ -114,6 +133,8 @@ class StreamChannel:
         if not rows:
             return
         payload = encode_seq_block(rows, seq)
+        if self._governor is not None:
+            self._governor.throttle(self._tenant)
         self._buffer.put(payload)
         logical = block_logical_bytes(payload)
         if retry:

@@ -46,6 +46,8 @@ class StreamSession:
     command: str | None = None
     args: dict = field(default_factory=dict)
     conf_props: dict = field(default_factory=dict)
+    #: multi-tenant serving: whose quota this session runs under
+    tenant: str = "default"
     buffer_bytes: int = DEFAULT_BUFFER_BYTES
     batch_rows: int = DEFAULT_BATCH_ROWS
     #: ship ColumnBatch (``C``) frames instead of RowBlocks; off = seed wire
@@ -101,6 +103,9 @@ class Coordinator:
         fault_injector=None,  # FaultInjector | None — convenience wiring
         coordinator_id: str = "coordinator-0",  # HA replica identity
         channel_registry=None,  # ChannelRegistry | None (HA data plane)
+        admission=None,  # SessionAdmission | None — multi-tenant quota gate
+        worker_pool=None,  # WorkerPoolScheduler | None — shared ML slots
+        spill_governor=None,  # SpillGovernor | None — per-tenant spill budgets
     ):
         if transport not in ("memory", "socket"):
             raise TransferError(f"unknown transport {transport!r}")
@@ -132,6 +137,15 @@ class Coordinator:
         self.fencing_epoch: int | None = None
         #: shared data-plane registry: channels outlive a dead coordinator
         self.channel_registry = channel_registry
+        #: multi-tenant serving (all None by default = seed single-session
+        #: behavior; shared across replicas under HA like the recovery
+        #: manager, so a takeover keeps the same quota/slot/budget state)
+        self.admission = admission
+        self.worker_pool = worker_pool
+        self.spill_governor = spill_governor
+        #: one shared mux socket pair per SQL worker (multi-tenant socket
+        #: transport only); sessions' channels ride it as tagged streams
+        self._mux_transports: dict[int, Any] = {}
         self._monitor = None  # LivenessMonitor | None
         self._sessions: dict[str, StreamSession] = {}
         self._lock = threading.Lock()
@@ -203,11 +217,17 @@ class Coordinator:
                 command=view.get("command"),
                 args=dict(view.get("args") or {}),
                 conf_props=dict(view.get("conf") or {}),
+                tenant=settings.get("tenant", "default"),
                 buffer_bytes=int(settings.get("buffer_bytes", self.buffer_bytes)),
                 batch_rows=int(settings.get("batch_rows", self.batch_rows)),
                 columnar=_as_bool(settings.get("columnar", self.columnar)),
                 spill_dir=settings.get("spill_dir", self.spill_dir),
             )
+            # Re-seed the (group-shared) admission gate: usually a no-op
+            # because the gate object survived the dead leader, but a cold
+            # standby restoring purely from the journal re-admits here.
+            if self.admission is not None:
+                self.admission.adopt(session_id, session.tenant)
             for worker_id, info in view["workers"].items():
                 session.sql_workers[worker_id] = SqlWorkerInfo(worker_id, info["ip"])
                 session.expected_sql_workers = info["total"]
@@ -289,12 +309,21 @@ class Coordinator:
         columnar: bool | None = None,
         spill_dir: str | None = None,
         exists_ok: bool = False,
+        tenant: str = "default",
     ) -> StreamSession:
         """Pre-configure a session (the pipeline does this before the query).
 
         ``exists_ok`` is the HA retry path: a client whose create *response*
         was lost in a failover re-issues the call and gets the existing
         session back instead of an error.
+
+        With a :class:`~repro.transfer.admission.SessionAdmission` gate
+        installed the call first acquires an admission slot for ``tenant`` —
+        blocking in the bounded FIFO queue when the deployment or the tenant
+        is at its concurrency cap, raising
+        :class:`~repro.common.errors.AdmissionError` when the queue is full
+        or the wait times out.  Admission is idempotent by session id, so
+        the HA retry re-issuing this call never double-charges a quota.
         """
         self._ensure_serving()
         props = dict(conf_props or {})
@@ -304,37 +333,58 @@ class Coordinator:
             raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
         if columnar is None:
             columnar = _as_bool(props.get("stream.columnar", self.columnar))
-        with self._lock:
-            existing = self._sessions.get(session_id)
-            if existing is not None:
-                if exists_ok:
-                    return existing
-                raise TransferError(f"session {session_id!r} already exists")
-            session = StreamSession(
-                session_id=session_id,
-                command=command,
-                args=dict(args or {}),
-                conf_props=props,
-                buffer_bytes=buffer_bytes or self.buffer_bytes,
-                batch_rows=batch_rows,
-                columnar=bool(columnar),
-                spill_dir=spill_dir if spill_dir is not None else self.spill_dir,
-            )
-            self._sessions[session_id] = session
+        admitted = False
+        if self.admission is not None:
+            admitted = self.admission.acquire(session_id, tenant=tenant)
+        try:
+            with self._lock:
+                existing = self._sessions.get(session_id)
+                if existing is not None:
+                    if exists_ok:
+                        return existing
+                    raise TransferError(f"session {session_id!r} already exists")
+                session = StreamSession(
+                    session_id=session_id,
+                    command=command,
+                    args=dict(args or {}),
+                    conf_props=props,
+                    tenant=tenant,
+                    buffer_bytes=buffer_bytes or self.buffer_bytes,
+                    batch_rows=batch_rows,
+                    columnar=bool(columnar),
+                    spill_dir=spill_dir if spill_dir is not None else self.spill_dir,
+                )
+                self._sessions[session_id] = session
+        except BaseException:
+            if admitted:
+                self.admission.release(session_id)
+            raise
         if self.state_store is not None:
+            settings = {
+                "buffer_bytes": session.buffer_bytes,
+                "batch_rows": session.batch_rows,
+                "columnar": session.columnar,
+                "spill_dir": session.spill_dir,
+            }
+            # Journaled only when multi-tenancy is in play, so single-tenant
+            # deployments keep their PR-4 zk.journal byte totals bit-identical.
+            if self.admission is not None or tenant != "default":
+                settings["tenant"] = tenant
             self.state_store.record_session(
                 session_id,
                 session.command,
                 session.conf_props,
                 args=session.args,
-                settings={
-                    "buffer_bytes": session.buffer_bytes,
-                    "batch_rows": session.batch_rows,
-                    "columnar": session.columnar,
-                    "spill_dir": session.spill_dir,
-                },
+                settings=settings,
             )
+            self._journal_admission()
         return session
+
+    def _journal_admission(self) -> None:
+        """Journal the admission gate's running/queued state so a takeover
+        (which shares the gate object group-wide) can audit and re-seed it."""
+        if self.state_store is not None and self.admission is not None:
+            self.state_store.record_admission(self.admission.queue_state())
 
     def session(self, session_id: str) -> StreamSession:
         self._ensure_serving()
@@ -369,6 +419,11 @@ class Coordinator:
             self.channel_registry.drop_session(session_id)
         if self.state_store is not None:
             self.state_store.record_status(session_id, "closed")
+        # Release the admission slot *after* the channels are torn down, so
+        # a promoted waiter never races the dying session for spill files.
+        if self.admission is not None:
+            self.admission.release(session_id)
+            self._journal_admission()
 
     # ------------------------------------------------- step 1: registration
 
@@ -488,7 +543,21 @@ class Coordinator:
                         else None
                     )
                     local = self._ml_slot_is_local(session, worker_id, index)
-                    if self.transport == "socket":
+                    if self.transport == "socket" and self.admission is not None:
+                        # Multi-tenant socket transport: all sessions share
+                        # one mux pair per SQL worker; each channel is a tag.
+                        from repro.transfer.socket_channel import MuxSocketChannel
+
+                        session.channels[cid] = MuxSocketChannel(
+                            cid,
+                            self._mux_transport_for(worker_id, session),
+                            ledger=self.cluster.ledger,
+                            local=local,
+                            governor=self.spill_governor,
+                            tenant=session.tenant,
+                            receive_timeout_s=self.timeout_s,
+                        )
+                    elif self.transport == "socket":
                         from repro.transfer.socket_channel import SocketStreamChannel
 
                         session.channels[cid] = SocketStreamChannel(
@@ -498,6 +567,8 @@ class Coordinator:
                             local=local,
                             receive_timeout_s=self.timeout_s,
                             send_timeout_s=self.timeout_s,
+                            governor=self.spill_governor,
+                            tenant=session.tenant,
                         )
                     else:
                         session.channels[cid] = StreamChannel(
@@ -506,6 +577,8 @@ class Coordinator:
                             ledger=self.cluster.ledger,
                             spill_path=spill_path,
                             local=local,
+                            governor=self.spill_governor,
+                            tenant=session.tenant,
                         )
                     group.append(cid)
                     channel_ids.append(cid)
@@ -517,6 +590,21 @@ class Coordinator:
         if self.state_store is not None:
             self.state_store.record_splits(session_id, session.groups)
         return channel_ids
+
+    def _mux_transport_for(self, sql_worker_id: int, session: StreamSession):
+        """The shared mux pair for one SQL worker (created on first use).
+        Caller holds ``self._lock`` (split planning)."""
+        transport = self._mux_transports.get(sql_worker_id)
+        if transport is None:
+            from repro.transfer.socket_channel import MuxSocketTransport
+
+            transport = MuxSocketTransport(
+                buffer_bytes=session.buffer_bytes,
+                receive_timeout_s=self.timeout_s,
+                send_timeout_s=self.timeout_s,
+            )
+            self._mux_transports[sql_worker_id] = transport
+        return transport
 
     def _ml_slot_is_local(
         self, session: StreamSession, sql_worker_id: int, _index: int

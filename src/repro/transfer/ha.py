@@ -103,6 +103,9 @@ class CoordinatorHAGroup:
         recovery=None,
         fault_injector=None,
         failover_retry: RetryPolicy | None = None,
+        admission=None,  # SessionAdmission | None — shared across replicas
+        worker_pool=None,  # WorkerPoolScheduler | None — shared across replicas
+        spill_governor=None,  # SpillGovernor | None — shared across replicas
     ):
         if standbys < 1:
             raise TransferError("a HA group needs at least one standby")
@@ -117,6 +120,12 @@ class CoordinatorHAGroup:
         #: restart budgets survive takeovers (in production this state would
         #: ride the journal; sharing the manager models the same guarantee).
         self.recovery = recovery
+        #: same sharing argument for the multi-tenant trio: quota occupancy,
+        #: worker-slot leases, and spill budgets are cluster facts, not
+        #: leader-process facts — one object each, every replica wired to it.
+        self.admission = admission
+        self.worker_pool = worker_pool
+        self.spill_governor = spill_governor
         self.default_k = default_k
         self.buffer_bytes = buffer_bytes
         self.batch_rows = batch_rows
@@ -125,6 +134,7 @@ class CoordinatorHAGroup:
         self.timeout_s = timeout_s
         self.transport = transport
         self.registry = ChannelRegistry()
+        self._mux_transports: dict = {}
         self.store = CoordinatorStateStore(self.zk, ledger=cluster.ledger)
         self.failovers = 0
         self._results: dict[str, tuple] = {}  # session -> (result, error)
@@ -145,8 +155,15 @@ class CoordinatorHAGroup:
                 recovery=self.recovery,
                 coordinator_id=f"coordinator-{i}",
                 channel_registry=self.registry,
+                admission=admission,
+                worker_pool=worker_pool,
+                spill_governor=spill_governor,
             )
             replica.ha_group = self
+            # The shared mux pairs are data plane, like the channel registry:
+            # every replica multiplexes over the same per-worker socket pair,
+            # so a takeover keeps in-flight tagged streams attached.
+            replica._mux_transports = self._mux_transports
             self.coordinators.append(replica)
         self.proxy = FailoverCoordinator(self, retry_policy=failover_retry)
         self._elect(self.coordinators[0])
@@ -342,6 +359,18 @@ class FailoverCoordinator:
     @property
     def recovery(self):
         return self._group.recovery
+
+    @property
+    def admission(self):
+        return self._group.admission
+
+    @property
+    def worker_pool(self):
+        return self._group.worker_pool
+
+    @property
+    def spill_governor(self):
+        return self._group.spill_governor
 
     @property
     def default_k(self) -> int:

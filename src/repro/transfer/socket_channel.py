@@ -12,8 +12,11 @@ side drains.
 Select the transport per coordinator: ``Coordinator(..., transport="socket")``.
 """
 
+import itertools
 import socket
 import struct
+import threading
+import time
 from collections import deque
 from collections.abc import Sequence
 
@@ -48,10 +51,18 @@ class SocketStreamChannel:
         local: bool = False,
         receive_timeout_s: float = 30.0,
         send_timeout_s: float = 30.0,
+        governor=None,
+        tenant: str = "default",
     ):
         self.channel_id = channel_id
         self.local = local
         self._ledger = ledger
+        # Multi-tenant backpressure isolation (see StreamChannel): the sender
+        # throttles against its tenant's spill budget; spilled bytes are
+        # charged on overflow and credited back as the overflow flushes.
+        self._governor = governor
+        self._tenant = tenant
+        self._governed = 0
         send_sock, recv_sock = socket.socketpair()
         send_sock.setblocking(False)
         try:
@@ -106,6 +117,8 @@ class SocketStreamChannel:
     def _send_payload(self, payload: bytes, num_rows: int, retry: bool = False) -> None:
         if self._closed:
             raise TransferError("send on a closed channel")
+        if self._governor is not None:
+            self._governor.throttle(self._tenant)
         frame = _FRAME.pack(len(payload)) + payload
         self._flush_overflow(blocking=False)
         if self._overflow:
@@ -145,6 +158,7 @@ class SocketStreamChannel:
         """Free both socket ends at session teardown (no blocking flush:
         a failed session's unread bytes are dropped, not delivered)."""
         self._closed = True
+        self._credit_governor(self._governed)
         self._overflow.clear()
         self._pending.clear()
         for sock in (self._send_sock, self._recv_sock):
@@ -164,6 +178,14 @@ class SocketStreamChannel:
         self.spilled_bytes += len(data)
         if self._ledger is not None:
             self._ledger.add("stream.spilled", len(data))
+        if self._governor is not None:
+            self._governor.charge(self._tenant, len(data))
+            self._governed += len(data)
+
+    def _credit_governor(self, nbytes: int) -> None:
+        if self._governor is not None and nbytes > 0:
+            self._governor.credit(self._tenant, nbytes)
+            self._governed = max(self._governed - nbytes, 0)
 
     def _flush_overflow(self, blocking: bool) -> None:
         while self._overflow:
@@ -171,9 +193,11 @@ class SocketStreamChannel:
             sent = self._try_send(head)
             if sent == len(head):
                 self._overflow.popleft()
+                self._credit_governor(sent)
                 continue
             if sent:
                 self._overflow[0] = head[sent:]
+                self._credit_governor(sent)
             if not blocking:
                 return
             # Blocking flush: wait for the kernel buffer to drain, with a
@@ -182,6 +206,7 @@ class SocketStreamChannel:
             try:
                 remaining = self._overflow.popleft()
                 self._send_sock.sendall(remaining)
+                self._credit_governor(len(remaining))
             except socket.timeout:
                 raise ChannelTimeoutError(
                     f"channel {self.channel_id} flush timed out after "
@@ -294,3 +319,436 @@ class SocketStreamChannel:
             self._recv_buffer += chunk
         data, self._recv_buffer = self._recv_buffer[:n], self._recv_buffer[n:]
         return data
+
+
+# --------------------------------------------------------------------------
+# Channel multiplexing: many sessions, one socket pair per SQL worker.
+# --------------------------------------------------------------------------
+
+_MUX_FRAME = struct.Struct(">II")  # (payload length, tag)
+
+
+class MuxSocketTransport:
+    """One shared socket pair carrying many tagged channel streams.
+
+    With concurrent sessions, giving every ``(session, channel)`` pair its
+    own socket pair multiplies file descriptors by the session count.  This
+    transport keeps *one* connected pair per SQL worker and multiplexes all
+    of that worker's channels — across every live session — over it, the way
+    a real deployment shares one TCP connection per worker pair.
+
+    Frame layout on the wire: an 8-byte ``(length, tag)`` header, then the
+    payload.  A zero-length frame is the tag's EOF.  Integrity rules:
+
+    * **byte-stream integrity** — a partially-written frame's remainder
+      (``_wire_remainder``) is always flushed before any other bytes, so
+      frames never interleave mid-payload;
+    * **per-tag FIFO** — each tag's frames queue and flush in order;
+    * **head-of-line isolation** — tags with queued overflow are pumped
+      round-robin, so one session's backlog cannot monopolize the wire.
+
+    Sending is serialized by a lock (senders are per-SQL-worker threads);
+    receiving is a cooperative demux: whichever reader wants a frame pulls
+    the socket (under a try-lock) and sorts frames into per-tag queues,
+    waking the readers of every tag it delivered to.
+    """
+
+    def __init__(
+        self,
+        buffer_bytes: int = 4096,
+        receive_timeout_s: float = 30.0,
+        send_timeout_s: float = 30.0,
+    ):
+        send_sock, recv_sock = socket.socketpair()
+        send_sock.setblocking(False)
+        try:
+            send_sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, buffer_bytes)
+            recv_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, buffer_bytes)
+        except OSError:
+            pass  # kernels clamp/deny; the overflow path still engages
+        self._send_sock = send_sock
+        self._recv_sock = recv_sock
+        self._send_timeout_s = send_timeout_s
+        self.receive_timeout_s = receive_timeout_s
+        self._tag_ids = itertools.count()
+        self._send_lock = threading.Lock()
+        self._overflow: dict[int, deque[bytes]] = {}
+        self._wire_remainder = b""
+        self._wire_tag: int | None = None
+        self._tag_governor: dict[int, tuple] = {}
+        self._closed_tags: set[int] = set()
+        self._transport_closed = False
+        # receive side
+        self._socket_lock = threading.Lock()
+        self._recv_cond = threading.Condition()
+        self._frames: dict[int, deque[bytes]] = {}
+        self._eof: set[int] = set()
+        self._released: set[int] = set()
+        self._stream_eof = False
+        self._rbuf = b""
+
+    # ----------------------------------------------------------- tag admin
+
+    def new_tag(self, governor=None, tenant: str = "default") -> int:
+        """Allocate a fresh stream tag (optionally governed for the tenant)."""
+        tag = next(self._tag_ids)
+        with self._send_lock:
+            self._overflow[tag] = deque()
+            if governor is not None:
+                self._tag_governor[tag] = (governor, tenant)
+        return tag
+
+    # ------------------------------------------------------------ send side
+
+    def send(self, tag: int, payload: bytes) -> int:
+        """Write one frame for ``tag``; returns bytes that had to queue
+        (the caller's spill accounting)."""
+        frame = _MUX_FRAME.pack(len(payload), tag) + payload
+        with self._send_lock:
+            if self._transport_closed or tag in self._closed_tags:
+                raise TransferError(f"send on closed mux tag {tag}")
+            self._pump_locked()
+            queue = self._overflow[tag]
+            if self._wire_remainder or queue or any(
+                q for q in self._overflow.values()
+            ):
+                # FIFO per tag, and no overtaking a blocked wire: queue it.
+                queue.append(frame)
+                self._charge(tag, len(frame))
+                return len(frame)
+            sent = self._try_send(frame)
+            if sent < len(frame):
+                self._wire_remainder = frame[sent:]
+                self._wire_tag = tag
+                self._charge(tag, len(frame) - sent)
+                return len(frame) - sent
+            return 0
+
+    def _charge(self, tag: int, nbytes: int) -> None:
+        governed = self._tag_governor.get(tag)
+        if governed is not None and nbytes > 0:
+            governed[0].charge(governed[1], nbytes)
+
+    def _credit(self, tag: int, nbytes: int) -> None:
+        governed = self._tag_governor.get(tag)
+        if governed is not None and nbytes > 0:
+            governed[0].credit(governed[1], nbytes)
+
+    def _try_send(self, data: bytes) -> int:
+        try:
+            return self._send_sock.send(data)
+        except BlockingIOError:
+            return 0
+
+    def _pump_locked(self) -> None:
+        """Flush queued frames without blocking.  Caller holds the send lock."""
+        while True:
+            if self._wire_remainder:
+                sent = self._try_send(self._wire_remainder)
+                self._credit(self._wire_tag, sent)
+                if sent < len(self._wire_remainder):
+                    self._wire_remainder = self._wire_remainder[sent:]
+                    return
+                self._wire_remainder = b""
+                self._wire_tag = None
+            backlogged = [t for t, q in self._overflow.items() if q]
+            if not backlogged:
+                return
+            progressed = False
+            for tag in backlogged:  # round-robin: one frame per tag per pass
+                queue = self._overflow[tag]
+                if not queue:
+                    continue
+                frame = queue[0]
+                sent = self._try_send(frame)
+                self._credit(tag, sent)
+                if sent == len(frame):
+                    queue.popleft()
+                    progressed = True
+                    continue
+                if sent:
+                    queue.popleft()
+                    self._wire_remainder = frame[sent:]
+                    self._wire_tag = tag
+                return  # kernel buffer full
+            if not progressed:
+                return
+
+    def close_tag(self, tag: int) -> None:
+        """Flush the tag's queue and write its EOF frame (bounded wait).
+
+        The EOF travels through the same overflow queue as data frames, and
+        the wait loop *releases the send lock between pump passes*: a flush
+        stalled on a slow reader must never hold ``_send_lock`` — other
+        sessions keep allocating tags and sending through it, and the
+        coordinator may need it (under its own lock) to plan a new session's
+        channels.  Holding it here deadlocks the whole worker's mux.
+        """
+        eof = _MUX_FRAME.pack(0, tag)
+        with self._send_lock:
+            if self._transport_closed or tag in self._closed_tags:
+                return
+            self._closed_tags.add(tag)
+            self._overflow.setdefault(tag, deque()).append(eof)
+            self._charge(tag, len(eof))
+        deadline = time.monotonic() + self._send_timeout_s
+        while True:
+            with self._send_lock:
+                if self._transport_closed:
+                    return
+                self._pump_locked()
+                queue = self._overflow.get(tag)
+                if not queue and self._wire_tag != tag:
+                    return
+            if time.monotonic() >= deadline:
+                raise ChannelTimeoutError(
+                    f"mux tag {tag} flush timed out after "
+                    f"{self._send_timeout_s}s (reader gone?)"
+                )
+            time.sleep(0.002)
+
+    def release_tag(self, tag: int) -> None:
+        """Drop the tag's state on both sides (session teardown: unread
+        frames are discarded, other tags are untouched)."""
+        with self._send_lock:
+            queue = self._overflow.pop(tag, None)
+            if queue:
+                self._credit(tag, sum(len(f) for f in queue))
+            self._closed_tags.add(tag)
+            self._tag_governor.pop(tag, None)
+        with self._recv_cond:
+            self._released.add(tag)
+            self._frames.pop(tag, None)
+            self._eof.add(tag)
+            self._recv_cond.notify_all()
+
+    def close(self) -> None:
+        """Tear down the shared pair (coordinator shutdown)."""
+        with self._send_lock:
+            self._transport_closed = True
+            for sock in (self._send_sock, self._recv_sock):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    # --------------------------------------------------------- receive side
+
+    def recv(self, tag: int, timeout: float | None = None) -> bytes | None:
+        """Next payload for ``tag`` (None at the tag's EOF).
+
+        Cooperative demux: if another reader is already pulling the socket,
+        wait on the condition it notifies; otherwise pull it ourselves and
+        deliver frames to every tag's queue.
+        """
+        effective = self.receive_timeout_s if timeout is None else timeout
+        deadline = time.monotonic() + effective
+        while True:
+            with self._recv_cond:
+                queue = self._frames.get(tag)
+                if queue:
+                    return queue.popleft()
+                if tag in self._eof or self._stream_eof:
+                    return None
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ChannelTimeoutError(
+                    f"mux tag {tag} receive timed out after {effective}s"
+                )
+            slice_s = min(0.05, remaining)
+            if self._socket_lock.acquire(blocking=False):
+                try:
+                    self._pump_receive(slice_s)
+                finally:
+                    self._socket_lock.release()
+            else:
+                with self._recv_cond:
+                    if (
+                        not self._frames.get(tag)
+                        and tag not in self._eof
+                        and not self._stream_eof
+                    ):
+                        self._recv_cond.wait(slice_s)
+
+    def _pump_receive(self, max_wait: float) -> None:
+        try:
+            self._recv_sock.settimeout(max_wait)
+            chunk = self._recv_sock.recv(65536)
+        except socket.timeout:
+            return
+        except OSError:
+            chunk = b""
+        with self._recv_cond:
+            if not chunk:
+                self._stream_eof = True
+                self._recv_cond.notify_all()
+                return
+            self._rbuf += chunk
+            while len(self._rbuf) >= _MUX_FRAME.size:
+                length, frame_tag = _MUX_FRAME.unpack_from(self._rbuf)
+                if len(self._rbuf) < _MUX_FRAME.size + length:
+                    break
+                payload = self._rbuf[_MUX_FRAME.size : _MUX_FRAME.size + length]
+                self._rbuf = self._rbuf[_MUX_FRAME.size + length :]
+                if length == 0:
+                    self._eof.add(frame_tag)
+                elif frame_tag not in self._released:
+                    self._frames.setdefault(frame_tag, deque()).append(payload)
+            self._recv_cond.notify_all()
+
+
+class MuxSocketChannel:
+    """A :class:`StreamChannel`-interface channel riding one tag of a shared
+    :class:`MuxSocketTransport`.
+
+    Identical accounting to :class:`SocketStreamChannel` — logical bytes to
+    ``stream.sent``/``stream.net``, queued bytes to ``stream.spilled``,
+    replay traffic to ``stream.retry`` with receiver-side sequence dedup —
+    but N concurrent sessions cost one socket pair per SQL worker instead
+    of one per channel."""
+
+    def __init__(
+        self,
+        channel_id: ChannelId,
+        transport: MuxSocketTransport,
+        ledger: CostLedger | None = None,
+        local: bool = False,
+        governor=None,
+        tenant: str = "default",
+        receive_timeout_s: float | None = None,
+    ):
+        self.channel_id = channel_id
+        self.local = local
+        self._ledger = ledger
+        self._transport = transport
+        self._governor = governor
+        self._tenant = tenant
+        self._receive_timeout_s = receive_timeout_s
+        self._tag = transport.new_tag(governor=governor, tenant=tenant)
+        self._pending: deque[tuple] = deque()
+        self._closed = False
+        self.rows_sent = 0
+        self.bytes_sent = 0
+        self.rows_received = 0
+        self.bytes_received = 0
+        self.spilled_bytes = 0
+        self.retry_bytes = 0
+        self.duplicate_blocks = 0
+        self.duplicate_bytes = 0
+        self._last_seq = -1
+
+    # ------------------------------------------------------------ SQL side
+
+    def send_row(self, row: tuple) -> None:
+        self._send_payload(encode_row(row), num_rows=1)
+
+    def send_many(self, rows: Sequence[tuple]) -> None:
+        if not rows:
+            return
+        self._send_payload(encode_block(rows), num_rows=len(rows))
+
+    def send_block(self, rows: Sequence[tuple], seq: int, retry: bool = False) -> None:
+        if not rows:
+            return
+        self._send_payload(encode_seq_block(rows, seq), num_rows=len(rows), retry=retry)
+
+    def send_col_batch(self, batch) -> None:
+        if not len(batch):
+            return
+        self._send_payload(encode_col_block(batch), num_rows=len(batch))
+
+    def _send_payload(self, payload: bytes, num_rows: int, retry: bool = False) -> None:
+        if self._closed:
+            raise TransferError("send on a closed channel")
+        if self._governor is not None:
+            self._governor.throttle(self._tenant)
+        queued = self._transport.send(self._tag, payload)
+        if queued:
+            self.spilled_bytes += queued
+            if self._ledger is not None:
+                self._ledger.add("stream.spilled", queued)
+        logical = block_logical_bytes(payload)
+        if retry:
+            self.retry_bytes += logical
+            if self._ledger is not None:
+                self._ledger.add("stream.retry", logical)
+            return
+        self.rows_sent += num_rows
+        self.bytes_sent += logical
+        if self._ledger is not None:
+            self._ledger.add("stream.sent", logical)
+            if not self.local:
+                self._ledger.add("stream.net", logical)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._transport.close_tag(self._tag)
+
+    def release(self) -> None:
+        self._closed = True
+        self._pending.clear()
+        self._transport.release_tag(self._tag)
+
+    # ------------------------------------------------------------- ML side
+
+    def _next_frame(self, timeout: float | None):
+        effective = timeout if timeout is not None else self._receive_timeout_s
+        while True:
+            payload = self._transport.recv(self._tag, timeout=effective)
+            if payload is None:
+                return None
+            seq, frame = split_seq_frame(payload)
+            if seq is not None:
+                if seq <= self._last_seq:
+                    self.duplicate_blocks += 1
+                    self.duplicate_bytes += block_logical_bytes(frame)
+                    continue
+                self._last_seq = seq
+            return frame
+
+    def receive_block(self, timeout: float | None = None) -> list[tuple] | None:
+        if self._pending:
+            rows = list(self._pending)
+            self._pending.clear()
+            return rows
+        frame = self._next_frame(timeout)
+        if frame is None:
+            return None
+        rows = decode_block(frame)
+        self.rows_received += len(rows)
+        self.bytes_received += block_logical_bytes(frame)
+        return rows
+
+    def receive_frame(self, timeout: float | None = None):
+        if self._pending:
+            rows = list(self._pending)
+            self._pending.clear()
+            return rows
+        frame = self._next_frame(timeout)
+        if frame is None:
+            return None
+        out = (
+            decode_col_block(frame)
+            if is_columnar_frame(frame)
+            else decode_block(frame)
+        )
+        self.rows_received += len(out)
+        self.bytes_received += block_logical_bytes(frame)
+        return out
+
+    def receive(self, timeout: float | None = None) -> tuple | None:
+        if not self._pending:
+            block = self.receive_block(timeout=timeout)
+            if block is None:
+                return None
+            self._pending.extend(block)
+        return self._pending.popleft()
+
+    def __iter__(self):
+        while True:
+            block = self.receive_block()
+            if block is None:
+                return
+            yield from block

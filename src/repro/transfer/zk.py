@@ -221,6 +221,7 @@ class CoordinatorStateStore:
 
     ROOT = "/coordinator/sessions"
     EPOCH_PATH = "/coordinators/epoch"
+    ADMISSION_PATH = "/coordinator/admission"
 
     def __init__(self, zk: ZooKeeperLite, ledger=None, fencing_epoch: int | None = None):
         self.zk = zk
@@ -315,6 +316,20 @@ class CoordinatorStateStore:
 
     def record_status(self, session_id: str, status: str) -> None:
         self._write(f"{self.ROOT}/{session_id}/status", status.encode())
+
+    def record_admission(self, state: dict) -> None:
+        """Journal the admission gate's running/queued snapshot (multi-tenant
+        deployments; one znode, overwritten on every admit/release) so a
+        takeover can audit tenant occupancy and a cold standby can re-seed
+        its gate from the journal alone."""
+        self._write(self.ADMISSION_PATH, json.dumps(state).encode())
+
+    def admission_view(self) -> dict:
+        """The last journaled admission snapshot ({} when never written)."""
+        if not self.zk.exists(self.ADMISSION_PATH):
+            return {}
+        data, _v = self.zk.get(self.ADMISSION_PATH)
+        return json.loads(data.decode())
 
     # ------------------------------------------------------------- reading
 

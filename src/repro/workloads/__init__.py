@@ -1,6 +1,16 @@
 """Synthetic workload generators for the paper's experiments."""
 
 from repro.workloads.clickstream import ClickstreamWorkload, generate_clickstream
+from repro.workloads.loadgen import (
+    LoadReport,
+    SessionOutcome,
+    make_points_table,
+    percentile,
+    run_closed_loop,
+    run_one_session,
+    solo_weights,
+    verify_against_solo,
+)
 from repro.workloads.retail import (
     RetailWorkload,
     generate_retail,
@@ -13,7 +23,15 @@ from repro.workloads.retail import (
 
 __all__ = [
     "ClickstreamWorkload",
+    "LoadReport",
+    "SessionOutcome",
     "generate_clickstream",
+    "make_points_table",
+    "percentile",
+    "run_closed_loop",
+    "run_one_session",
+    "solo_weights",
+    "verify_against_solo",
     "PAPER_CARTS_BYTES",
     "PAPER_CARTS_ROWS",
     "PAPER_TRANSFORMED_BYTES",

@@ -1,0 +1,255 @@
+"""Closed-loop multi-tenant load generator for the serving stack.
+
+Drives many interleaved streaming-ML sessions through one deployment: a
+fixed pool of client threads pulls session indices off a shared queue, and
+each client runs the full §3 protocol end to end — ``create_session`` →
+``stream_transfer`` SQL → ``wait_result`` → ``close_session`` — timing the
+whole round trip.  "Closed loop" means a client only starts its next
+session after finishing the previous one, so offered concurrency equals
+the client count, not the session count.
+
+Every session trains ``svm_with_sgd`` on the same small labeled table but
+with a *distinct* seed, so each produces distinct weights.  Because the
+split layout (``part[j::k]``) is a pure function of the table and worker
+registration order, a session's weights must be bit-identical whether it
+ran alone or interleaved with 99 neighbours — that is the correctness bar
+for the multi-tenant scheduler, and :func:`verify_against_solo` checks it
+against sequential re-runs on a fresh, identically configured deployment.
+"""
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.sql.types import DataType, Schema
+
+#: Default labeled workload: small enough that a 100-session run stays in
+#: CI budget, large enough that every worker slot sees rows in each split.
+DEFAULT_POINTS = 240
+#: Session seeds start here; session ``i`` trains with seed ``BASE_SEED + i``.
+BASE_SEED = 1000
+
+
+@dataclass
+class SessionOutcome:
+    """One completed session: identity, placement, timing, and the model."""
+
+    session_id: str
+    tenant: str
+    seed: int
+    latency_s: float
+    weights: tuple
+    intercept: float
+    error: str | None = None
+
+
+@dataclass
+class LoadReport:
+    """Aggregate result of one closed-loop run."""
+
+    num_sessions: int
+    num_clients: int
+    wall_seconds: float
+    p50_s: float
+    p99_s: float
+    mean_s: float
+    max_s: float
+    outcomes: list[SessionOutcome] = field(default_factory=list)
+    #: None until :func:`verify_against_solo` fills it in.
+    weight_identical: bool | None = None
+
+    @property
+    def sessions_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.num_sessions / self.wall_seconds
+
+    @property
+    def failures(self) -> list[SessionOutcome]:
+        return [o for o in self.outcomes if o.error is not None]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile over a non-empty list (q in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def make_points_table(engine, num_points: int = DEFAULT_POINTS) -> None:
+    """Create the shared labeled table every load session trains on."""
+    rows = [
+        (i, float(i % 7), float(i % 5), 1.0 if i % 2 else -1.0)
+        for i in range(num_points)
+    ]
+    engine.create_table(
+        "points",
+        Schema.of(
+            ("id", DataType.BIGINT),
+            ("f1", DataType.DOUBLE),
+            ("f2", DataType.DOUBLE),
+            ("label", DataType.DOUBLE),
+        ),
+        rows,
+    )
+
+
+def run_one_session(
+    deployment,
+    session_id: str,
+    seed: int,
+    tenant: str = "default",
+    iterations: int = 3,
+) -> SessionOutcome:
+    """Run one complete streaming-ML session and time create → close."""
+    coordinator = deployment.coordinator
+    start = perf_counter()
+    error: str | None = None
+    weights: tuple = ()
+    intercept = 0.0
+    try:
+        coordinator.create_session(
+            session_id,
+            command="svm_with_sgd",
+            args={"iterations": iterations, "seed": seed},
+            conf_props={"record.format": "labeled_csv", "label.index": -1},
+            tenant=tenant,
+        )
+        deployment.engine.query_rows(
+            "SELECT * FROM TABLE(stream_transfer((SELECT f1, f2, label "
+            f"FROM points), '{session_id}')) AS s"
+        )
+        result = coordinator.wait_result(session_id)
+        coordinator.close_session(session_id)
+        weights = tuple(float(w) for w in result.model.weights)
+        intercept = float(result.model.intercept)
+    except Exception as exc:  # recorded, not raised: the report shows it
+        error = f"{type(exc).__name__}: {exc}"
+        try:
+            coordinator.close_session(session_id)
+        except Exception:
+            pass
+    return SessionOutcome(
+        session_id=session_id,
+        tenant=tenant,
+        seed=seed,
+        latency_s=perf_counter() - start,
+        weights=weights,
+        intercept=intercept,
+        error=error,
+    )
+
+
+def run_closed_loop(
+    deployment,
+    num_sessions: int = 100,
+    num_clients: int = 8,
+    iterations: int = 3,
+    tenant_of=None,
+    session_prefix: str = "load",
+) -> LoadReport:
+    """Drive ``num_sessions`` sessions through ``num_clients`` client threads.
+
+    ``tenant_of`` maps a session index to its tenant name (default: every
+    session belongs to ``"default"``).  The table must already exist (see
+    :func:`make_points_table`).  Raises if any session failed — a load run
+    that silently drops sessions is not a benchmark result.
+    """
+    pending: queue.Queue[int] = queue.Queue()
+    for i in range(num_sessions):
+        pending.put(i)
+    outcomes: list[SessionOutcome | None] = [None] * num_sessions
+
+    def client() -> None:
+        while True:
+            try:
+                i = pending.get_nowait()
+            except queue.Empty:
+                return
+            tenant = tenant_of(i) if tenant_of is not None else "default"
+            outcomes[i] = run_one_session(
+                deployment,
+                f"{session_prefix}_{i}",
+                seed=BASE_SEED + i,
+                tenant=tenant,
+                iterations=iterations,
+            )
+
+    start = perf_counter()
+    clients = [
+        threading.Thread(target=client, name=f"loadgen-client-{c}")
+        for c in range(min(num_clients, num_sessions))
+    ]
+    for t in clients:
+        t.start()
+    for t in clients:
+        t.join()
+    wall = perf_counter() - start
+
+    done = [o for o in outcomes if o is not None]
+    if len(done) != num_sessions:
+        raise AssertionError(
+            f"load run lost sessions: {len(done)} of {num_sessions} completed"
+        )
+    failed = [o for o in done if o.error is not None]
+    if failed:
+        raise AssertionError(
+            f"{len(failed)} of {num_sessions} sessions failed; first: "
+            f"{failed[0].session_id}: {failed[0].error}"
+        )
+    latencies = [o.latency_s for o in done]
+    return LoadReport(
+        num_sessions=num_sessions,
+        num_clients=len(clients),
+        wall_seconds=wall,
+        p50_s=percentile(latencies, 50),
+        p99_s=percentile(latencies, 99),
+        mean_s=sum(latencies) / len(latencies),
+        max_s=max(latencies),
+        outcomes=done,
+    )
+
+
+def solo_weights(
+    deployment,
+    seeds: list[int],
+    iterations: int = 3,
+    session_prefix: str = "solo",
+) -> dict[int, tuple]:
+    """Sequential baseline: one session at a time on ``deployment``.
+
+    Returns ``{seed: (weights..., intercept)}`` for bit-identity checks.
+    The caller provides a *fresh* deployment configured identically to the
+    loaded one (same workers, transport, points table) so split layouts
+    match.
+    """
+    baselines: dict[int, tuple] = {}
+    for i, seed in enumerate(seeds):
+        outcome = run_one_session(
+            deployment,
+            f"{session_prefix}_{i}",
+            seed=seed,
+            iterations=iterations,
+        )
+        if outcome.error is not None:
+            raise AssertionError(f"solo baseline failed: {outcome.error}")
+        baselines[seed] = outcome.weights + (outcome.intercept,)
+    return baselines
+
+
+def verify_against_solo(report: LoadReport, baselines: dict[int, tuple]) -> bool:
+    """Fill in and return ``report.weight_identical``.
+
+    Every interleaved session's (weights, intercept) must equal — by exact
+    float comparison, i.e. bit-identity for IEEE doubles — the solo run
+    with the same seed.
+    """
+    identical = all(
+        baselines.get(o.seed) == o.weights + (o.intercept,)
+        for o in report.outcomes
+    )
+    report.weight_identical = identical
+    return identical
