@@ -1,0 +1,64 @@
+"""Overload-protection smoke: deadlines bite, shedding is typed, nothing wedges.
+
+Acceptance bars for the budget/cancel/shedding layer (Ablation K):
+
+- A two-point deadline sweep shows enforcement: at a deadline below the
+  session floor every session fails with the typed ``DeadlineExceeded``;
+  with no deadline every session completes (the seed control).
+- The chaos acceptance run (sessions at 4x+ the worker-slot count, mixed
+  budgets, two priority tiers, seeded faults, mid-flight cancels) passes
+  :func:`~repro.bench.overload.check_acceptance`: some sessions complete,
+  tight deadlines surface as typed outcomes, every failure is a typed
+  serving error, completed weights are bit-identical to solo re-runs, no
+  serving thread outlives the run, and no armed session overshoots its own
+  budget by more than the enforcement grace.
+- ``BENCH_OVERLOAD_JSON`` (when set) receives the JSON results artifact.
+"""
+
+import os
+
+from repro.bench.overload import (
+    DEFAULT_DEADLINES,
+    check_acceptance,
+    persist_results,
+    report,
+    run_acceptance,
+    run_deadline_sweep,
+)
+
+import pytest
+
+
+@pytest.mark.timeout(300)
+def test_overload_smoke(benchmark):
+    sessions = int(os.environ.get("OVERLOAD_SMOKE_SESSIONS", "16"))
+    sweep_points = (DEFAULT_DEADLINES[0], None)
+
+    def run():
+        rows = run_deadline_sweep(
+            deadlines=sweep_points, num_sessions=sessions, num_clients=12
+        )
+        acceptance, load_report = run_acceptance(
+            num_sessions=max(sessions, 16), num_clients=16
+        )
+        return rows, acceptance, load_report
+
+    rows, acceptance, load_report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    tight, unbounded = rows
+    assert tight.deadline_exceeded > 0, (
+        "a deadline below the session floor must produce typed expiries"
+    )
+    assert tight.other_failures == 0
+    assert unbounded.completed == unbounded.num_sessions, (
+        "the unbounded control point must complete every session"
+    )
+
+    problems = check_acceptance(acceptance)
+    assert not problems, "; ".join(problems)
+
+    out_path = os.environ.get("BENCH_OVERLOAD_JSON")
+    if out_path:
+        persist_results(rows, out_path, acceptance=acceptance)
+    print()
+    print(report(rows, acceptance))

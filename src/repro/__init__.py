@@ -98,6 +98,10 @@ def make_deployment(
     tenant_quotas: dict | None = None,  # tenant -> max concurrent sessions
     tenant_spill_budgets: dict | None = None,  # tenant -> spill-byte budget
     admission_queue_depth: int = 64,  # bounded FIFO behind the quota gate
+    tenant_priorities: dict | None = None,  # tenant -> shed priority (higher wins)
+    default_deadline_s: float | None = None,  # end-to-end session budget; None = off
+    retry_budget_tokens: int | None = None,  # deployment-wide retry allowance
+    retry_budget_refill_per_s: float = 0.0,  # token refill rate (0 = fixed pool)
 ) -> Deployment:
     """Build the paper's testbed topology, fully wired.
 
@@ -157,6 +161,21 @@ def make_deployment(
     default (1, None, None) is the seed single-session behavior: none of
     the objects exist, no new ledger categories are emitted, and the
     fault-free Figure 3/4 byte totals stay bit-identical.
+
+    ``default_deadline_s`` arms every session with an end-to-end budget:
+    one clock that every blocking wait (admission, worker slots, governor
+    pauses, channel receives, broker fetches, the result wait) derives its
+    timeout from, raising the typed, non-retryable
+    :class:`~repro.common.errors.DeadlineExceeded` when spent — instead of
+    the stacked per-layer defaults.  Per-session override:
+    ``create_session(..., deadline_s=...)`` or the ``stream.deadline_s``
+    conf prop.  ``tenant_priorities`` ranks tenants for admission-queue
+    load shedding (lower-priority waiters are shed first when the queue is
+    full); ``retry_budget_tokens`` installs a deployment-wide
+    :class:`~repro.runtime.budget.RetryTokenBucket` that every retry site
+    (HA failover proxy, broker producer appends, consumer refetches) draws
+    from, so retries fail fast under overload instead of amplifying it.
+    All three default to off — seed behavior, byte ledgers bit-identical.
     """
     cluster = make_paper_cluster(num_workers)
     dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
@@ -164,8 +183,20 @@ def make_deployment(
     ml = MLSystem(cluster, workers_per_node=workers_per_node)
     admission = worker_pool = spill_governor = None
     multitenant = (
-        max_concurrent_sessions > 1 or tenant_quotas or tenant_spill_budgets
+        max_concurrent_sessions > 1
+        or tenant_quotas
+        or tenant_spill_budgets
+        or tenant_priorities
     )
+    retry_budget = None
+    if retry_budget_tokens is not None:
+        from repro.runtime.budget import RetryTokenBucket
+
+        retry_budget = RetryTokenBucket(
+            capacity=retry_budget_tokens,
+            refill_per_s=retry_budget_refill_per_s,
+            ledger=cluster.ledger,
+        )
     if multitenant:
         from repro.transfer.admission import (
             SessionAdmission,
@@ -178,6 +209,7 @@ def make_deployment(
             tenant_quotas=tenant_quotas,
             max_queue_depth=admission_queue_depth,
             ledger=cluster.ledger,
+            tenant_priorities=tenant_priorities,
         )
         worker_pool = WorkerPoolScheduler(
             total_slots=num_workers * workers_per_node,
@@ -205,6 +237,8 @@ def make_deployment(
             admission=admission,
             worker_pool=worker_pool,
             spill_governor=spill_governor,
+            retry_budget=retry_budget,
+            default_deadline_s=default_deadline_s,
         )
         coordinator = ha_group.proxy
     else:
@@ -219,6 +253,8 @@ def make_deployment(
             admission=admission,
             worker_pool=worker_pool,
             spill_governor=spill_governor,
+            retry_budget=retry_budget,
+            default_deadline_s=default_deadline_s,
         )
     effective_injector = fault_injector or (
         coordinator.recovery.injector if coordinator.recovery is not None else None

@@ -24,5 +24,6 @@ __all__ = [
     "figure3",
     "figure4",
     "multitenant",
+    "overload",
     "svm_end2end",
 ]

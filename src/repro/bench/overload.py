@@ -1,0 +1,415 @@
+"""Ablation K: overload protection — deadlines, shedding, and bounded latency.
+
+Two runs over a deliberately starved deployment (a 4-slot ML worker pool, an
+8-session admission cap, a 4-deep admission queue):
+
+* **Deadline sweep** — a fixed closed-loop load offers the same session
+  stream once per deadline value (tight → unbounded), measuring how the
+  outcome mix shifts from completed to typed ``DeadlineExceeded`` as the
+  budget shrinks.  The unbounded point is the control: with no deadline and
+  offered concurrency within cap+queue, every session completes.
+* **Acceptance** — the ISSUE's overload bar: 32 sessions (8x the slot
+  count) through 16 clients with mixed tight/generous/unbounded deadlines,
+  two priority tiers, seeded faults, and a mid-flight cancel harness.  The
+  checks: zero wedged worker or client threads after the run, every failure
+  a *typed* serving outcome (shed, deadline, cancel — never a stack trace),
+  every completed session's weights bit-identical to a solo re-run, and
+  every deadline-armed session's end-to-end latency bounded by its own
+  budget plus a small enforcement grace — not by the sum of the per-layer
+  flat timeouts it replaced.
+"""
+
+import json
+import threading
+import time
+from collections import Counter
+from dataclasses import asdict, dataclass
+
+from repro import make_deployment
+from repro.faults import FaultConfig, FaultInjector
+from repro.workloads.loadgen import (
+    LoadReport,
+    make_points_table,
+    percentile,
+    run_closed_loop,
+    solo_weights,
+    verify_against_solo,
+)
+
+#: The Ablation K sweep: one end-to-end deadline per point (None = unbounded).
+#: Sessions on this workload complete in ~5 ms solo, so 1 ms is below the
+#: floor (always expires), 10 ms bites only under queueing, 100 ms is
+#: effectively generous, and None is the control.
+DEFAULT_DEADLINES: tuple = (0.001, 0.01, 0.1, None)
+DEFAULT_SWEEP_SESSIONS = 16
+DEFAULT_SWEEP_CLIENTS = 12
+
+#: The starved serving plane every run shares: 2 workers x 2 slots = 4 ML
+#: slots, 8 admitted sessions contending for them, 4 queue places behind.
+POOL_WORKERS = 2
+POOL_SLOTS_PER_NODE = 2
+OVERLOAD_CAP = 8
+OVERLOAD_QUEUE_DEPTH = 4
+
+#: The acceptance run: 8x oversubscription (32 sessions / 4 slots).
+ACCEPTANCE_SESSIONS = 32
+ACCEPTANCE_CLIENTS = 16
+TIGHT_DEADLINE_S = 0.001
+GENEROUS_DEADLINE_S = 30.0
+#: Enforcement grace: an armed session may overshoot its deadline by at most
+#: this long (one budget-clamped wait quantum), nowhere near the 30s+ a
+#: single stacked flat timeout would add.
+DEFAULT_GRACE_S = 5.0
+
+#: Thread-name prefixes of everything the serving plane spawns per session;
+#: the wedge check asserts none survive the run.
+WORKER_THREAD_PREFIXES = ("ml-job-", "loadgen-client")
+
+
+@dataclass
+class OverloadRow:
+    """One sweep point: the outcome mix at one uniform deadline."""
+
+    deadline_s: float | None
+    num_sessions: int
+    num_clients: int
+    completed: int
+    deadline_exceeded: int
+    shed: int
+    cancelled: int
+    other_failures: int
+    p99_completed_s: float | None
+    wall_seconds: float
+    shed_expired: int
+    deadline_expired_ledger: int
+
+
+@dataclass
+class OverloadAcceptanceRow:
+    """The 8x-oversubscription chaos run and its acceptance checks."""
+
+    num_sessions: int
+    num_clients: int
+    pool_slots: int
+    max_concurrent: int
+    queue_depth: int
+    completed: int
+    deadline_exceeded: int
+    shed: int
+    cancelled: int
+    other_failures: int
+    shed_expired: int
+    shed_preempted: int
+    rejected: int
+    cancel_requested: int
+    faults_injected: int
+    weight_identical: bool
+    wedged_threads: int
+    worst_armed_overshoot_s: float
+    grace_s: float
+    p99_completed_s: float | None
+    wall_seconds: float
+
+    @property
+    def all_failures_typed(self) -> bool:
+        return self.other_failures == 0
+
+
+def _overload_deployment(**overrides):
+    kwargs = dict(
+        num_workers=POOL_WORKERS,
+        workers_per_node=POOL_SLOTS_PER_NODE,
+        max_concurrent_sessions=OVERLOAD_CAP,
+        admission_queue_depth=OVERLOAD_QUEUE_DEPTH,
+    )
+    kwargs.update(overrides)
+    deployment = make_deployment(**kwargs)
+    make_points_table(deployment.engine)
+    return deployment
+
+
+def acceptance_tenant_of(i: int) -> str:
+    """Two priority tiers: even sessions interactive, odd sessions batch."""
+    return "interactive" if i % 2 == 0 else "batch"
+
+
+def acceptance_deadline_of(i: int) -> float | None:
+    """Mixed budgets: a tight pair per 8 sessions (one of each tenant, so a
+    deadline expiry is observed even if every batch waiter gets preempted
+    first), one generous armed session, the rest unbounded."""
+    if i % 8 in (3, 4):
+        return TIGHT_DEADLINE_S
+    if i % 8 == 5:
+        return GENEROUS_DEADLINE_S
+    return None
+
+
+def bucket_outcomes(report: LoadReport) -> Counter:
+    """Outcome mix keyed by typed error class name (or ``completed``)."""
+    buckets: Counter = Counter()
+    for o in report.outcomes:
+        buckets[o.error_type or "completed"] += 1
+    return buckets
+
+
+def _mix(report: LoadReport) -> tuple[int, int, int, int, int]:
+    buckets = bucket_outcomes(report)
+    completed = buckets.pop("completed", 0)
+    deadline = buckets.pop("DeadlineExceeded", 0)
+    shed = buckets.pop("AdmissionError", 0)
+    cancelled = buckets.pop("SessionCancelled", 0)
+    other = sum(buckets.values())
+    return completed, deadline, shed, cancelled, other
+
+
+def _p99_completed(report: LoadReport) -> float | None:
+    latencies = [o.latency_s for o in report.outcomes if o.error is None]
+    return percentile(latencies, 99) if latencies else None
+
+
+def wedged_threads(grace_s: float = 10.0) -> list[str]:
+    """Names of serving-plane threads still alive after ``grace_s``.
+
+    A clean overload run leaves zero: shed sessions never spawn an ML job,
+    expired and cancelled sessions unwind cooperatively, and the load
+    clients were joined by ``run_closed_loop``.  Anything remaining is a
+    wedged wait — the exact failure mode the budget layer exists to kill.
+    """
+    deadline = time.monotonic() + grace_s
+    while True:
+        alive = [
+            t.name
+            for t in threading.enumerate()
+            if t.is_alive() and t.name.startswith(WORKER_THREAD_PREFIXES)
+        ]
+        if not alive or time.monotonic() >= deadline:
+            return alive
+        time.sleep(0.05)
+
+
+def _run_cancel_harness(coordinator, session_ids: list[str], stop: threading.Event):
+    """Poll until each target session exists, then cancel it mid-flight."""
+    pending = set(session_ids)
+    while pending and not stop.is_set():
+        for sid in sorted(pending):
+            try:
+                if coordinator.cancel_session(sid, reason="overload harness"):
+                    pending.discard(sid)
+            except Exception:  # a torn-down session: nothing left to cancel
+                pending.discard(sid)
+        stop.wait(0.001)
+
+
+def run_deadline_sweep(
+    deadlines: tuple = DEFAULT_DEADLINES,
+    num_sessions: int = DEFAULT_SWEEP_SESSIONS,
+    num_clients: int = DEFAULT_SWEEP_CLIENTS,
+) -> list[OverloadRow]:
+    """One closed-loop run per uniform deadline, fresh deployment each time."""
+    rows = []
+    for deadline_s in deadlines:
+        deployment = _overload_deployment()
+        report = run_closed_loop(
+            deployment,
+            num_sessions=num_sessions,
+            num_clients=num_clients,
+            deadline_of=lambda i, d=deadline_s: d,
+            tolerate_failures=True,
+            session_prefix="sweep",
+        )
+        completed, deadline, shed, cancelled, other = _mix(report)
+        ledger = deployment.cluster.ledger
+        rows.append(
+            OverloadRow(
+                deadline_s=deadline_s,
+                num_sessions=report.num_sessions,
+                num_clients=report.num_clients,
+                completed=completed,
+                deadline_exceeded=deadline,
+                shed=shed,
+                cancelled=cancelled,
+                other_failures=other,
+                p99_completed_s=_p99_completed(report),
+                wall_seconds=report.wall_seconds,
+                shed_expired=int(ledger.get("shed.expired")),
+                deadline_expired_ledger=int(ledger.get("deadline.expired")),
+            )
+        )
+    return rows
+
+
+def run_acceptance(
+    num_sessions: int = ACCEPTANCE_SESSIONS,
+    num_clients: int = ACCEPTANCE_CLIENTS,
+    grace_s: float = DEFAULT_GRACE_S,
+) -> tuple[OverloadAcceptanceRow, LoadReport]:
+    """The chaos run: oversubscription + faults + deadlines + cancels.
+
+    Returns the acceptance row and the raw load report; ``main`` and the
+    smoke benchmark assert on the row's checks.
+    """
+    injector = FaultInjector(
+        FaultConfig(
+            seed=11,
+            send_drop_rate=0.05,
+            kill_sql_worker_rate=0.05,
+            max_kills=1,
+            max_events=4,
+        )
+    )
+    loaded = _overload_deployment(
+        fault_injector=injector,
+        tenant_priorities={"interactive": 1, "batch": 0},
+        retry_budget_tokens=64,
+    )
+    # Cancel a couple of unbounded batch sessions mid-flight: the harness
+    # races real completion on purpose — a cancel that loses the race leaves
+    # a completed (and weight-checked) session, one that wins leaves a typed
+    # SessionCancelled outcome.  Both are correct; neither may wedge.
+    cancel_ids = [f"over_{i}" for i in range(num_sessions) if i % 8 == 1]
+    stop = threading.Event()
+    canceller = threading.Thread(
+        target=_run_cancel_harness,
+        args=(loaded.coordinator, cancel_ids, stop),
+        name="overload-canceller",
+        daemon=True,
+    )
+    canceller.start()
+    try:
+        report = run_closed_loop(
+            loaded,
+            num_sessions=num_sessions,
+            num_clients=num_clients,
+            tenant_of=acceptance_tenant_of,
+            deadline_of=acceptance_deadline_of,
+            tolerate_failures=True,
+            session_prefix="over",
+        )
+    finally:
+        stop.set()
+        canceller.join(2.0)
+    wedged = wedged_threads()
+
+    # Bit-identity of completed work: solo re-runs on a fresh, identically
+    # shaped (fault-free) deployment must reproduce every completed weight
+    # vector exactly.  Shed/expired/cancelled sessions have no weights.
+    completed_seeds = sorted({o.seed for o in report.outcomes if o.error is None})
+    solo = _overload_deployment()
+    baselines = solo_weights(solo, completed_seeds)
+    verify_against_solo(report, baselines)
+
+    # The latency bar: every deadline-armed session — completed or failed —
+    # finished within its own budget plus the enforcement grace.
+    worst_overshoot = float("-inf")
+    for o in report.outcomes:
+        armed = acceptance_deadline_of(int(o.session_id.rsplit("_", 1)[1]))
+        if armed is not None:
+            worst_overshoot = max(worst_overshoot, o.latency_s - armed)
+
+    completed, deadline, shed, cancelled, other = _mix(report)
+    ledger = loaded.cluster.ledger
+    row = OverloadAcceptanceRow(
+        num_sessions=report.num_sessions,
+        num_clients=report.num_clients,
+        pool_slots=POOL_WORKERS * POOL_SLOTS_PER_NODE,
+        max_concurrent=OVERLOAD_CAP,
+        queue_depth=OVERLOAD_QUEUE_DEPTH,
+        completed=completed,
+        deadline_exceeded=deadline,
+        shed=shed,
+        cancelled=cancelled,
+        other_failures=other,
+        shed_expired=int(ledger.get("shed.expired")),
+        shed_preempted=int(ledger.get("shed.preempted")),
+        rejected=int(ledger.get("admission.rejected")),
+        cancel_requested=int(ledger.get("cancel.requested")),
+        faults_injected=sum(injector.counts.values()),
+        weight_identical=bool(report.weight_identical),
+        wedged_threads=len(wedged),
+        worst_armed_overshoot_s=worst_overshoot,
+        grace_s=grace_s,
+        p99_completed_s=_p99_completed(report),
+        wall_seconds=report.wall_seconds,
+    )
+    return row, report
+
+
+def check_acceptance(row: OverloadAcceptanceRow) -> list[str]:
+    """The ISSUE's acceptance bars; returns human-readable violations."""
+    problems = []
+    if row.completed < 1:
+        problems.append("no session completed under overload")
+    if row.deadline_exceeded < 1:
+        problems.append("no tight-deadline session produced DeadlineExceeded")
+    if not row.all_failures_typed:
+        problems.append(f"{row.other_failures} failures were not typed serving errors")
+    if not row.weight_identical:
+        problems.append("completed weights diverged from solo baselines")
+    if row.wedged_threads:
+        problems.append(f"{row.wedged_threads} serving threads wedged after the run")
+    if row.worst_armed_overshoot_s > row.grace_s:
+        problems.append(
+            f"armed session overshot its deadline by "
+            f"{row.worst_armed_overshoot_s:.2f}s (> {row.grace_s:g}s grace)"
+        )
+    return problems
+
+
+def report(rows: list[OverloadRow], acceptance: OverloadAcceptanceRow | None = None) -> str:
+    lines = [
+        "Ablation K — outcome mix vs end-to-end deadline "
+        f"({rows[0].num_sessions} sessions, {rows[0].num_clients} clients, "
+        f"{POOL_WORKERS * POOL_SLOTS_PER_NODE} worker slots)"
+    ]
+    for r in rows:
+        label = "unbounded" if r.deadline_s is None else f"{r.deadline_s:g}s"
+        p99 = "   -  " if r.p99_completed_s is None else f"{r.p99_completed_s * 1000:6.0f}"
+        lines.append(
+            f"  deadline={label:>9}  completed={r.completed:>3}"
+            f"  deadline_exceeded={r.deadline_exceeded:>3}  shed={r.shed:>3}"
+            f"  p99(completed) {p99} ms"
+        )
+    if acceptance is not None:
+        a = acceptance
+        lines.append(
+            f"  acceptance: {a.num_sessions} sessions / {a.pool_slots} slots — "
+            f"{a.completed} completed, {a.deadline_exceeded} deadline, "
+            f"{a.shed} shed, {a.cancelled} cancelled, {a.faults_injected} faults; "
+            f"wedged={a.wedged_threads}, weights "
+            + ("bit-identical" if a.weight_identical else "DIVERGED")
+        )
+    return "\n".join(lines)
+
+
+def persist_results(
+    rows: list[OverloadRow],
+    path: str,
+    acceptance: OverloadAcceptanceRow | None = None,
+) -> None:
+    """Write the run as JSON (the CI overload-smoke artifact)."""
+    doc = {
+        "benchmark": "overload",
+        "results": [asdict(r) for r in rows],
+    }
+    if acceptance is not None:
+        doc["acceptance"] = asdict(acceptance)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    import sys
+
+    rows = run_deadline_sweep()
+    acceptance, _report = run_acceptance()
+    print(report(rows, acceptance))
+    problems = check_acceptance(acceptance)
+    if problems:
+        raise SystemExit("overload acceptance failed: " + "; ".join(problems))
+    if len(sys.argv) > 1:
+        persist_results(rows, sys.argv[1], acceptance=acceptance)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -4,7 +4,7 @@ import pickle
 import struct
 
 from repro.broker.broker import MessageBroker
-from repro.common.errors import TransferError
+from repro.common.errors import RetriesExhaustedError, TransferError
 from repro.transfer.buffers import block_logical_bytes, decode_block
 
 #: What wire corruption actually looks like when a frame fails to decode:
@@ -56,6 +56,8 @@ class BrokerConsumer:
         batch_size: int = 256,
         timeout_s: float = 30.0,
         injector=None,  # FaultInjector | None
+        budget=None,  # Budget | None (end-to-end session deadline/cancel)
+        retry_budget=None,  # RetryTokenBucket | None (shared refetch budget)
     ):
         self._broker = broker
         self._topic = topic
@@ -64,6 +66,8 @@ class BrokerConsumer:
         self._batch_size = batch_size
         self._timeout_s = timeout_s
         self._injector = injector
+        self._budget = budget
+        self._retry_budget = retry_budget
         self._position = broker.committed_offset(group, topic, partition)
         #: offsets < this were already delivered to the application —
         #: the §6 dedup watermark for at-least-once replays
@@ -84,15 +88,23 @@ class BrokerConsumer:
 
         Each fetched record may be a RowBlock (one record, many rows) or a
         seed-style single-row record; both decode transparently.
+
+        With a session budget attached the fetch wait derives from its
+        remaining time (and raises typed on an expired/cancelled session
+        before touching the broker at all).
         """
         site = f"{self._topic}/{self._partition}"
+        timeout = self._timeout_s
+        if self._budget is not None:
+            self._budget.check(f"broker fetch {site}")
+            timeout = self._budget.clamp(timeout)
         fetch_offset = self._position
         chunk, next_offset, at_end = self._broker.fetch(
             self._topic,
             self._partition,
             fetch_offset,
             max_records=self._batch_size,
-            timeout=self._timeout_s,
+            timeout=timeout,
         )
         self._position = next_offset
         rows: list[tuple] = []
@@ -113,7 +125,12 @@ class BrokerConsumer:
             payload = self._injector.corrupt_fetch(payload, f"{site}@{offset}")
         try:
             rows = decode_block(payload)
-        except _CORRUPTION_ERRORS:
+        except _CORRUPTION_ERRORS as damage:
+            if self._retry_budget is not None and not self._retry_budget.try_acquire():
+                raise RetriesExhaustedError(
+                    f"refetch of corrupted record at {site}@{offset}: "
+                    "deployment retry budget exhausted"
+                ) from damage
             refetched, _next, _end = self._broker.fetch(
                 self._topic,
                 self._partition,

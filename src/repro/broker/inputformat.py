@@ -63,5 +63,7 @@ class BrokerInputFormat(InputFormat):
             group=conf.get("broker.group", "ml"),
             timeout_s=float(conf.get("broker.timeout_s", 30.0)),
             injector=conf.get_object("fault.injector"),
+            budget=conf.get_object("budget"),
+            retry_budget=conf.get_object("retry.budget"),
         )
         return BrokerRecordReader(consumer)

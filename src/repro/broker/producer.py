@@ -36,6 +36,7 @@ class BrokerProducer:
         batch_rows: int = 1,
         injector=None,  # FaultInjector | None (§6 chaos on appends)
         retry_policy=None,  # RetryPolicy | None
+        retry_budget=None,  # RetryTokenBucket | None (shared retry budget)
         sleep=time.sleep,
     ):
         self._broker = broker
@@ -52,6 +53,7 @@ class BrokerProducer:
         self._batch_rows = batch_rows
         self._injector = injector
         self._retry_policy = retry_policy
+        self._retry_budget = retry_budget
         self._sleep = sleep
         self._pending: dict[int, list[tuple]] = {p: [] for p in self._partitions}
         self._cursor = 0
@@ -64,7 +66,11 @@ class BrokerProducer:
 
         Injected append faults fire *before* the broker commits the record,
         so a retry never duplicates data.  Without a retry policy a single
-        transient failure propagates (the seed behaviour)."""
+        transient failure propagates (the seed behaviour).  A shared
+        :class:`~repro.runtime.budget.RetryTokenBucket` (when installed)
+        gates every retry attempt: an overloaded deployment that has spent
+        its global retry allowance fails fast with
+        :class:`RetriesExhaustedError` instead of amplifying the load."""
         attempt = 0
         while True:
             try:
@@ -83,6 +89,11 @@ class BrokerProducer:
                     raise RetriesExhaustedError(
                         f"append to {self._topic}/{partition} failed "
                         f"{attempt} times: {exc}"
+                    ) from exc
+                if self._retry_budget is not None and not self._retry_budget.try_acquire():
+                    raise RetriesExhaustedError(
+                        f"append to {self._topic}/{partition}: deployment "
+                        f"retry budget exhausted after {attempt} attempts: {exc}"
                     ) from exc
                 self.append_retries += 1
                 self._sleep(

@@ -60,7 +60,14 @@ class BrokerTransferUDF(TableUDF):
             )
         group = partition_group(info.num_partitions, ctx.num_workers, ctx.worker_id)
         producer = BrokerProducer(
-            broker, topic, partitions=group, batch_rows=batch_rows
+            broker,
+            topic,
+            partitions=group,
+            batch_rows=batch_rows,
+            # Deployment-wide retry budget (optional engine service): caps
+            # append retries under overload so they fail fast instead of
+            # amplifying the load on a struggling broker.
+            retry_budget=ctx.services.get("retry_budget"),
         )
         try:
             for row in rows:

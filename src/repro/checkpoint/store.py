@@ -212,6 +212,12 @@ class TrainCheckpointer:
     A checkpointer may exist without a store (``can_resume`` False): it then
     acts purely as the iteration-kill conduit for chaos runs that test the
     no-checkpoint recovery tiers.
+
+    With a session :class:`~repro.runtime.budget.Budget` attached, the
+    iteration boundary is also where trainers observe cancellation and
+    deadlines: the budget check runs *after* the maybe-save, so an aborting
+    trainer has always committed its last due checkpoint — a later retry of
+    the same job id resumes instead of restarting.
     """
 
     def __init__(
@@ -220,11 +226,13 @@ class TrainCheckpointer:
         store: CheckpointStore | None = None,
         interval: int = 1,
         injector=None,
+        budget=None,
     ):
         self.job_id = job_id
         self.store = store
         self.interval = max(int(interval), 1)
         self.injector = injector
+        self.budget = budget
         self.saves = 0
         self.save_failures = 0
         self.restored_iteration: int | None = None
@@ -252,12 +260,22 @@ class TrainCheckpointer:
         return state
 
     def iteration_done(self, iteration: int, state_fn) -> None:
-        """One iteration boundary: maybe save, then maybe die (injected)."""
+        """One iteration boundary: maybe save, then maybe stop.
+
+        Order: save first (the last due checkpoint is always committed
+        before an abort), then the budget check — raising the typed
+        :class:`~repro.common.errors.SessionCancelled` /
+        :class:`~repro.common.errors.DeadlineExceeded`, which are *not*
+        ``MLError`` so the in-place training retry loop never swallows
+        them — then the injected iteration-kill window.
+        """
         if self.store is not None and iteration % self.interval == 0:
             try:
                 self.store.save(self.job_id, state_fn())
                 self.saves += 1
             except CheckpointError:
                 self.save_failures += 1
+        if self.budget is not None:
+            self.budget.check(f"training iteration {iteration}")
         if self.injector is not None:
             self.injector.check_train_kill(self.job_id, iteration)

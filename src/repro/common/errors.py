@@ -92,6 +92,30 @@ class WorkerFailedError(TransferError):
         super().__init__(message)
 
 
+class DeadlineExceeded(TransferError):
+    """The session's end-to-end budget ran out — *non-retryable*.  Unlike
+    :class:`ChannelTimeoutError` (a per-call flat timeout that may succeed on
+    retry), the budget is the client's own clock: once it expires, every
+    retry, replay, or recovery tier would also miss the deadline, so the
+    error escalates straight through the §6 recovery ladder to the client."""
+
+    def __init__(self, message: str, session_id: str | None = None):
+        self.session_id = session_id
+        super().__init__(message)
+
+
+class SessionCancelled(TransferError):
+    """The client cancelled the session (``coordinator.cancel_session``) —
+    *non-retryable* by definition.  Workers observe the flag cooperatively:
+    SQL workers stop at batch boundaries, trainers abort between iterations
+    after committing their last checkpoint, and blocked waiters are woken
+    instead of timing out."""
+
+    def __init__(self, message: str, session_id: str | None = None):
+        self.session_id = session_id
+        super().__init__(message)
+
+
 class MLError(ReproError):
     """An ML job or algorithm failed (bad input, non-convergence guards)."""
 

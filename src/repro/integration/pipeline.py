@@ -9,7 +9,13 @@ from repro.broker.inputformat import BrokerInputFormat
 from repro.broker.transfer_udf import BrokerTransferUDF
 from repro.cluster.cluster import Cluster
 from repro.cluster.cost import CostModel, paper_cost_model
-from repro.common.errors import IngestError, MLError, ReproError
+from repro.common.errors import (
+    DeadlineExceeded,
+    IngestError,
+    MLError,
+    ReproError,
+    SessionCancelled,
+)
 from repro.hdfs.filesystem import DistributedFileSystem
 from repro.integration.jaql import JaqlEngine
 from repro.integration.stages import DatasetLineage, PipelineResult, StageTiming
@@ -75,6 +81,10 @@ class AnalyticsPipeline:
 
         self.broker = MessageBroker(ledger=cluster.ledger)
         engine.add_service("broker", self.broker)
+        if getattr(self.coordinator, "retry_budget", None) is not None:
+            # Optional engine service: broker producers gate their append
+            # retries on the deployment-wide retry token bucket.
+            engine.add_service("retry_budget", self.coordinator.retry_budget)
 
         self.transforms = TransformService()
         self.cache = CacheManager(engine, self.transforms)
@@ -255,8 +265,17 @@ class AnalyticsPipeline:
         max_attempts: int = 1,
         degrade_to_dfs: bool = False,
         tenant: str = "default",
+        deadline_s: float | None = None,
     ) -> PipelineResult:
         """Figure 3 "insql+stream": everything pipelined, no DFS touch.
+
+        ``deadline_s`` puts the whole run under one end-to-end budget: every
+        blocking wait from the admission queue to the result wait derives
+        from it, and an expired or cancelled session surfaces as the typed,
+        *non-retryable* :class:`~repro.common.errors.DeadlineExceeded` /
+        :class:`~repro.common.errors.SessionCancelled` — the attempt loop
+        and the degrade tier below never retry a session whose budget is
+        spent (a retry would just expire again, amplifying the overload).
 
         ``max_attempts > 1`` enables §6's recovery policy for streaming:
         since neither side supports mid-query recovery, a failed transfer
@@ -318,12 +337,17 @@ class AnalyticsPipeline:
                 args=dict(args or {}),
                 conf_props=conf_props,
                 tenant=tenant,
+                deadline_s=deadline_s,
             )
             try:
                 self.engine.execute(plan.final_sql(session_id))
                 ml_result: MLJobResult = self.coordinator.wait_result(session_id)
                 break
             except ReproError as exc:
+                # Budget outcomes are terminal: no ladder tier, no fresh
+                # attempt, no DFS degradation — re-raise typed immediately.
+                if self._is_budget_failure(exc):
+                    raise
                 # §6 ML-stage ladder: a *training* fault (data fully
                 # delivered) can be recovered without re-streaming — replay
                 # the lineage.  Ingest/transfer faults fall through to the
@@ -453,6 +477,11 @@ class AnalyticsPipeline:
             # §6 chaos reaches the broker path too: consumers survive
             # injected duplicate/corrupt fetches via offset dedup + refetch.
             conf.objects["fault.injector"] = self.coordinator.recovery.injector
+        retry_budget = getattr(self.coordinator, "retry_budget", None)
+        if retry_budget is not None:
+            # Shared retry allowance: corrupted-record refetches draw from
+            # the same deployment-wide bucket as every other retry site.
+            conf.objects["retry.budget"] = retry_budget
         t0 = time.perf_counter()
         ml_result = self.ml_system.run_job(
             command=command,
@@ -552,6 +581,25 @@ class AnalyticsPipeline:
         if store is None or interval <= 0:
             return {}
         return {"checkpoint.interval": interval, "checkpoint.job_id": job_id}
+
+    @staticmethod
+    def _is_budget_failure(exc: BaseException) -> bool:
+        """Is a spent budget (deadline/cancel) anywhere in the cause chain?
+
+        Wrapping happens at several layers (``wait_result`` re-raises typed,
+        but an error surfacing through the SQL executor may arrive wrapped
+        in a generic :class:`TransferError`), so the walk covers both
+        ``__cause__`` and ``__context__`` exactly like the train-stage test
+        below.
+        """
+        seen: set[int] = set()
+        node: BaseException | None = exc
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if isinstance(node, (DeadlineExceeded, SessionCancelled)):
+                return True
+            node = node.__cause__ or node.__context__
+        return False
 
     @staticmethod
     def _is_train_stage_failure(exc: BaseException) -> bool:

@@ -9,7 +9,13 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.columnar.batch import ColumnBatch
-from repro.common.errors import IngestError, MLError, WorkerFailedError
+from repro.common.errors import (
+    DeadlineExceeded,
+    IngestError,
+    MLError,
+    SessionCancelled,
+    WorkerFailedError,
+)
 from repro.iofmt.inputformat import InputFormat, JobConf
 from repro.ml.dataset import ArrayDataset, Dataset, points_to_arrays
 
@@ -64,10 +70,16 @@ class MLJob:
         coordinator = self.conf.get_object("coordinator")
         worker_pool = getattr(coordinator, "worker_pool", None)
         session_key = self.conf.get("stream.session") or "local"
+        # End-to-end budget: the slot wait below derives its timeout from it
+        # (and a cancel wakes the waiter), and each split drain re-checks it
+        # at reader-open so an already-expired session never starts reading.
+        budget = self.conf.get_object("budget")
 
         def consume(split) -> tuple[list, list, int, bool]:
+            if budget is not None:
+                budget.check("ingest split open")
             if worker_pool is not None:
-                with worker_pool.lease(session_key):
+                with worker_pool.lease(session_key, budget=budget):
                     return _consume(split)
             return _consume(split)
 
@@ -118,6 +130,12 @@ class MLJob:
                     failures[split_id] = exc
         if failures:
             failed_ids = tuple(sorted(failures))
+            # Budget outcomes surface typed, never wrapped in IngestError:
+            # the recovery ladder must see them as non-retryable, and a
+            # re-ingest of an expired session would just expire again.
+            for i in failed_ids:
+                if isinstance(failures[i], (DeadlineExceeded, SessionCancelled)):
+                    raise failures[i]
             first = failures[failed_ids[0]]
             detail = "; ".join(
                 f"split {i}: {failures[i]}" for i in failed_ids

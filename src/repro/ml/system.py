@@ -242,14 +242,19 @@ class MLSystem:
         (``checkpoint.interval`` property overrides the system default); a
         store-less one is still created when an enabled injector is present,
         so the ``ml.iteration_kill`` chaos site fires even for runs testing
-        the no-checkpoint recovery tiers.
+        the no-checkpoint recovery tiers — or when the session carries an
+        *armed* budget, because the iteration hook is also where trainers
+        observe cancellation and deadlines between iterations.
         """
         interval = int(conf.get("checkpoint.interval", self.checkpoint_interval))
         store = self.checkpoint_store if interval > 0 else None
         injector = self.fault_injector or conf.get_object("fault.injector")
         if injector is not None and not injector.enabled:
             injector = None
-        if store is None and injector is None:
+        # An unbounded, uncancelled budget still gets the hook: it can be
+        # cancelled later, and this is where the trainer would notice.
+        budget = conf.get_object("budget")
+        if store is None and injector is None and budget is None:
             return None
         from repro.checkpoint import TrainCheckpointer
 
@@ -259,6 +264,7 @@ class MLSystem:
             store=store,
             interval=interval if interval > 0 else 1,
             injector=injector,
+            budget=budget,
         )
 
     @staticmethod

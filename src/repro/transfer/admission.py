@@ -26,9 +26,18 @@ mechanisms make many concurrent prep+train sessions safe on one deployment:
 
 All three are off by default (``make_deployment(max_concurrent_sessions=1)``
 wires none of them), and their counters — ``admission.queued``,
-``admission.rejected``, ``scheduler.waits``, ``governor.throttled`` — are
+``admission.rejected``, ``scheduler.waits``, ``governor.throttled``, plus
+the overload-shedding counters ``shed.expired``/``shed.preempted`` — are
 dedicated ledger categories, so the fault-free Figure 3/4 byte totals stay
 bit-identical to the seed unless a deployment opts in.
+
+All three gates also accept an optional per-session
+:class:`~repro.runtime.budget.Budget`: waits are clamped to the budget's
+remaining time (one shared clock instead of stacked 30s+120s+10s defaults)
+and a cancelled budget *wakes* blocked waiters instead of letting them time
+out.  Expired queue tickets are shed before promotion, and with
+``tenant_priorities`` a full queue sheds its lowest-priority waiter to make
+room for a higher-priority arrival.
 """
 
 import threading
@@ -37,6 +46,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.common.errors import AdmissionError
+from repro.runtime.budget import Budget
 
 DEFAULT_QUEUE_DEPTH = 64
 
@@ -49,6 +59,7 @@ class AdmissionStats:
     queued: int = 0
     rejected: int = 0
     timeouts: int = 0
+    shed: int = 0
     peak_running: int = 0
     peak_queued: int = 0
 
@@ -58,6 +69,8 @@ class _Ticket:
     session_id: str
     tenant: str
     ready: threading.Event = field(default_factory=threading.Event)
+    budget: Budget | None = None
+    shed: str | None = None  # "deadline" | "preempted" once dropped from the queue
 
 
 class SessionAdmission:
@@ -75,6 +88,7 @@ class SessionAdmission:
         max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
         timeout_s: float = 30.0,
         ledger=None,
+        tenant_priorities: dict[str, int] | None = None,
     ):
         if max_concurrent_sessions < 1:
             raise AdmissionError(
@@ -84,6 +98,11 @@ class SessionAdmission:
         self.tenant_quotas = dict(tenant_quotas or {})
         self.max_queue_depth = int(max_queue_depth)
         self.timeout_s = timeout_s
+        # Higher number = more important; unlisted tenants default to 0.
+        # Only consulted when the queue overflows: a full queue sheds the
+        # lowest-priority waiter to make room for a strictly-higher-priority
+        # arrival, so background tenants shed first under overload.
+        self.tenant_priorities = dict(tenant_priorities or {})
         self._ledger = ledger
         self._running: dict[str, str] = {}  # session_id -> tenant
         self._queue: list[_Ticket] = []
@@ -102,15 +121,40 @@ class SessionAdmission:
         quota = self.tenant_quotas.get(tenant)
         return quota is None or self._tenant_running(tenant) < quota
 
+    def _preemptable_locked(self, tenant: str) -> "_Ticket | None":
+        """Pick the queued ticket to shed for a full-queue arrival of
+        ``tenant``: the oldest waiter among those with the lowest priority,
+        and only if strictly below the arrival's.  Caller holds the lock."""
+        if not self.tenant_priorities:
+            return None
+        arrival = self.tenant_priorities.get(tenant, 0)
+        victim = None
+        victim_pri = arrival
+        for ticket in self._queue:
+            pri = self.tenant_priorities.get(ticket.tenant, 0)
+            if pri < victim_pri:
+                victim, victim_pri = ticket, pri
+        return victim
+
     def acquire(
-        self, session_id: str, tenant: str = "default", timeout_s: float | None = None
+        self,
+        session_id: str,
+        tenant: str = "default",
+        timeout_s: float | None = None,
+        budget: Budget | None = None,
     ) -> bool:
         """Block until the session may run.  Returns True when this call
         admitted it, False when it was already running (idempotent retry).
 
         Raises :class:`AdmissionError` when the queue is full or the wait
         exceeds the timeout — the rejection never disturbs running sessions.
+        With a ``budget``, the wait is clamped to ``budget.remaining()`` and
+        an expired/cancelled budget surfaces as the typed ``DeadlineExceeded``
+        / ``SessionCancelled`` instead of a retryable admission timeout.
         """
+        if budget is not None:
+            budget.check("admission")
+        victim: _Ticket | None = None
         with self._lock:
             if session_id in self._running:
                 return False
@@ -118,32 +162,69 @@ class SessionAdmission:
                 self._admit_locked(session_id, tenant)
                 return True
             if len(self._queue) >= self.max_queue_depth:
-                self.stats.rejected += 1
+                victim = self._preemptable_locked(tenant)
+                if victim is None:
+                    self.stats.rejected += 1
+                    if self._ledger is not None:
+                        self._ledger.add("admission.rejected", 1)
+                    raise AdmissionError(
+                        f"admission queue full ({self.max_queue_depth} waiting); "
+                        f"session {session_id!r} of tenant {tenant!r} rejected"
+                    )
+                self._queue.remove(victim)
+                victim.shed = "preempted"
+                self.stats.shed += 1
                 if self._ledger is not None:
-                    self._ledger.add("admission.rejected", 1)
-                raise AdmissionError(
-                    f"admission queue full ({self.max_queue_depth} waiting); "
-                    f"session {session_id!r} of tenant {tenant!r} rejected"
-                )
-            ticket = _Ticket(session_id, tenant)
+                    self._ledger.add("shed.preempted", 1)
+            ticket = _Ticket(session_id, tenant, budget=budget)
             self._queue.append(ticket)
             self.stats.queued += 1
             self.stats.peak_queued = max(self.stats.peak_queued, len(self._queue))
             if self._ledger is not None:
                 self._ledger.add("admission.queued", 1)
+        if victim is not None:
+            victim.ready.set()
         effective = timeout_s if timeout_s is not None else self.timeout_s
-        if not ticket.ready.wait(timeout=effective):
+        dispose = None
+        if budget is not None:
+            effective = budget.clamp(effective)
+            dispose = budget.on_cancel(ticket.ready.set)
+        try:
+            signalled = ticket.ready.wait(timeout=effective)
+        finally:
+            if dispose is not None:
+                dispose()
+        with self._lock:
+            if ticket.shed is None and ticket not in self._queue:
+                # Promoted — possibly in the race between wait() expiry (or a
+                # cancel wake) and lock acquisition; the caller's own budget
+                # check decides whether the admitted session still runs.
+                return True
+            if ticket in self._queue:
+                self._queue.remove(ticket)
+        if ticket.shed == "preempted":
+            raise AdmissionError(
+                f"session {session_id!r} of tenant {tenant!r} shed from the "
+                f"admission queue by a higher-priority arrival "
+                f"(priority {self.tenant_priorities.get(tenant, 0)})"
+            )
+        if budget is not None:
+            if ticket.shed is None and (budget.cancelled or budget.expired):
+                # Self-detected expiry/cancel: release() never saw this ticket.
+                with self._lock:
+                    self.stats.shed += 1
+                if self._ledger is not None:
+                    self._ledger.add("shed.expired", 1)
+            budget.check("admission queue wait")  # raises the typed error
+        if not signalled:
             with self._lock:
-                if ticket in self._queue:
-                    self._queue.remove(ticket)
-                    self.stats.timeouts += 1
-                    raise AdmissionError(
-                        f"session {session_id!r} of tenant {tenant!r} waited "
-                        f"{effective}s for admission (quota "
-                        f"{self.tenant_quotas.get(tenant)}, "
-                        f"{len(self._running)}/{self.max_concurrent} running)"
-                    )
-            # Promoted in the race between wait() expiry and lock acquisition.
+                self.stats.timeouts += 1
+            raise AdmissionError(
+                f"session {session_id!r} of tenant {tenant!r} waited "
+                f"{effective}s for admission (quota "
+                f"{self.tenant_quotas.get(tenant)}, "
+                f"{len(self._running)}/{self.max_concurrent} running)"
+            )
         return True
 
     def _admit_locked(self, session_id: str, tenant: str) -> None:
@@ -153,19 +234,33 @@ class SessionAdmission:
 
     def release(self, session_id: str) -> None:
         """Free the session's slot and promote as many waiters as now fit
-        (fair FIFO, skipping — not cancelling — quota-blocked tenants)."""
+        (fair FIFO, skipping — not cancelling — quota-blocked tenants).
+        Expired or cancelled tickets are shed *before* promotion so a free
+        slot never goes to a session whose client has already given up."""
         promoted: list[_Ticket] = []
+        shed: list[_Ticket] = []
         with self._lock:
             if self._running.pop(session_id, None) is None:
                 # A queued session being torn down before it ever ran.
                 self._queue = [t for t in self._queue if t.session_id != session_id]
                 return
             for ticket in list(self._queue):
+                b = ticket.budget
+                if b is not None and (b.expired or b.cancelled):
+                    self._queue.remove(ticket)
+                    ticket.shed = "deadline"
+                    self.stats.shed += 1
+                    if self._ledger is not None:
+                        self._ledger.add("shed.expired", 1)
+                    shed.append(ticket)
+            for ticket in list(self._queue):
                 if not self._admissible(ticket.tenant):
                     continue
                 self._queue.remove(ticket)
                 self._admit_locked(ticket.session_id, ticket.tenant)
                 promoted.append(ticket)
+        for ticket in shed:
+            ticket.ready.set()
         for ticket in promoted:
             ticket.ready.set()
 
@@ -240,38 +335,75 @@ class WorkerPoolScheduler:
         return mine <= floor
 
     @contextmanager
-    def lease(self, session_id: str, timeout_s: float | None = None):
-        self.acquire_slot(session_id, timeout_s=timeout_s)
+    def lease(
+        self,
+        session_id: str,
+        timeout_s: float | None = None,
+        budget: Budget | None = None,
+    ):
+        self.acquire_slot(session_id, timeout_s=timeout_s, budget=budget)
         try:
             yield
         finally:
             self.release_slot(session_id)
 
-    def acquire_slot(self, session_id: str, timeout_s: float | None = None) -> None:
-        effective = timeout_s if timeout_s is not None else self.timeout_s
-        deadline = time.monotonic() + effective
+    def _wake_all(self) -> None:
         with self._cond:
-            waited = False
-            while not self._grantable(session_id):
-                if not waited:
-                    waited = True
-                    self.waits += 1
-                    if self._ledger is not None:
-                        self._ledger.add("scheduler.waits", 1)
-                    self._waiting[session_id] = self._waiting.get(session_id, 0) + 1
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+            self._cond.notify_all()
+
+    def acquire_slot(
+        self,
+        session_id: str,
+        timeout_s: float | None = None,
+        budget: Budget | None = None,
+    ) -> None:
+        effective = timeout_s if timeout_s is not None else self.timeout_s
+        dispose = None
+        if budget is not None:
+            budget.check("worker slot acquire")
+            clamped = budget.clamp(effective)
+            if clamped is not None:
+                effective = clamped
+            # Wake this waiter on cancel so it raises SessionCancelled
+            # immediately instead of sitting out the slot timeout.
+            dispose = budget.on_cancel(self._wake_all)
+        deadline = time.monotonic() + effective
+        try:
+            with self._cond:
+                waited = False
+                try:
+                    while not self._grantable(session_id):
+                        if budget is not None:
+                            budget.check("worker slot wait")
+                        if not waited:
+                            waited = True
+                            self.waits += 1
+                            if self._ledger is not None:
+                                self._ledger.add("scheduler.waits", 1)
+                            self._waiting[session_id] = (
+                                self._waiting.get(session_id, 0) + 1
+                            )
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                            if budget is not None:
+                                budget.check("worker slot wait")
+                            raise AdmissionError(
+                                f"session {session_id!r} waited {effective}s for a "
+                                f"worker slot ({self.total_slots} total, "
+                                f"{len(self._held)} sessions holding)"
+                            )
+                except BaseException:
+                    if waited:
+                        self._unwait_locked(session_id)
+                    raise
+                if waited:
                     self._unwait_locked(session_id)
-                    raise AdmissionError(
-                        f"session {session_id!r} waited {effective}s for a "
-                        f"worker slot ({self.total_slots} total, "
-                        f"{len(self._held)} sessions holding)"
-                    )
-            if waited:
-                self._unwait_locked(session_id)
-            self._free -= 1
-            self._held[session_id] = self._held.get(session_id, 0) + 1
-            self.peak_sessions = max(self.peak_sessions, len(self._held))
+                self._free -= 1
+                self._held[session_id] = self._held.get(session_id, 0) + 1
+                self.peak_sessions = max(self.peak_sessions, len(self._held))
+        finally:
+            if dispose is not None:
+                dispose()
 
     def _unwait_locked(self, session_id: str) -> None:
         count = self._waiting.get(session_id, 0) - 1
@@ -346,20 +478,45 @@ class SpillGovernor:
         with self._cond:
             return self._outstanding.get(tenant, 0)
 
-    def throttle(self, tenant: str) -> None:
-        """Pause the calling sender while its tenant is over budget."""
-        budget = self._budget(tenant)
-        if budget is None:
-            return
-        deadline = time.monotonic() + self.timeout_s
+    def _wake_all(self) -> None:
         with self._cond:
-            if self._outstanding.get(tenant, 0) <= budget:
+            self._cond.notify_all()
+
+    def throttle(self, tenant: str, budget: Budget | None = None) -> None:
+        """Pause the calling sender while its tenant is over budget.
+
+        With a session ``budget``, the pause is clamped to the budget's
+        remaining time and a cancel wakes the sender immediately — the
+        governor never raises (it shapes, it doesn't fail); the send path's
+        own budget check surfaces the typed error right after.
+        """
+        cap = self._budget(tenant)
+        if cap is None:
+            return
+        bound = self.timeout_s
+        dispose = None
+        if budget is not None:
+            if budget.cancelled or budget.expired:
                 return
-            self.throttled += 1
-            if self._ledger is not None:
-                self._ledger.add("governor.throttled", 1)
-            while self._outstanding.get(tenant, 0) > budget:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not self._cond.wait(timeout=remaining):
-                    self.forced_through += 1
+            clamped = budget.clamp(bound)
+            if clamped is not None:
+                bound = clamped
+            dispose = budget.on_cancel(self._wake_all)
+        deadline = time.monotonic() + bound
+        try:
+            with self._cond:
+                if self._outstanding.get(tenant, 0) <= cap:
                     return
+                self.throttled += 1
+                if self._ledger is not None:
+                    self._ledger.add("governor.throttled", 1)
+                while self._outstanding.get(tenant, 0) > cap:
+                    if budget is not None and (budget.cancelled or budget.expired):
+                        return
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                        self.forced_through += 1
+                        return
+        finally:
+            if dispose is not None:
+                dispose()

@@ -32,10 +32,16 @@ class SpillableBuffer:
         ledger=None,
         governor=None,
         tenant: str = "default",
+        budget=None,
     ):
         if capacity_bytes < 1:
             raise ValueError("capacity_bytes must be >= 1")
         self._capacity = capacity_bytes
+        # Optional per-session Budget: get() waits are clamped to its
+        # remaining time and a cancel wakes blocked readers immediately.
+        self._budget = budget
+        if budget is not None:
+            budget.on_cancel(self._wake_readers)
         # Multi-tenant backpressure isolation: outstanding spill bytes are
         # charged to a SpillGovernor per tenant; the *sender* consults it
         # (before put) so an over-budget tenant throttles itself while other
@@ -110,11 +116,19 @@ class SpillableBuffer:
 
     # ----------------------------------------------------------------- read
 
+    def _wake_readers(self) -> None:
+        with self._lock:
+            self._readable.notify_all()
+
     def get(self, timeout: float | None = 30.0) -> bytes | None:
         """Next item in FIFO order, or None at end of stream.
 
         Raises :class:`TransferError` if nothing arrives within ``timeout``
         (a deadlock guard; the paper's streams always terminate with EOF).
+        With a session budget installed, the wait is additionally clamped to
+        the budget's remaining time and raises the typed
+        ``DeadlineExceeded``/``SessionCancelled`` instead of the retryable
+        flat-timeout error.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
@@ -129,6 +143,8 @@ class SpillableBuffer:
                     continue
                 if self._closed:
                     return None
+                if self._budget is not None:
+                    self._budget.check("buffer read")
                 # The deadline spans wait() wakeups: repeated notifies that
                 # deliver nothing (another reader won the race) must not
                 # extend the deadlock guard indefinitely.
@@ -137,6 +153,12 @@ class SpillableBuffer:
                     raise ChannelTimeoutError(
                         f"buffer read timed out after {timeout}s (producer stalled?)"
                     )
+                if self._budget is not None:
+                    # Clamped wait: on expiry the loop re-enters and the
+                    # budget check (or the flat deadline above) raises.
+                    if not self._readable.wait(timeout=self._budget.clamp(remaining)):
+                        self._budget.check("buffer read")
+                    continue
                 if not self._readable.wait(timeout=remaining):
                     raise ChannelTimeoutError(
                         f"buffer read timed out after {timeout}s (producer stalled?)"

@@ -50,6 +50,7 @@ class StreamChannel:
         local: bool = False,
         governor=None,
         tenant: str = "default",
+        budget=None,
     ):
         self.channel_id = channel_id
         self.local = local
@@ -61,12 +62,16 @@ class StreamChannel:
         # is the seed path — zero extra work per send.
         self._governor = governor
         self._tenant = tenant
+        # Per-session Budget: receive waits derive from its remaining time
+        # (via the buffer) and governor pauses observe its cancel flag.
+        self._budget = budget
         self._buffer = SpillableBuffer(
             capacity_bytes=buffer_bytes,
             spill_path=spill_path,
             ledger=ledger,
             governor=governor,
             tenant=tenant,
+            budget=budget,
         )
         self.rows_sent = 0
         self.bytes_sent = 0
@@ -87,7 +92,7 @@ class StreamChannel:
         """Serialize and enqueue one row (the seed's per-row wire format)."""
         payload = encode_row(row)
         if self._governor is not None:
-            self._governor.throttle(self._tenant)
+            self._governor.throttle(self._tenant, budget=self._budget)
         self._buffer.put(payload)
         self.rows_sent += 1
         self._account_sent(len(payload))
@@ -101,7 +106,7 @@ class StreamChannel:
             return
         payload = encode_block(rows)
         if self._governor is not None:
-            self._governor.throttle(self._tenant)
+            self._governor.throttle(self._tenant, budget=self._budget)
         self._buffer.put(payload)
         self.rows_sent += len(rows)
         self._account_sent(block_logical_bytes(payload))
@@ -115,7 +120,7 @@ class StreamChannel:
             return
         payload = encode_col_block(batch)
         if self._governor is not None:
-            self._governor.throttle(self._tenant)
+            self._governor.throttle(self._tenant, budget=self._budget)
         self._buffer.put(payload)
         self.rows_sent += len(batch)
         self._account_sent(block_logical_bytes(payload))
@@ -134,7 +139,7 @@ class StreamChannel:
             return
         payload = encode_seq_block(rows, seq)
         if self._governor is not None:
-            self._governor.throttle(self._tenant)
+            self._governor.throttle(self._tenant, budget=self._budget)
         self._buffer.put(payload)
         logical = block_logical_bytes(payload)
         if retry:

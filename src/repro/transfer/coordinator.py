@@ -15,7 +15,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.cluster.cluster import Cluster
-from repro.common.errors import CoordinatorUnavailableError, TransferError
+from repro.common.errors import (
+    CoordinatorUnavailableError,
+    DeadlineExceeded,
+    SessionCancelled,
+    TransferError,
+)
+from repro.runtime.budget import Budget
 from repro.transfer.channel import ChannelId, StreamChannel
 
 DEFAULT_BUFFER_BYTES = 4096  # the paper's send/receive buffer setting
@@ -69,6 +75,9 @@ class StreamSession:
     result: Any = None
     error: BaseException | None = None
     launched: bool = False
+    #: per-session execution budget (deadline + cancel flag + retry tokens);
+    #: every blocking wait in the serving plane derives from it
+    budget: Budget | None = None
 
     def restart_plan(self, sql_worker_id: int) -> dict:
         """§6: which endpoints must restart after a channel failure.
@@ -106,6 +115,8 @@ class Coordinator:
         admission=None,  # SessionAdmission | None — multi-tenant quota gate
         worker_pool=None,  # WorkerPoolScheduler | None — shared ML slots
         spill_governor=None,  # SpillGovernor | None — per-tenant spill budgets
+        retry_budget=None,  # RetryTokenBucket | None — shared retry cap
+        default_deadline_s: float | None = None,  # deadline for new sessions
     ):
         if transport not in ("memory", "socket"):
             raise TransferError(f"unknown transport {transport!r}")
@@ -143,12 +154,23 @@ class Coordinator:
         self.admission = admission
         self.worker_pool = worker_pool
         self.spill_governor = spill_governor
+        #: overload protection (None by default = seed behavior): a shared
+        #: retry-token bucket carried on every session budget, and a default
+        #: per-session deadline applied when create_session names none
+        self.retry_budget = retry_budget
+        self.default_deadline_s = default_deadline_s
         #: one shared mux socket pair per SQL worker (multi-tenant socket
         #: transport only); sessions' channels ride it as tagged streams
         self._mux_transports: dict[int, Any] = {}
         self._monitor = None  # LivenessMonitor | None
         self._sessions: dict[str, StreamSession] = {}
+        #: session_id -> cancel reason for recently cancelled sessions, so a
+        #: client that was *between* waits when the cancel landed still gets
+        #: the typed SessionCancelled, not "unknown session".  Bounded FIFO.
+        self._cancel_tombstones: dict[str, str] = {}
         self._lock = threading.Lock()
+
+    _TOMBSTONE_CAP = 1024
 
     # ----------------------------------------------------- HA: serving state
 
@@ -223,6 +245,24 @@ class Coordinator:
                 columnar=_as_bool(settings.get("columnar", self.columnar)),
                 spill_dir=settings.get("spill_dir", self.spill_dir),
             )
+            # Restore the end-to-end budget from its journaled wall-clock
+            # deadline (a takeover enforces the session's *remaining* time,
+            # not a fresh allowance); sessions journaled without a deadline
+            # get a plain unbounded budget, same as the seed path.
+            restored = Budget.from_settings(
+                settings,
+                session_id=session_id,
+                retry_tokens=self.retry_budget,
+                ledger=self.cluster.ledger,
+            )
+            session.budget = restored or Budget(
+                session_id=session_id,
+                retry_tokens=self.retry_budget,
+                ledger=self.cluster.ledger,
+            )
+            session.budget.on_cancel(session.all_registered.set)
+            session.budget.on_cancel(session.splits_ready.set)
+            session.budget.on_cancel(session.result_ready.set)
             # Re-seed the (group-shared) admission gate: usually a no-op
             # because the gate object survived the dead leader, but a cold
             # standby restoring purely from the journal re-admits here.
@@ -310,6 +350,7 @@ class Coordinator:
         spill_dir: str | None = None,
         exists_ok: bool = False,
         tenant: str = "default",
+        deadline_s: float | None = None,
     ) -> StreamSession:
         """Pre-configure a session (the pipeline does this before the query).
 
@@ -324,6 +365,15 @@ class Coordinator:
         :class:`~repro.common.errors.AdmissionError` when the queue is full
         or the wait times out.  Admission is idempotent by session id, so
         the HA retry re-issuing this call never double-charges a quota.
+
+        ``deadline_s`` arms the session's end-to-end :class:`Budget`: every
+        later blocking wait (admission queue, worker-slot, governor pause,
+        channel receive, broker fetch, result wait) derives its timeout from
+        the budget's remaining time and raises the typed, non-retryable
+        :class:`~repro.common.errors.DeadlineExceeded` when it runs out —
+        one clock instead of stacked per-layer defaults.  ``deadline_s=None``
+        (the default, unless the ``stream.deadline_s`` conf prop or the
+        coordinator's ``default_deadline_s`` names one) is the seed path.
         """
         self._ensure_serving()
         props = dict(conf_props or {})
@@ -333,9 +383,20 @@ class Coordinator:
             raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
         if columnar is None:
             columnar = _as_bool(props.get("stream.columnar", self.columnar))
+        if deadline_s is None:
+            raw = props.get("stream.deadline_s")
+            deadline_s = float(raw) if raw is not None else self.default_deadline_s
+        budget = Budget(
+            deadline_s=deadline_s,
+            session_id=session_id,
+            retry_tokens=self.retry_budget,
+            ledger=self.cluster.ledger,
+        )
         admitted = False
         if self.admission is not None:
-            admitted = self.admission.acquire(session_id, tenant=tenant)
+            admitted = self.admission.acquire(
+                session_id, tenant=tenant, budget=budget
+            )
         try:
             with self._lock:
                 existing = self._sessions.get(session_id)
@@ -353,8 +414,15 @@ class Coordinator:
                     batch_rows=batch_rows,
                     columnar=bool(columnar),
                     spill_dir=spill_dir if spill_dir is not None else self.spill_dir,
+                    budget=budget,
                 )
                 self._sessions[session_id] = session
+                self._cancel_tombstones.pop(session_id, None)  # id reuse
+            # A cancel must wake session-event waiters too; each wait site
+            # re-checks the budget after waking, so a spurious set is safe.
+            budget.on_cancel(session.all_registered.set)
+            budget.on_cancel(session.splits_ready.set)
+            budget.on_cancel(session.result_ready.set)
         except BaseException:
             if admitted:
                 self.admission.release(session_id)
@@ -370,6 +438,10 @@ class Coordinator:
             # deployments keep their PR-4 zk.journal byte totals bit-identical.
             if self.admission is not None or tenant != "default":
                 settings["tenant"] = tenant
+            # Same gating for the budget: journaled (as wall-clock time, so a
+            # takeover enforces the *remaining* budget) only when armed.
+            if deadline_s is not None:
+                settings.update(budget.to_settings())
             self.state_store.record_session(
                 session_id,
                 session.command,
@@ -390,7 +462,13 @@ class Coordinator:
         self._ensure_serving()
         with self._lock:
             session = self._sessions.get(session_id)
+            tombstone = self._cancel_tombstones.get(session_id)
         if session is None:
+            if tombstone is not None:
+                raise SessionCancelled(
+                    f"session {session_id!r} cancelled: {tombstone}",
+                    session_id=session_id,
+                )
             raise TransferError(
                 f"unknown session {session_id!r}; known: {sorted(self._sessions)}"
             )
@@ -424,6 +502,60 @@ class Coordinator:
         if self.admission is not None:
             self.admission.release(session_id)
             self._journal_admission()
+
+    def cancel_session(self, session_id: str, reason: str = "client cancel") -> bool:
+        """Cooperatively cancel one session and tear it down.
+
+        Order matters: the budget's cancel flag flips first (waking every
+        blocked wait that derives from it — admission queue, worker slots,
+        governor pauses, buffer reads), then a CANCEL control frame goes out
+        on each mux channel so remote receivers stop at their next frame
+        boundary, then the session is marked failed with a typed
+        :class:`SessionCancelled` — unless a real outcome already landed
+        (a completed result wins the race; cancel never un-completes a
+        session) — and finally ``close_session`` releases the admission
+        slot, channels, and spill files.
+
+        Returns True if this call was the first to cancel the session,
+        False for repeats or unknown/already-closed sessions (idempotent —
+        the HA retry path may re-issue the call against a new leader).
+        """
+        self._ensure_serving()
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            return False
+        budget = session.budget
+        first = budget.cancel(reason) if budget is not None else False
+        # Tell remote receivers over the shared mux wire (in-process and
+        # plain-socket channels are woken by the budget callbacks instead).
+        for channel in list(session.channels.values()):
+            cancel = getattr(channel, "cancel", None)
+            if cancel is not None:
+                try:
+                    cancel()
+                except TransferError:
+                    pass  # a torn-down wire just means nobody is listening
+        with self._lock:
+            if session.error is None and session.result is None:
+                session.error = SessionCancelled(
+                    f"session {session_id!r} cancelled: {reason}",
+                    session_id=session_id,
+                )
+                session.failed = True
+                session.failure_reason = str(session.error)
+            session.splits_ready.set()
+            session.all_registered.set()
+            session.result_ready.set()
+        if self.state_store is not None and session.failed:
+            self.state_store.record_status(session_id, "failed")
+        if session.failed:
+            with self._lock:
+                while len(self._cancel_tombstones) >= self._TOMBSTONE_CAP:
+                    self._cancel_tombstones.pop(next(iter(self._cancel_tombstones)))
+                self._cancel_tombstones[session_id] = reason
+        self.close_session(session_id)
+        return first
 
     # ------------------------------------------------- step 1: registration
 
@@ -507,6 +639,25 @@ class Coordinator:
 
     # ------------------------------------------------ step 3: split planning
 
+    def _session_wait(
+        self, session: StreamSession, event: threading.Event, what: str
+    ) -> bool:
+        """Wait on a session handshake event under the session's budget.
+
+        The flat ``timeout_s`` bound is clamped to the budget's remaining
+        time; a cancel sets the session events (registered in
+        ``create_session``), so waiters wake promptly and the post-wake
+        ``budget.check`` converts the spurious set into the typed error.
+        Returns the event state for the caller's seed timeout message.
+        """
+        budget = session.budget
+        if budget is None:
+            return event.wait(timeout=self.timeout_s)
+        budget.check(what)
+        fired = event.wait(timeout=budget.clamp(self.timeout_s))
+        budget.check(what)
+        return fired
+
     def plan_input_splits(self, session_id: str, requested: int | None) -> list[ChannelId]:
         """Decide the m InputSplits and create their channels.
 
@@ -516,7 +667,9 @@ class Coordinator:
         IP, the locality hint of the paper.
         """
         session = self.session(session_id)
-        if not session.all_registered.wait(timeout=self.timeout_s):
+        if not self._session_wait(
+            session, session.all_registered, "SQL worker registration wait"
+        ):
             raise TransferError(
                 f"timed out waiting for SQL workers of {session_id!r} to register"
             )
@@ -556,6 +709,7 @@ class Coordinator:
                             governor=self.spill_governor,
                             tenant=session.tenant,
                             receive_timeout_s=self.timeout_s,
+                            budget=session.budget,
                         )
                     elif self.transport == "socket":
                         from repro.transfer.socket_channel import SocketStreamChannel
@@ -569,6 +723,7 @@ class Coordinator:
                             send_timeout_s=self.timeout_s,
                             governor=self.spill_governor,
                             tenant=session.tenant,
+                            budget=session.budget,
                         )
                     else:
                         session.channels[cid] = StreamChannel(
@@ -579,6 +734,7 @@ class Coordinator:
                             local=local,
                             governor=self.spill_governor,
                             tenant=session.tenant,
+                            budget=session.budget,
                         )
                     group.append(cid)
                     channel_ids.append(cid)
@@ -648,7 +804,7 @@ class Coordinator:
         ``(session_id, channel_id)``) instead of a "claimed twice" error.
         """
         session = self.session(session_id)
-        if not session.splits_ready.wait(timeout=self.timeout_s):
+        if not self._session_wait(session, session.splits_ready, "split claim wait"):
             raise TransferError(f"splits of {session_id!r} were never planned")
         self._ensure_serving()  # a kill() sets the events to wake waiters
         with self._lock:
@@ -668,7 +824,9 @@ class Coordinator:
     def sql_worker_channels(self, session_id: str, worker_id: int) -> list[StreamChannel]:
         """A SQL worker collects its matched send endpoints (blocks on step 3)."""
         session = self.session(session_id)
-        if not session.splits_ready.wait(timeout=self.timeout_s):
+        if not self._session_wait(
+            session, session.splits_ready, "split planning wait"
+        ):
             raise TransferError(
                 f"timed out waiting for split planning in {session_id!r} "
                 "(was the ML job launched?)"
@@ -695,13 +853,29 @@ class Coordinator:
         ``timeout=0`` means "poll, don't wait" — only ``None`` selects the
         default (``timeout or default`` would silently turn an explicit 0
         into a multi-second block).
+
+        With a budget armed, the wait is clamped to the session's remaining
+        time, and a budget outcome set by a worker re-raises *typed*
+        (:class:`DeadlineExceeded` / :class:`SessionCancelled`) rather than
+        wrapped, so callers and the recovery ladder can tell the
+        non-retryable outcomes apart from transient transfer failures.
         """
         session = self.session(session_id)
+        budget = session.budget
         effective = timeout if timeout is not None else self.timeout_s * 4
+        if budget is not None and budget.deadline_s is not None:
+            effective = budget.clamp(effective)
         if not session.result_ready.wait(timeout=effective):
+            if budget is not None:
+                budget.check("result wait")
             raise TransferError(f"ML job of session {session_id!r} never finished")
+        if budget is not None and session.error is None and session.result is None:
+            # Woken by the cancel callback, not a real outcome.
+            budget.check("result wait")
         self._ensure_serving()  # a kill() sets the events to wake waiters
         if session.error is not None:
+            if isinstance(session.error, (DeadlineExceeded, SessionCancelled)):
+                raise session.error
             raise TransferError(
                 f"ML job of session {session_id!r} failed: {session.error}"
             ) from session.error

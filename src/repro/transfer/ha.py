@@ -42,7 +42,11 @@ import json
 import threading
 import time
 
-from repro.common.errors import CoordinatorUnavailableError, TransferError
+from repro.common.errors import (
+    CoordinatorUnavailableError,
+    RetriesExhaustedError,
+    TransferError,
+)
 from repro.faults.recovery import RecoveryManager, RetryPolicy
 from repro.transfer.coordinator import (
     DEFAULT_BATCH_ROWS,
@@ -106,6 +110,8 @@ class CoordinatorHAGroup:
         admission=None,  # SessionAdmission | None — shared across replicas
         worker_pool=None,  # WorkerPoolScheduler | None — shared across replicas
         spill_governor=None,  # SpillGovernor | None — shared across replicas
+        retry_budget=None,  # RetryTokenBucket | None — shared across replicas
+        default_deadline_s=None,  # float | None — default session deadline
     ):
         if standbys < 1:
             raise TransferError("a HA group needs at least one standby")
@@ -126,6 +132,9 @@ class CoordinatorHAGroup:
         self.admission = admission
         self.worker_pool = worker_pool
         self.spill_governor = spill_governor
+        #: retry budgets are a deployment-wide allowance, like quotas.
+        self.retry_budget = retry_budget
+        self.default_deadline_s = default_deadline_s
         self.default_k = default_k
         self.buffer_bytes = buffer_bytes
         self.batch_rows = batch_rows
@@ -139,6 +148,10 @@ class CoordinatorHAGroup:
         self.failovers = 0
         self._results: dict[str, tuple] = {}  # session -> (result, error)
         self._lock = threading.RLock()
+        #: Notified whenever a replica takes the lease: ``await_leader``
+        #: waits on this instead of polling, so election-gap waiters wake
+        #: the instant the new term starts (and promptly on session cancel).
+        self._leader_change = threading.Condition()
         self._last_leader: Coordinator | None = None
         self.coordinators: list[Coordinator] = []
         for i in range(standbys + 1):
@@ -158,6 +171,8 @@ class CoordinatorHAGroup:
                 admission=admission,
                 worker_pool=worker_pool,
                 spill_governor=spill_governor,
+                retry_budget=retry_budget,
+                default_deadline_s=default_deadline_s,
             )
             replica.ha_group = self
             # The shared mux pairs are data plane, like the channel registry:
@@ -196,19 +211,50 @@ class CoordinatorHAGroup:
         data, _v = self.zk.get(EPOCH_PATH)
         return int(data or b"0")
 
-    def await_leader(self, timeout: float | None = None) -> Coordinator:
-        """The current leader, waiting briefly through an election gap."""
-        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout_s)
-        while True:
-            leader = self.leader()
-            if leader is not None:
-                return leader
-            if time.monotonic() >= deadline:
-                raise CoordinatorUnavailableError(
-                    "no coordinator holds the leader lease "
-                    f"(replicas: {[c.coordinator_id for c in self.coordinators]})"
-                )
-            time.sleep(0.005)
+    def await_leader(
+        self, timeout: float | None = None, budget=None
+    ) -> Coordinator:
+        """The current leader, waiting through an election gap.
+
+        Waits on the leader-change condition (notified by :meth:`_elect`),
+        not a polling sleep: waiters wake the moment the new term starts.
+        With a session budget the bound is clamped to its remaining time and
+        a cancel wakes the wait immediately (the post-wake ``check`` turns
+        it into the typed error).  The 50 ms re-check cap is a safety net
+        for leadership changes that bypass this process's notifier.
+        """
+        bound = timeout if timeout is not None else self.timeout_s
+        if budget is not None:
+            budget.check("leader wait")
+            bound = budget.clamp(bound)
+        deadline = time.monotonic() + bound
+        dispose = (
+            budget.on_cancel(self._notify_leader_change)
+            if budget is not None
+            else None
+        )
+        try:
+            with self._leader_change:
+                while True:
+                    leader = self.leader()
+                    if leader is not None:
+                        return leader
+                    if budget is not None:
+                        budget.check("leader wait")
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise CoordinatorUnavailableError(
+                            "no coordinator holds the leader lease "
+                            f"(replicas: {[c.coordinator_id for c in self.coordinators]})"
+                        )
+                    self._leader_change.wait(timeout=min(remaining, 0.05))
+        finally:
+            if dispose is not None:
+                dispose()
+
+    def _notify_leader_change(self) -> None:
+        with self._leader_change:
+            self._leader_change.notify_all()
 
     # ------------------------------------------------------------- election
 
@@ -236,6 +282,7 @@ class CoordinatorHAGroup:
         self._last_leader = replica
         replica.become_leader(self.store.for_epoch(epoch), epoch)
         self.zk.watch(LEADER_PATH, self._on_lease_event)
+        self._notify_leader_change()
 
     def _on_lease_event(self, _path: str, event: str) -> None:
         if event != "deleted":
@@ -302,14 +349,18 @@ class CoordinatorHAGroup:
             self._results[session_id] = (result, error)
         deadline = time.monotonic() + self.timeout_s
         while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return  # leaderless; adoption will replay the result
             try:
-                leader = self.await_leader(timeout=self.timeout_s)
+                # await_leader blocks on the leader-change condition, so no
+                # extra sleep is needed between attempts: a lost race with a
+                # concurrent takeover just re-resolves immediately.
+                leader = self.await_leader(timeout=remaining)
                 leader.apply_result(session_id, result, error)
                 return
             except CoordinatorUnavailableError:
-                if time.monotonic() >= deadline:
-                    return  # leaderless; adoption will replay the result
-                time.sleep(0.005)
+                continue
             except TransferError:
                 return  # session already closed — outcome is moot
 
@@ -373,6 +424,14 @@ class FailoverCoordinator:
         return self._group.spill_governor
 
     @property
+    def retry_budget(self):
+        return self._group.retry_budget
+
+    @property
+    def default_deadline_s(self):
+        return self._group.default_deadline_s
+
+    @property
     def default_k(self) -> int:
         return self._group.default_k
 
@@ -413,8 +472,14 @@ class FailoverCoordinator:
     def _invoke(self, point: str, method: str, *args, retry_kwargs=None, **kwargs):
         group = self._group
         injector = group.injector
+        retry_budget = getattr(group, "retry_budget", None)
         merged = dict(kwargs)
         attempt = 0
+        started = time.monotonic()
+        # Elapsed cap across *all* retry reasons: under sustained chaos the
+        # per-reason attempt counters alone can stack into minutes; a client
+        # call never outlives a few handshake timeouts' worth of wall clock.
+        elapsed_cap = group.timeout_s * 4
         while True:
             if injector is not None:
                 if injector.check_coordinator_kill(point):
@@ -432,6 +497,11 @@ class FailoverCoordinator:
                     raise CoordinatorUnavailableError(
                         f"{method} failed {attempt} times across failovers: {exc}"
                     ) from exc
+                if retry_budget is not None and not retry_budget.try_acquire():
+                    raise RetriesExhaustedError(
+                        f"{method}: deployment retry budget exhausted after "
+                        f"{attempt} failover attempts: {exc}"
+                    ) from exc
                 # The call may have half-applied before the old leader fell
                 # over; converge idempotently on the new one.
                 if retry_kwargs:
@@ -440,10 +510,25 @@ class FailoverCoordinator:
                 continue
             if injector is not None and injector.check_handshake_drop(point):
                 # The server applied the mutation but the response was lost:
-                # the client re-issues the handshake, idempotently.
+                # the client re-issues the handshake, idempotently — but
+                # bounded.  An injector configured to drop every response
+                # must surface as a typed failure, not an infinite loop.
+                attempt += 1
+                if (
+                    attempt >= self._retry.max_attempts
+                    or time.monotonic() - started >= elapsed_cap
+                ):
+                    raise RetriesExhaustedError(
+                        f"{method}: response dropped on every one of "
+                        f"{attempt} handshake attempts"
+                    )
+                if retry_budget is not None and not retry_budget.try_acquire():
+                    raise RetriesExhaustedError(
+                        f"{method}: deployment retry budget exhausted after "
+                        f"{attempt} dropped handshakes"
+                    )
                 if retry_kwargs:
                     merged = {**kwargs, **retry_kwargs}
-                attempt += 1
                 continue
             return result
 
@@ -466,6 +551,9 @@ class FailoverCoordinator:
 
     def close_session(self, session_id: str) -> None:
         return self._invoke("close_session", "close_session", session_id)
+
+    def cancel_session(self, session_id: str, reason: str = "client cancel") -> bool:
+        return self._invoke("cancel_session", "cancel_session", session_id, reason)
 
     def register_sql_worker(
         self,

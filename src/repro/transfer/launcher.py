@@ -25,7 +25,10 @@ def connect(coordinator: Coordinator, ml_system: MLSystem) -> None:
     def launch(session: StreamSession) -> MLJobResult:
         props = dict(session.conf_props)
         props["stream.session"] = session.session_id
-        conf = JobConf(props, coordinator=coordinator)
+        # The session budget rides the conf as an object so every ML-side
+        # blocking wait (slot acquisition, ingest, training iterations)
+        # derives from the same end-to-end clock.
+        conf = JobConf(props, coordinator=coordinator, budget=session.budget)
         requested = props.get("stream.num_splits")
         return ml_system.run_job(
             command=session.command,

@@ -21,7 +21,7 @@ from collections import deque
 from collections.abc import Sequence
 
 from repro.cluster.cost import CostLedger
-from repro.common.errors import ChannelTimeoutError, TransferError
+from repro.common.errors import ChannelTimeoutError, SessionCancelled, TransferError
 from repro.transfer.buffers import (
     block_logical_bytes,
     decode_block,
@@ -53,6 +53,7 @@ class SocketStreamChannel:
         send_timeout_s: float = 30.0,
         governor=None,
         tenant: str = "default",
+        budget=None,
     ):
         self.channel_id = channel_id
         self.local = local
@@ -63,6 +64,12 @@ class SocketStreamChannel:
         self._governor = governor
         self._tenant = tenant
         self._governed = 0
+        # Per-session Budget: receive waits are clamped to its remaining
+        # time (sliced so a cancel is observed within ~100ms) and raise the
+        # typed DeadlineExceeded/SessionCancelled instead of the retryable
+        # flat-timeout error.  budget=None is the seed path, untouched.
+        self._budget = budget
+        self._receive_timeout_s = receive_timeout_s
         send_sock, recv_sock = socket.socketpair()
         send_sock.setblocking(False)
         try:
@@ -118,7 +125,7 @@ class SocketStreamChannel:
         if self._closed:
             raise TransferError("send on a closed channel")
         if self._governor is not None:
-            self._governor.throttle(self._tenant)
+            self._governor.throttle(self._tenant, budget=self._budget)
         frame = _FRAME.pack(len(payload)) + payload
         self._flush_overflow(blocking=False)
         if self._overflow:
@@ -225,14 +232,13 @@ class SocketStreamChannel:
             rows = list(self._pending)
             self._pending.clear()
             return rows
-        if timeout is not None:
-            self._recv_sock.settimeout(timeout)
+        deadline = self._arm_receive(timeout)
         while True:
-            header = self._read_exact(_FRAME.size)
+            header = self._read_exact(_FRAME.size, deadline)
             if header is None:
                 return None
             (length,) = _FRAME.unpack(header)
-            payload = self._read_exact(length)
+            payload = self._read_exact(length, deadline)
             if payload is None:
                 raise TransferError(
                     f"channel {self.channel_id} truncated mid-frame "
@@ -258,14 +264,13 @@ class SocketStreamChannel:
             rows = list(self._pending)
             self._pending.clear()
             return rows
-        if timeout is not None:
-            self._recv_sock.settimeout(timeout)
+        deadline = self._arm_receive(timeout)
         while True:
-            header = self._read_exact(_FRAME.size)
+            header = self._read_exact(_FRAME.size, deadline)
             if header is None:
                 return None
             (length,) = _FRAME.unpack(header)
-            payload = self._read_exact(length)
+            payload = self._read_exact(length, deadline)
             if payload is None:
                 raise TransferError(
                     f"channel {self.channel_id} truncated mid-frame "
@@ -302,14 +307,44 @@ class SocketStreamChannel:
                 return
             yield from block
 
-    def _read_exact(self, n: int) -> bytes | None:
+    def _arm_receive(self, timeout: float | None) -> float | None:
+        """Prepare one receive call: seed path sets the socket timeout and
+        returns None; budget path returns the absolute wall deadline
+        (min of flat timeout and budget remaining) for sliced reads."""
+        if self._budget is None:
+            if timeout is not None:
+                self._recv_sock.settimeout(timeout)
+            return None
+        base = timeout if timeout is not None else self._receive_timeout_s
+        bound = self._budget.clamp(base)
+        return None if bound is None else time.monotonic() + bound
+
+    def _read_exact(self, n: int, deadline: float | None = None) -> bytes | None:
         while len(self._recv_buffer) < n:
-            try:
-                chunk = self._recv_sock.recv(65536)
-            except socket.timeout:
-                raise ChannelTimeoutError(
-                    f"channel {self.channel_id} receive timed out"
-                ) from None
+            if self._budget is not None:
+                # Sliced reads (<=100ms) so a cancel or expiry is observed
+                # promptly even while the socket is idle.
+                self._budget.check(f"channel {self.channel_id} receive")
+                slice_s = 0.1
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ChannelTimeoutError(
+                            f"channel {self.channel_id} receive timed out"
+                        )
+                    slice_s = min(slice_s, remaining)
+                self._recv_sock.settimeout(max(slice_s, 0.001))
+                try:
+                    chunk = self._recv_sock.recv(65536)
+                except socket.timeout:
+                    continue
+            else:
+                try:
+                    chunk = self._recv_sock.recv(65536)
+                except socket.timeout:
+                    raise ChannelTimeoutError(
+                        f"channel {self.channel_id} receive timed out"
+                    ) from None
             if not chunk:
                 if self._recv_buffer:
                     raise TransferError(
@@ -326,6 +361,13 @@ class SocketStreamChannel:
 # --------------------------------------------------------------------------
 
 _MUX_FRAME = struct.Struct(">II")  # (payload length, tag)
+
+#: Reserved tag for in-band control frames.  A control frame's payload is a
+#: single big-endian u32 naming the *target* data tag; today the only verb
+#: is CANCEL (cooperative cancellation broadcast by ``cancel_session``).
+#: ``new_tag`` counts up from 0, so real tags never collide with it.
+_CONTROL_TAG = 0xFFFFFFFF
+_CONTROL_PAYLOAD = struct.Struct(">I")
 
 
 class MuxSocketTransport:
@@ -373,6 +415,9 @@ class MuxSocketTransport:
         self._tag_ids = itertools.count()
         self._send_lock = threading.Lock()
         self._overflow: dict[int, deque[bytes]] = {}
+        #: control frames (CANCEL) jump the round-robin: they are pumped
+        #: right after any blocked wire remainder, before data backlogs.
+        self._control: deque[bytes] = deque()
         self._wire_remainder = b""
         self._wire_tag: int | None = None
         self._tag_governor: dict[int, tuple] = {}
@@ -384,6 +429,7 @@ class MuxSocketTransport:
         self._frames: dict[int, deque[bytes]] = {}
         self._eof: set[int] = set()
         self._released: set[int] = set()
+        self._cancelled: set[int] = set()  # tags with a received CANCEL
         self._stream_eof = False
         self._rbuf = b""
 
@@ -451,6 +497,19 @@ class MuxSocketTransport:
                     return
                 self._wire_remainder = b""
                 self._wire_tag = None
+            while self._control:
+                # Control frames (CANCEL) outrank data backlogs: a cancel
+                # must not queue behind the very stream it is cancelling.
+                frame = self._control[0]
+                sent = self._try_send(frame)
+                if sent == len(frame):
+                    self._control.popleft()
+                    continue
+                if sent:
+                    self._control.popleft()
+                    self._wire_remainder = frame[sent:]
+                    self._wire_tag = _CONTROL_TAG
+                return  # kernel buffer full
             backlogged = [t for t, q in self._overflow.items() if q]
             if not backlogged:
                 return
@@ -474,7 +533,28 @@ class MuxSocketTransport:
             if not progressed:
                 return
 
-    def close_tag(self, tag: int) -> None:
+    def cancel_tag(self, tag: int) -> None:
+        """Broadcast a CANCEL control frame for ``tag`` (cooperative
+        cancellation).  The receive side marks the tag cancelled as soon as
+        the frame demuxes: blocked and future ``recv`` calls on it raise
+        :class:`SessionCancelled` instead of draining to EOF.  Never blocks —
+        the frame rides the control queue, which outranks data backlogs."""
+        frame = _MUX_FRAME.pack(
+            _CONTROL_PAYLOAD.size, _CONTROL_TAG
+        ) + _CONTROL_PAYLOAD.pack(tag)
+        with self._send_lock:
+            if self._transport_closed:
+                return
+            self._control.append(frame)
+            self._pump_locked()
+        # Local fast path: the receive pump may be idle (no reader pulling
+        # the socket right now); mark the tag directly so waiters wake even
+        # before the wire frame demuxes.
+        with self._recv_cond:
+            self._cancelled.add(tag)
+            self._recv_cond.notify_all()
+
+    def close_tag(self, tag: int, budget=None) -> None:
         """Flush the tag's queue and write its EOF frame (bounded wait).
 
         The EOF travels through the same overflow queue as data frames, and
@@ -483,6 +563,10 @@ class MuxSocketTransport:
         sessions keep allocating tags and sending through it, and the
         coordinator may need it (under its own lock) to plan a new session's
         channels.  Holding it here deadlocks the whole worker's mux.
+
+        With a cancelled/expired ``budget`` the wait is skipped entirely:
+        the session's reader is gone by definition, so blocking on it would
+        wedge teardown — ``release_tag`` reclaims the queue instead.
         """
         eof = _MUX_FRAME.pack(0, tag)
         with self._send_lock:
@@ -500,6 +584,8 @@ class MuxSocketTransport:
                 queue = self._overflow.get(tag)
                 if not queue and self._wire_tag != tag:
                     return
+            if budget is not None and (budget.cancelled or budget.expired):
+                return  # reader cancelled; don't wedge teardown on the flush
             if time.monotonic() >= deadline:
                 raise ChannelTimeoutError(
                     f"mux tag {tag} flush timed out after "
@@ -545,6 +631,10 @@ class MuxSocketTransport:
         deadline = time.monotonic() + effective
         while True:
             with self._recv_cond:
+                if tag in self._cancelled:
+                    raise SessionCancelled(
+                        f"mux tag {tag} cancelled by coordinator CANCEL frame"
+                    )
                 queue = self._frames.get(tag)
                 if queue:
                     return queue.popleft()
@@ -590,7 +680,12 @@ class MuxSocketTransport:
                     break
                 payload = self._rbuf[_MUX_FRAME.size : _MUX_FRAME.size + length]
                 self._rbuf = self._rbuf[_MUX_FRAME.size + length :]
-                if length == 0:
+                if frame_tag == _CONTROL_TAG:
+                    # CANCEL verb: payload names the target data tag.
+                    if length == _CONTROL_PAYLOAD.size:
+                        (target,) = _CONTROL_PAYLOAD.unpack(payload)
+                        self._cancelled.add(target)
+                elif length == 0:
                     self._eof.add(frame_tag)
                 elif frame_tag not in self._released:
                     self._frames.setdefault(frame_tag, deque()).append(payload)
@@ -616,6 +711,7 @@ class MuxSocketChannel:
         governor=None,
         tenant: str = "default",
         receive_timeout_s: float | None = None,
+        budget=None,
     ):
         self.channel_id = channel_id
         self.local = local
@@ -624,6 +720,10 @@ class MuxSocketChannel:
         self._governor = governor
         self._tenant = tenant
         self._receive_timeout_s = receive_timeout_s
+        # Per-session Budget: receives derive from its remaining time (in
+        # <=100ms slices so cancel/expiry surface promptly) and teardown
+        # never blocks flushing toward a cancelled reader.
+        self._budget = budget
         self._tag = transport.new_tag(governor=governor, tenant=tenant)
         self._pending: deque[tuple] = deque()
         self._closed = False
@@ -661,7 +761,7 @@ class MuxSocketChannel:
         if self._closed:
             raise TransferError("send on a closed channel")
         if self._governor is not None:
-            self._governor.throttle(self._tenant)
+            self._governor.throttle(self._tenant, budget=self._budget)
         queued = self._transport.send(self._tag, payload)
         if queued:
             self.spilled_bytes += queued
@@ -684,7 +784,12 @@ class MuxSocketChannel:
         if self._closed:
             return
         self._closed = True
-        self._transport.close_tag(self._tag)
+        self._transport.close_tag(self._tag, budget=self._budget)
+
+    def cancel(self) -> None:
+        """Broadcast the CANCEL control frame for this channel's tag
+        (``cancel_session`` fans this out over every mux channel)."""
+        self._transport.cancel_tag(self._tag)
 
     def release(self) -> None:
         self._closed = True
@@ -693,10 +798,32 @@ class MuxSocketChannel:
 
     # ------------------------------------------------------------- ML side
 
+    def _recv_payload(self, effective: float | None) -> bytes | None:
+        if self._budget is None:
+            return self._transport.recv(self._tag, timeout=effective)
+        if effective is None:
+            effective = self._transport.receive_timeout_s
+        bound = self._budget.clamp(effective)
+        deadline = None if bound is None else time.monotonic() + bound
+        while True:
+            self._budget.check(f"mux tag {self._tag} receive")
+            slice_s = 0.1
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ChannelTimeoutError(
+                        f"mux tag {self._tag} receive timed out after {bound}s"
+                    )
+                slice_s = min(slice_s, remaining)
+            try:
+                return self._transport.recv(self._tag, timeout=slice_s)
+            except ChannelTimeoutError:
+                continue  # slice elapsed; re-check budget and flat deadline
+
     def _next_frame(self, timeout: float | None):
         effective = timeout if timeout is not None else self._receive_timeout_s
         while True:
-            payload = self._transport.recv(self._tag, timeout=effective)
+            payload = self._recv_payload(effective)
             if payload is None:
                 return None
             seq, frame = split_seq_frame(payload)

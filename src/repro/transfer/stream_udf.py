@@ -123,10 +123,17 @@ class StreamTransferUDF(TableUDF):
         # frame + one lock acquisition.  ``batch_rows=1`` takes the seed's
         # per-row send path verbatim.
         batch_rows = session.batch_rows
+        # Cooperative cancellation: senders observe the session budget at
+        # batch boundaries (every 256 rows on the per-row path), raising the
+        # typed error out of the UDF instead of streaming a doomed session
+        # to completion.  budget is always present; check() is a flag read.
+        budget = session.budget
         rows_sent = 0
         try:
             if batch_rows <= 1:
                 for i, row in enumerate(rows):
+                    if budget is not None and i % 256 == 0:
+                        budget.check("stream send")
                     channels[i % len(channels)].send_row(row)
                     rows_sent += 1
             else:
@@ -137,6 +144,8 @@ class StreamTransferUDF(TableUDF):
                     batch.append(row)
                     rows_sent += 1
                     if len(batch) >= batch_rows:
+                        if budget is not None:
+                            budget.check("stream send")
                         channels[target].send_many(batch)
                         batch.clear()
                 for target, batch in enumerate(pending):
@@ -186,10 +195,13 @@ class StreamTransferUDF(TableUDF):
         channels = coordinator.sql_worker_channels(session_id, ctx.worker_id)
         if not channels:
             raise TransferError(f"worker {ctx.worker_id} was matched to no channels")
+        budget = coordinator.session(session_id).budget
         k = len(channels)
         rows_sent = 0
         try:
             for j, channel in enumerate(channels):
+                if budget is not None:
+                    budget.check("columnar stream send")
                 part = batch.slice_step(j, k) if k > 1 else batch
                 if len(part):
                     channel.send_col_batch(part)
@@ -231,6 +243,7 @@ class StreamTransferUDF(TableUDF):
         """
         recovery = coordinator.recovery
         injector = recovery.injector
+        budget = coordinator.session(session_id).budget
         partition = list(rows)
         blocks = plan_blocks(partition, len(channels), batch_rows)
         epoch = 0
@@ -239,6 +252,12 @@ class StreamTransferUDF(TableUDF):
                 try:
                     rows_streamed = 0
                     for target, seq, block in blocks:
+                        # Budget check per block: DeadlineExceeded and
+                        # SessionCancelled are neither WorkerFailedError nor
+                        # RetriesExhaustedError, so they skip both recovery
+                        # tiers and propagate typed (channels still close).
+                        if budget is not None:
+                            budget.check("resilient stream send")
                         channel = channels[target]
                         # Beat through the *coordinator*, not the recovery
                         # manager directly: the beat is a control-plane

@@ -22,7 +22,16 @@ import threading
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from repro.common.errors import ReproError
 from repro.sql.types import DataType, Schema
+
+#: The serving-plane failures a load client *expects* and records as a
+#: typed outcome: everything in the repro error hierarchy (admission
+#: rejections, deadline/cancel, transfer faults, ML faults, ...).  Anything
+#: outside it — a TypeError from a harness bug, KeyboardInterrupt — is a
+#: defect, not a load outcome, and propagates out of the client thread
+#: loudly instead of being folded into the report.
+SERVING_ERRORS: tuple = (ReproError,)
 
 #: Default labeled workload: small enough that a 100-session run stays in
 #: CI budget, large enough that every worker slot sees rows in each split.
@@ -42,6 +51,10 @@ class SessionOutcome:
     weights: tuple
     intercept: float
     error: str | None = None
+    #: exception class name of the typed serving error (None on success) —
+    #: overload reports bucket outcomes by this (DeadlineExceeded,
+    #: AdmissionError, SessionCancelled, ...).
+    error_type: str | None = None
 
 
 @dataclass
@@ -103,11 +116,19 @@ def run_one_session(
     seed: int,
     tenant: str = "default",
     iterations: int = 3,
+    deadline_s: float | None = None,
 ) -> SessionOutcome:
-    """Run one complete streaming-ML session and time create → close."""
+    """Run one complete streaming-ML session and time create → close.
+
+    Only *typed* serving errors (:data:`SERVING_ERRORS`) are recorded as a
+    session outcome; anything else is a harness defect and propagates.
+    ``deadline_s`` arms the session's end-to-end budget — the overload
+    benchmark uses it to produce typed shed/deadline outcomes under load.
+    """
     coordinator = deployment.coordinator
     start = perf_counter()
     error: str | None = None
+    error_type: str | None = None
     weights: tuple = ()
     intercept = 0.0
     try:
@@ -117,6 +138,7 @@ def run_one_session(
             args={"iterations": iterations, "seed": seed},
             conf_props={"record.format": "labeled_csv", "label.index": -1},
             tenant=tenant,
+            deadline_s=deadline_s,
         )
         deployment.engine.query_rows(
             "SELECT * FROM TABLE(stream_transfer((SELECT f1, f2, label "
@@ -126,11 +148,12 @@ def run_one_session(
         coordinator.close_session(session_id)
         weights = tuple(float(w) for w in result.model.weights)
         intercept = float(result.model.intercept)
-    except Exception as exc:  # recorded, not raised: the report shows it
+    except SERVING_ERRORS as exc:  # recorded, not raised: the report shows it
         error = f"{type(exc).__name__}: {exc}"
+        error_type = type(exc).__name__
         try:
             coordinator.close_session(session_id)
-        except Exception:
+        except SERVING_ERRORS:
             pass
     return SessionOutcome(
         session_id=session_id,
@@ -140,6 +163,7 @@ def run_one_session(
         weights=weights,
         intercept=intercept,
         error=error,
+        error_type=error_type,
     )
 
 
@@ -150,6 +174,8 @@ def run_closed_loop(
     iterations: int = 3,
     tenant_of=None,
     session_prefix: str = "load",
+    deadline_of=None,
+    tolerate_failures: bool = False,
 ) -> LoadReport:
     """Drive ``num_sessions`` sessions through ``num_clients`` client threads.
 
@@ -157,6 +183,12 @@ def run_closed_loop(
     session belongs to ``"default"``).  The table must already exist (see
     :func:`make_points_table`).  Raises if any session failed — a load run
     that silently drops sessions is not a benchmark result.
+
+    Overload mode: ``deadline_of`` maps a session index to its end-to-end
+    deadline (None = unbounded), and ``tolerate_failures=True`` keeps typed
+    failures (shed sessions, expired deadlines) in the report instead of
+    raising — the overload benchmark *expects* a shed population and
+    asserts on its composition.
     """
     pending: queue.Queue[int] = queue.Queue()
     for i in range(num_sessions):
@@ -176,6 +208,7 @@ def run_closed_loop(
                 seed=BASE_SEED + i,
                 tenant=tenant,
                 iterations=iterations,
+                deadline_s=deadline_of(i) if deadline_of is not None else None,
             )
 
     start = perf_counter()
@@ -195,7 +228,7 @@ def run_closed_loop(
             f"load run lost sessions: {len(done)} of {num_sessions} completed"
         )
     failed = [o for o in done if o.error is not None]
-    if failed:
+    if failed and not tolerate_failures:
         raise AssertionError(
             f"{len(failed)} of {num_sessions} sessions failed; first: "
             f"{failed[0].session_id}: {failed[0].error}"
@@ -245,11 +278,14 @@ def verify_against_solo(report: LoadReport, baselines: dict[int, tuple]) -> bool
 
     Every interleaved session's (weights, intercept) must equal — by exact
     float comparison, i.e. bit-identity for IEEE doubles — the solo run
-    with the same seed.
+    with the same seed.  Failed sessions (overload mode: shed or expired)
+    have no weights and are excluded; only *completed* work must be
+    bit-identical to the solo baseline.
     """
     identical = all(
         baselines.get(o.seed) == o.weights + (o.intercept,)
         for o in report.outcomes
+        if o.error is None
     )
     report.weight_identical = identical
     return identical

@@ -1,0 +1,203 @@
+"""Overload protection end to end, plus the bounded-retry satellites.
+
+The big one: the Ablation K chaos harness at test scale — sessions at 4x
+the worker-slot count with mixed deadlines, priorities, faults, and
+mid-flight cancels — must leave zero wedged threads, only typed failure
+outcomes, and completed weights bit-identical to solo runs.
+
+The satellites: the load generator records only *typed* serving errors
+(harness defects propagate); the HA proxy's handshake-drop retry branch is
+bounded by attempts, wall clock, and the deployment retry budget; and a
+leaderless ``await_leader`` is woken by a session cancel, not timed out.
+"""
+
+import threading
+from time import perf_counter
+
+import pytest
+
+from repro import make_deployment
+from repro.bench.overload import (
+    check_acceptance,
+    run_acceptance,
+    run_deadline_sweep,
+    wedged_threads,
+)
+from repro.common.errors import (
+    AdmissionError,
+    RetriesExhaustedError,
+    SessionCancelled,
+    TransferError,
+)
+from repro.faults import FaultConfig, FaultInjector
+from repro.runtime.budget import Budget
+from repro.workloads.loadgen import (
+    BASE_SEED,
+    make_points_table,
+    run_one_session,
+)
+
+pytestmark = pytest.mark.timeout(300)
+
+
+# --------------------------------------------------------------------------
+# The chaos harness at test scale
+# --------------------------------------------------------------------------
+
+
+class TestOverloadHarness:
+    def test_acceptance_bars_hold_under_oversubscription(self):
+        acceptance, report = run_acceptance(num_sessions=16, num_clients=16)
+        problems = check_acceptance(acceptance)
+        assert not problems, "; ".join(problems)
+        # The mixed-deadline load produced both populations: typed
+        # shed/expired outcomes AND completed, solo-identical work.
+        assert acceptance.completed >= 1
+        assert acceptance.deadline_exceeded >= 1
+        assert acceptance.other_failures == 0
+        assert acceptance.wedged_threads == 0
+        assert acceptance.weight_identical
+        # Every outcome in the report is accounted for by a typed bucket.
+        assert (
+            acceptance.completed
+            + acceptance.deadline_exceeded
+            + acceptance.shed
+            + acceptance.cancelled
+            == acceptance.num_sessions
+        )
+
+    def test_deadline_sweep_extremes(self):
+        tight, unbounded = run_deadline_sweep(
+            deadlines=(0.001, None), num_sessions=8, num_clients=8
+        )
+        # Below the session floor: every failure is the typed expiry.
+        assert tight.deadline_exceeded > 0
+        assert tight.other_failures == 0
+        # The control: no deadline, offered load within cap+queue — the
+        # seed behavior, every session completes.
+        assert unbounded.completed == unbounded.num_sessions
+        assert unbounded.deadline_exceeded == 0
+        assert wedged_threads(grace_s=5.0) == []
+
+
+# --------------------------------------------------------------------------
+# Satellite: the load generator only swallows *typed* serving errors
+# --------------------------------------------------------------------------
+
+
+class TestLoadgenErrorNarrowing:
+    def _deployment(self):
+        deployment = make_deployment(max_concurrent_sessions=2)
+        make_points_table(deployment.engine)
+        return deployment
+
+    def test_harness_defects_propagate_out_of_the_client(self):
+        deployment = self._deployment()
+        real_create = deployment.coordinator.create_session
+
+        def broken_create(*args, **kwargs):
+            raise TypeError("harness bug: bad argument wiring")
+
+        deployment.coordinator.create_session = broken_create
+        try:
+            with pytest.raises(TypeError, match="harness bug"):
+                run_one_session(deployment, "defect", seed=BASE_SEED)
+        finally:
+            deployment.coordinator.create_session = real_create
+
+    def test_typed_serving_errors_become_outcomes(self):
+        deployment = self._deployment()
+        real_create = deployment.coordinator.create_session
+
+        def rejecting_create(*args, **kwargs):
+            raise AdmissionError("admission queue full (test)")
+
+        deployment.coordinator.create_session = rejecting_create
+        try:
+            outcome = run_one_session(deployment, "shed", seed=BASE_SEED)
+        finally:
+            deployment.coordinator.create_session = real_create
+        assert outcome.error_type == "AdmissionError"
+        assert "queue full" in outcome.error
+
+
+# --------------------------------------------------------------------------
+# Satellite: bounded HA retries (handshake drops, retry budget)
+# --------------------------------------------------------------------------
+
+
+class TestBoundedFailoverRetries:
+    def test_every_response_dropped_surfaces_typed_not_infinite(self):
+        injector = FaultInjector(
+            FaultConfig(seed=3, handshake_drop_rate=1.0, max_events=None)
+        )
+        deployment = make_deployment(ha_standbys=1, fault_injector=injector)
+        start = perf_counter()
+        with pytest.raises(RetriesExhaustedError, match="dropped on every"):
+            deployment.coordinator.live_sessions()
+        # Bounded by attempts, far inside the elapsed cap — the seed
+        # behavior here was an unbounded retry loop.
+        assert perf_counter() - start < 20.0
+        assert isinstance(RetriesExhaustedError("x"), TransferError)
+
+    def test_retry_budget_caps_failover_retries_fleet_wide(self):
+        injector = FaultInjector(
+            FaultConfig(seed=3, handshake_drop_rate=1.0, max_events=None)
+        )
+        deployment = make_deployment(
+            ha_standbys=1, fault_injector=injector, retry_budget_tokens=2
+        )
+        with pytest.raises(RetriesExhaustedError, match="retry budget exhausted"):
+            deployment.coordinator.live_sessions()
+        ledger = deployment.cluster.ledger
+        assert ledger.get("retry_budget.granted") == 2
+        assert ledger.get("retry_budget.denied") >= 1
+
+
+# --------------------------------------------------------------------------
+# Satellite: leader waits are condition-driven, and cancel wakes them
+# --------------------------------------------------------------------------
+
+
+class TestLeaderWait:
+    def _leaderless_group(self):
+        deployment = make_deployment(ha_standbys=1)
+        group = deployment.ha
+        group.kill_leader()  # standby takes over...
+        group.kill_leader()  # ...and dies too: leaderless
+        assert group.leader() is None
+        return group
+
+    def test_await_leader_woken_by_cancel_not_timeout(self):
+        group = self._leaderless_group()
+        budget = Budget(session_id="s")
+        failures: list[BaseException] = []
+        waiting = threading.Event()
+
+        def wait_for_leader():
+            waiting.set()
+            try:
+                group.await_leader(timeout=30.0, budget=budget)
+            except BaseException as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=wait_for_leader)
+        t.start()
+        assert waiting.wait(5.0)
+        start = perf_counter()
+        budget.cancel("client hung up")
+        t.join(5.0)
+        assert not t.is_alive()
+        assert perf_counter() - start < 2.0  # notified, not polled/timed out
+        assert len(failures) == 1
+        assert isinstance(failures[0], SessionCancelled)
+
+    def test_await_leader_bounded_when_leaderless(self):
+        group = self._leaderless_group()
+        from repro.common.errors import CoordinatorUnavailableError
+
+        start = perf_counter()
+        with pytest.raises(CoordinatorUnavailableError):
+            group.await_leader(timeout=0.2)
+        elapsed = perf_counter() - start
+        assert 0.15 <= elapsed < 2.0
