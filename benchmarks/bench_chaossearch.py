@@ -1,0 +1,133 @@
+"""Chaos-search smoke: bounded schedule exploration, shrinking, determinism.
+
+Acceptance bars for the virtual-time chaos harness (Ablation L):
+
+- A bounded exploration (wall-capped, default 60s) samples seeded fault
+  schedules against the HA serving scenario and every sampled schedule
+  upholds the standing invariants — the robustness stack recovers from
+  everything the sampler throws at it.  Any failure is shrunk to a
+  minimal replayable schedule and published as an artifact.
+- Virtual time pays: the exploration covers an order of magnitude more
+  simulated seconds than it spends in wall time.
+- Determinism spot check: re-running one sampled schedule reproduces a
+  byte-identical fingerprint.
+- The shrinking demo plants four survivable decoys around one action that
+  violates the strict all-sessions-complete bar; ddmin must isolate that
+  single action, and its JSON form must replay with the same fingerprint.
+- ``BENCH_CHAOSSEARCH_JSON`` (when set) receives the results artifact;
+  ``CHAOS_MIN_SCHEDULE_JSON`` receives the minimized schedule(s).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sim import ChaosExplorer, FaultAction, FaultSchedule
+
+#: The shrinking demo's planted schedule: decoys the stack survives plus
+#: the one action that fails a session even alone.
+PLANTED = FaultSchedule(
+    seed=55,
+    actions=(
+        FaultAction("send_drop", rate=0.05),
+        FaultAction("lease_expire", site="create_session", at=0),
+        FaultAction("kill_ml", site="3", at=1),
+        FaultAction("send_stall", rate=0.05, seconds=0.5),
+        FaultAction("handshake_drop", site="split_plan"),
+    ),
+)
+
+
+@pytest.mark.timeout(300)
+def test_chaos_search_smoke(benchmark):
+    rounds = int(os.environ.get("CHAOS_SEARCH_ROUNDS", "8"))
+    wall_budget_s = float(os.environ.get("CHAOS_SEARCH_WALL_S", "60"))
+    base_seed = int(os.environ.get("CHAOS_SEARCH_SEED", "11"))
+
+    def run():
+        explorer = ChaosExplorer(base_seed=base_seed)
+        report = explorer.explore(rounds=rounds, wall_budget_s=wall_budget_s)
+        # Determinism spot check: the first sampled schedule, re-run.
+        probe = explorer.sample_schedule(0)
+        fingerprints = {explorer.run(probe).fingerprint() for _ in range(2)}
+        # Shrinking demo against the strict bar.
+        strict = ChaosExplorer(require_all_complete=True)
+        minimized, min_result = strict.shrink(PLANTED)
+        replay_fp = strict.replay(minimized.to_json()).fingerprint()
+        return report, fingerprints, minimized, min_result, replay_fp
+
+    report, fingerprints, minimized, min_result, replay_fp = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    summary = report.summary()
+    assert summary["rounds_run"] >= 1, "the wall budget starved the search"
+    assert summary["total_faults_injected"] >= 1
+    # Everything the sampler found must have been survived (or shrunk).
+    unshrunk = [s.describe() for s, _ in report.failures]
+    assert not unshrunk, f"sampled schedules violated invariants: {unshrunk}"
+    # The virtual-time dividend: simulated seconds >> wall seconds.
+    assert summary["virtual_seconds_total"] > summary["wall_seconds"], (
+        "virtual time should outrun the wall clock"
+    )
+
+    assert len(fingerprints) == 1, "identical (seed, schedule) must replay identically"
+
+    assert len(minimized.actions) == 1, (
+        f"ddmin left {len(minimized.actions)} actions: {minimized.describe()}"
+    )
+    assert minimized.actions[0].kind == "kill_ml"
+    assert min_result.failed
+    assert replay_fp == min_result.fingerprint(), (
+        "the minimized schedule's JSON replay diverged"
+    )
+
+    out_path = os.environ.get("BENCH_CHAOSSEARCH_JSON")
+    if out_path:
+        doc = {
+            "search": summary,
+            "runs": [
+                {
+                    "schedule": r.schedule.describe(),
+                    "virtual_seconds": r.virtual_seconds,
+                    "wall_seconds": r.wall_seconds,
+                    "events": len(r.events),
+                    "failed": r.failed,
+                }
+                for r in report.runs
+            ],
+            "determinism": {"runs": 2, "distinct_fingerprints": len(fingerprints)},
+            "shrink_demo": {
+                "planted_actions": len(PLANTED.actions),
+                "minimized_actions": len(minimized.actions),
+                "minimized": json.loads(minimized.to_json()),
+                "violations": min_result.violations,
+            },
+        }
+        with open(out_path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+
+    schedule_path = os.environ.get("CHAOS_MIN_SCHEDULE_JSON")
+    if schedule_path:
+        # The demo's minimized schedule plus any minimized search failures:
+        # each entry replays via ``ChaosExplorer.replay(json.dumps(entry))``.
+        entries = [json.loads(minimized.to_json())] + [
+            json.loads(s.to_json()) for s, _ in report.failures
+        ]
+        with open(schedule_path, "w") as fh:
+            json.dump(entries, fh, indent=2, sort_keys=True)
+
+    print()
+    print(
+        f"chaos search: {summary['rounds_run']}/{summary['rounds_requested']} rounds, "
+        f"{summary['total_faults_injected']} faults, "
+        f"{summary['virtual_seconds_total']:.1f} virtual s in "
+        f"{summary['wall_seconds']:.2f} wall s, "
+        f"{len(report.failures)} invariant violations"
+    )
+    print(
+        f"shrink demo: {len(PLANTED.actions)} planted -> "
+        f"{len(minimized.actions)} action ({minimized.actions[0].describe()}), "
+        f"replay fingerprint match={replay_fp == min_result.fingerprint()}"
+    )

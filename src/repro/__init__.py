@@ -102,6 +102,7 @@ def make_deployment(
     default_deadline_s: float | None = None,  # end-to-end session budget; None = off
     retry_budget_tokens: int | None = None,  # deployment-wide retry allowance
     retry_budget_refill_per_s: float = 0.0,  # token refill rate (0 = fixed pool)
+    clock=None,  # repro.sim.clock.Clock | None — deployment-wide time source
 ) -> Deployment:
     """Build the paper's testbed topology, fully wired.
 
@@ -176,10 +177,25 @@ def make_deployment(
     (HA failover proxy, broker producer appends, consumer refetches) draws
     from, so retries fail fast under overload instead of amplifying it.
     All three default to off — seed behavior, byte ledgers bit-identical.
+
+    ``clock`` injects a :class:`~repro.sim.clock.Clock` into every timing
+    site of the serving plane (budgets, retries, admission queues, channel
+    timeouts, liveness sweeps).  ``None`` (the default) means
+    :data:`~repro.sim.clock.WALL` — real time, byte-identical behavior.
+    The chaos harness (:mod:`repro.sim.chaos`) passes a
+    :class:`~repro.sim.clock.VirtualClock` so multi-second fault scenarios
+    run deterministically in milliseconds (DESIGN §13).
     """
+    from repro.sim.clock import WALL
+
+    clock = clock or WALL
     cluster = make_paper_cluster(num_workers)
     dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
     engine = BigSQL(cluster, dfs, columnar=columnar)
+    if clock is not WALL:
+        # Table-UDF workers and executor tasks look the clock up through
+        # ExecutionContext.services to register as simulation-managed.
+        engine.add_service("clock", clock)
     ml = MLSystem(cluster, workers_per_node=workers_per_node)
     admission = worker_pool = spill_governor = None
     multitenant = (
@@ -196,6 +212,7 @@ def make_deployment(
             capacity=retry_budget_tokens,
             refill_per_s=retry_budget_refill_per_s,
             ledger=cluster.ledger,
+            clock=clock,
         )
     if multitenant:
         from repro.transfer.admission import (
@@ -210,15 +227,18 @@ def make_deployment(
             max_queue_depth=admission_queue_depth,
             ledger=cluster.ledger,
             tenant_priorities=tenant_priorities,
+            clock=clock,
         )
         worker_pool = WorkerPoolScheduler(
             total_slots=num_workers * workers_per_node,
             ledger=cluster.ledger,
+            clock=clock,
         )
         if tenant_spill_budgets:
             spill_governor = SpillGovernor(
                 tenant_budgets=tenant_spill_budgets,
                 ledger=cluster.ledger,
+                clock=clock,
             )
     ha_group = None
     if ha_standbys > 0:
@@ -239,6 +259,7 @@ def make_deployment(
             spill_governor=spill_governor,
             retry_budget=retry_budget,
             default_deadline_s=default_deadline_s,
+            clock=clock,
         )
         coordinator = ha_group.proxy
     else:
@@ -255,6 +276,7 @@ def make_deployment(
             spill_governor=spill_governor,
             retry_budget=retry_budget,
             default_deadline_s=default_deadline_s,
+            clock=clock,
         )
     effective_injector = fault_injector or (
         coordinator.recovery.injector if coordinator.recovery is not None else None

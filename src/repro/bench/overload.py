@@ -21,12 +21,12 @@ Two runs over a deliberately starved deployment (a 4-slot ML worker pool, an
 
 import json
 import threading
-import time
 from collections import Counter
 from dataclasses import asdict, dataclass
 
 from repro import make_deployment
 from repro.faults import FaultConfig, FaultInjector
+from repro.sim.clock import WALL
 from repro.workloads.loadgen import (
     LoadReport,
     make_points_table,
@@ -167,24 +167,34 @@ def _p99_completed(report: LoadReport) -> float | None:
     return percentile(latencies, 99) if latencies else None
 
 
-def wedged_threads(grace_s: float = 10.0) -> list[str]:
+def wedged_threads(
+    grace_s: float = 10.0,
+    clock=None,  # repro.sim.clock.Clock | None — poll/deadline timing
+    prefixes: tuple = WORKER_THREAD_PREFIXES,
+) -> list[str]:
     """Names of serving-plane threads still alive after ``grace_s``.
 
     A clean overload run leaves zero: shed sessions never spawn an ML job,
     expired and cancelled sessions unwind cooperatively, and the load
     clients were joined by ``run_closed_loop``.  Anything remaining is a
     wedged wait — the exact failure mode the budget layer exists to kill.
+
+    Under a :class:`~repro.sim.clock.VirtualClock` the grace elapses in
+    virtual time: each poll sleeps one clock tick, so a stuck thread is
+    detected after ``grace_s`` *simulated* seconds — milliseconds of wall
+    time — while a cleanly unwinding thread is observed as soon as it exits.
     """
-    deadline = time.monotonic() + grace_s
+    clock = clock or WALL
+    deadline = clock.now() + grace_s
     while True:
         alive = [
             t.name
             for t in threading.enumerate()
-            if t.is_alive() and t.name.startswith(WORKER_THREAD_PREFIXES)
+            if t.is_alive() and t.name.startswith(prefixes)
         ]
-        if not alive or time.monotonic() >= deadline:
+        if not alive or clock.now() >= deadline:
             return alive
-        time.sleep(0.05)
+        clock.sleep(0.05)
 
 
 def _run_cancel_harness(coordinator, session_ids: list[str], stop: threading.Event):

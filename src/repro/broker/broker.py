@@ -5,6 +5,7 @@ from dataclasses import dataclass
 
 from repro.cluster.cost import CostLedger
 from repro.common.errors import ChannelTimeoutError, TransferError
+from repro.sim.clock import WALL
 from repro.transfer.buffers import block_logical_bytes
 
 
@@ -27,13 +28,14 @@ class _PartitionLog:
     partition is sealed, in which case the consumer knows it is done.
     """
 
-    def __init__(self):
+    def __init__(self, clock=None):
         self.records: list[bytes] = []
         self.sealed = False
         self.lock = threading.Lock()
         self.readable = threading.Condition(self.lock)
         self.bytes = 0
         self.rows = 0  # logical rows carried; >= len(records) with RowBlocks
+        self.clock = clock or WALL
 
     def append(self, payload: bytes, rows: int = 1) -> int:
         with self.lock:
@@ -60,6 +62,7 @@ class _PartitionLog:
         sealed; a timeout raises (deadlock guard)."""
         if offset < 0:
             raise TransferError(f"negative offset {offset}")
+        deadline = None if timeout is None else self.clock.now() + timeout
         with self.lock:
             while True:
                 if offset < len(self.records):
@@ -69,7 +72,15 @@ class _PartitionLog:
                     return chunk, next_offset, at_end
                 if self.sealed:
                     return [], offset, True
-                if not self.readable.wait(timeout=timeout):
+                remaining = (
+                    None if deadline is None else deadline - self.clock.now()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ChannelTimeoutError(
+                        f"broker fetch timed out at offset {offset} "
+                        "(producer stalled?)"
+                    )
+                if not self.clock.wait_on(self.readable, remaining):
                     raise ChannelTimeoutError(
                         f"broker fetch timed out at offset {offset} "
                         "(producer stalled?)"
@@ -89,10 +100,11 @@ class MessageBroker:
       committed — **at-least-once** delivery.
     """
 
-    def __init__(self, ledger: CostLedger | None = None):
+    def __init__(self, ledger: CostLedger | None = None, clock=None):
         self._topics: dict[str, list[_PartitionLog]] = {}
         self._group_offsets: dict[tuple[str, str, int], int] = {}
         self._ledger = ledger
+        self._clock = clock or WALL
         self._lock = threading.Lock()
 
     # ---------------------------------------------------------------- topics
@@ -103,7 +115,9 @@ class MessageBroker:
         with self._lock:
             if name in self._topics:
                 raise TransferError(f"topic {name!r} already exists")
-            self._topics[name] = [_PartitionLog() for _ in range(num_partitions)]
+            self._topics[name] = [
+                _PartitionLog(clock=self._clock) for _ in range(num_partitions)
+            ]
 
     def delete_topic(self, name: str) -> None:
         with self._lock:

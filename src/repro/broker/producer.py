@@ -38,7 +38,10 @@ class BrokerProducer:
         retry_policy=None,  # RetryPolicy | None
         retry_budget=None,  # RetryTokenBucket | None (shared retry budget)
         sleep=time.sleep,
+        clock=None,  # repro.sim.clock.Clock | None — retry backoff sleeps
     ):
+        if clock is not None and sleep is time.sleep:
+            sleep = clock.sleep
         self._broker = broker
         self._topic = topic
         info = broker.topic_info(topic)

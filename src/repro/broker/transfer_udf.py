@@ -68,6 +68,7 @@ class BrokerTransferUDF(TableUDF):
             # append retries under overload so they fail fast instead of
             # amplifying the load on a struggling broker.
             retry_budget=ctx.services.get("retry_budget"),
+            clock=ctx.services.get("clock"),
         )
         try:
             for row in rows:

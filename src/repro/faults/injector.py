@@ -39,6 +39,7 @@ Every injected event is recorded in :attr:`FaultInjector.events` so tests
 and the chaos benchmark can assert exactly what happened.
 """
 
+import re
 import threading
 import time
 from collections import Counter
@@ -51,6 +52,11 @@ from repro.common.errors import (
     WorkerFailedError,
 )
 from repro.common.rng import derive_seed, make_rng
+
+#: The §6 pipeline's retry-attempt naming (``<session>_a<N>``); stripped
+#: when scoping one-shot kills so every attempt of one logical session
+#: shares the same bookkeeping.
+_ATTEMPT_SUFFIX = re.compile(r"_a\d+$")
 
 
 @dataclass(frozen=True)
@@ -108,6 +114,14 @@ class FaultConfig:
     handshake_drop_at: str = ""
     #: probability any handshake response is dropped (budgeted)
     handshake_drop_rate: float = 0.0
+    #: scope point-kill one-shots per logical session instead of globally.
+    #: Off (the seed behavior), ``kill_at`` / ``kill_ml_at`` fire exactly
+    #: once per deployment — whichever stream crosses the row threshold
+    #: first eats the kill, which is interleaving-dependent when sessions
+    #: run concurrently.  On (set by the chaos schedule compiler), every
+    #: logical session hits its kill point exactly once, so the victim set
+    #: is a pure function of the schedule.
+    scoped_kills: bool = False
     #: cap on rate-driven kills (None = unlimited; kill_at is separate)
     max_kills: int | None = 1
     #: cap on all transient events — drops, stalls, corruptions, duplicates
@@ -145,13 +159,23 @@ class FaultEvent:
 class FaultInjector:
     """Seeded chaos source consulted by the transfer stack at each site."""
 
-    def __init__(self, config: FaultConfig | None = None, sleep=time.sleep):
+    def __init__(self, config: FaultConfig | None = None, sleep=time.sleep, clock=None):
         self.config = config or FaultConfig()
+        # Stall sleeps go through the injected clock when one is named, so a
+        # virtual-time chaos run pays stall_seconds in virtual time only.
+        if clock is not None and sleep is time.sleep:
+            sleep = clock.sleep
         self._sleep = sleep
         self._lock = threading.Lock()
         self._rngs: dict[str, object] = {}
-        self._killed: set[int] = set()  # workers already point-killed
-        self._killed_ml: set[int] = set()  # ML readers already point-killed
+        #: (scope, index) pairs already point-killed.  The scope — the
+        #: session id at the streaming call sites — keeps the one-shot
+        #: bookkeeping per-session: with concurrent sessions sharing one
+        #: injector, a bare index would hand the kill to whichever session
+        #: crossed the row threshold first (thread-arrival order), making
+        #: the victim interleaving-dependent.
+        self._killed: set[tuple[str, int]] = set()
+        self._killed_ml: set[tuple[str, int]] = set()
         self._killed_train = False  # the one-shot ml.iteration_kill fired
         self._coordinator_killed = False  # the one-shot coordinator.kill fired
         self._lease_expired = False  # the one-shot coordinator.lease_expire fired
@@ -206,18 +230,32 @@ class FaultInjector:
 
     # ------------------------------------------------------ streaming sites
 
-    def check_kill(self, worker_id: int, rows_streamed: int) -> None:
+    def _kill_scope(self, scope: str) -> str:
+        """One-shot bookkeeping key for point kills.  Globally scoped by
+        default (the kill fires once per deployment); with
+        ``scoped_kills`` every logical session keeps its own bookkeeping.
+        The §6 pipeline names retry attempts ``<session>_a<N>``, and a
+        retried attempt must share its predecessor's scope (the
+        replacement survives) while concurrent sessions keep their own."""
+        if not self.config.scoped_kills:
+            return ""
+        return _ATTEMPT_SUFFIX.sub("", scope)
+
+    def check_kill(self, worker_id: int, rows_streamed: int, scope: str = "") -> None:
         """Crash this SQL worker if its point or rate says so (raises
-        :class:`WorkerFailedError`)."""
+        :class:`WorkerFailedError`).  ``scope`` (the session id) makes the
+        one-shot bookkeeping per-session, so concurrent sessions each hit
+        the kill point deterministically instead of racing for one kill."""
         if not self.enabled:
             return
+        scope = self._kill_scope(scope)
         point = self.config.kill_at.get(worker_id)
         if point is not None and rows_streamed >= point:
             with self._lock:
-                if worker_id in self._killed:
+                if (scope, worker_id) in self._killed:
                     point = None  # one-shot: the replacement worker survives
                 else:
-                    self._killed.add(worker_id)
+                    self._killed.add((scope, worker_id))
             if point is not None:
                 self._record("kill", f"sql-worker-{worker_id}")
                 raise WorkerFailedError(
@@ -235,9 +273,9 @@ class FaultInjector:
                     worker_id=worker_id,
                 )
 
-    def check_ml_kill(self, index: int, rows_read: int) -> None:
-        """Crash one ML reader at its ``kill_ml_at`` point (one-shot; raises
-        :class:`WorkerFailedError`).
+    def check_ml_kill(self, index: int, rows_read: int, scope: str = "") -> None:
+        """Crash one ML reader at its ``kill_ml_at`` point (one-shot per
+        ``scope`` — the session id; raises :class:`WorkerFailedError`).
 
         A dead ML reader is the *fatal* tier of §6 — its split cannot be
         handed to anyone else mid-stream — so recovery happens one level up:
@@ -246,13 +284,14 @@ class FaultInjector:
         """
         if not self.enabled:
             return
+        scope = self._kill_scope(scope)
         point = self.config.kill_ml_at.get(index)
         if point is None or rows_read < point:
             return
         with self._lock:
-            if index in self._killed_ml:
+            if (scope, index) in self._killed_ml:
                 return  # one-shot: the retried attempt's reader survives
-            self._killed_ml.add(index)
+            self._killed_ml.add((scope, index))
         self._record("kill_ml", f"ml-reader-{index}")
         raise WorkerFailedError(
             f"injected crash of ML reader {index} after {rows_read} rows",

@@ -31,6 +31,16 @@ from dataclasses import dataclass, field
 from repro.common.errors import ChannelTimeoutError, RetriesExhaustedError
 from repro.common.rng import derive_seed, make_rng
 from repro.faults.injector import FaultInjector
+from repro.sim.clock import WALL, Clock
+
+
+def _clock_callables(clock, sleep) -> tuple:
+    """Accept a :class:`repro.sim.clock.Clock` *or* the legacy
+    ``(clock, sleep)`` callable pair the tests inject; an explicit sleep
+    callable always wins over the clock object's."""
+    if isinstance(clock, Clock):
+        return clock, clock.now, (clock.sleep if sleep is time.sleep else sleep)
+    return WALL, clock, sleep
 
 
 @dataclass(frozen=True)
@@ -116,8 +126,7 @@ class RecoveryManager:
         self.restart_backoff = restart_backoff or RetryPolicy(max_attempts=1)
         self.max_partial_restarts = max_partial_restarts
         self.heartbeat_timeout_s = heartbeat_timeout_s
-        self._clock = clock
-        self._sleep = sleep
+        _, self._clock, self._sleep = _clock_callables(clock, sleep)
         self._lock = threading.Lock()
         self._sessions: dict[str, _SessionRecoveryState] = {}
         self.restart_events: list[RestartEvent] = []
@@ -308,8 +317,7 @@ class LivenessMonitor:
         self.coordinator = coordinator
         self.recovery = recovery
         self.interval_s = interval_s
-        self._clock = clock
-        self._sleep = sleep
+        self._clockobj, self._clock, self._sleep = _clock_callables(clock, sleep)
         self._flagged: set[tuple[str, int, float]] = set()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -361,20 +369,20 @@ class LivenessMonitor:
         self._stop.clear()
 
         def run() -> None:
-            while not self._stop.wait(timeout=self.interval_s):
+            while not self._clockobj.wait_until(self._stop, self.interval_s):
                 try:
                     self.sweep()
                 except Exception:
                     # The detector must never take the coordinator down.
                     continue
 
-        self._thread = threading.Thread(
-            target=run, name="liveness-monitor", daemon=True
-        )
-        self._thread.start()
+        self._thread = self._clockobj.spawn(run, name="liveness-monitor")
 
     def stop(self) -> None:
         self._stop.set()
         thread, self._thread = self._thread, None
         if thread is not None:
-            thread.join(timeout=2.0)
+            # The join is a non-clock wait: step out of the managed set so a
+            # virtual-time monitor can reach its next tick and observe stop.
+            with self._clockobj.unmanaged():
+                thread.join(timeout=2.0)

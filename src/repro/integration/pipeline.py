@@ -79,7 +79,10 @@ class AnalyticsPipeline:
         ):
             ml_system.fault_injector = self.coordinator.recovery.injector
 
-        self.broker = MessageBroker(ledger=cluster.ledger)
+        self.broker = MessageBroker(
+            ledger=cluster.ledger,
+            clock=getattr(self.coordinator, "clock", None),
+        )
         engine.add_service("broker", self.broker)
         if getattr(self.coordinator, "retry_budget", None) is not None:
             # Optional engine service: broker producers gate their append

@@ -18,6 +18,7 @@ from repro.common.errors import (
 )
 from repro.iofmt.inputformat import InputFormat, JobConf
 from repro.ml.dataset import ArrayDataset, Dataset, points_to_arrays
+from repro.sim.clock import WALL
 
 
 @dataclass
@@ -74,14 +75,24 @@ class MLJob:
         # (and a cancel wakes the waiter), and each split drain re-checks it
         # at reader-open so an already-expired session never starts reading.
         budget = self.conf.get_object("budget")
+        # Injected clock (virtual under the chaos harness): reader threads
+        # register as clock-managed so virtual time only advances while every
+        # drain is parked in a clock wait.
+        clock = (
+            self.conf.get_object("clock")
+            or getattr(coordinator, "clock", None)
+            or WALL
+        )
 
-        def consume(split) -> tuple[list, list, int, bool]:
-            if budget is not None:
-                budget.check("ingest split open")
-            if worker_pool is not None:
-                with worker_pool.lease(session_key, budget=budget):
-                    return _consume(split)
-            return _consume(split)
+        def consume(split_id: int, split) -> tuple[list, list, int, bool]:
+            with clock.managed(f"ingest-split-{session_key}-{split_id}",
+                               expected=True):
+                if budget is not None:
+                    budget.check("ingest split open")
+                if worker_pool is not None:
+                    with worker_pool.lease(session_key, budget=budget):
+                        return _consume(split)
+                return _consume(split)
 
         def _consume(split) -> tuple[list, list, int, bool]:
             locations = split.locations()
@@ -119,15 +130,22 @@ class MLJob:
         # the fault happened at *ingest*, before the data was fully delivered.
         results: list = [None] * len(splits)
         failures: dict[int, BaseException] = {}
+        clock.expect_threads(len(splits))
         with ThreadPoolExecutor(max_workers=max(len(splits), 1)) as pool:
-            futures = {pool.submit(consume, split): i for i, split in enumerate(splits)}
-            for future, split_id in futures.items():
-                try:
-                    results[split_id] = future.result()
-                except (WorkerFailedError, MLError) as exc:
-                    failures[split_id] = exc
-                except Exception as exc:  # non-library faults still surface typed
-                    failures[split_id] = exc
+            futures = {
+                pool.submit(consume, i, split): i for i, split in enumerate(splits)
+            }
+            # The gather blocks in Future.result(), outside any clock wait:
+            # step out of the managed set so the virtual clock can advance
+            # while the reader threads do the (clock-visible) waiting.
+            with clock.unmanaged():
+                for future, split_id in futures.items():
+                    try:
+                        results[split_id] = future.result()
+                    except (WorkerFailedError, MLError) as exc:
+                        failures[split_id] = exc
+                    except Exception as exc:  # non-library faults surface typed
+                        failures[split_id] = exc
         if failures:
             failed_ids = tuple(sorted(failures))
             # Budget outcomes surface typed, never wrapped in IngestError:

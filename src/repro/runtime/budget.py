@@ -30,6 +30,21 @@ from typing import Callable
 from repro.common.errors import DeadlineExceeded, SessionCancelled
 
 
+def clock_pair(clock) -> tuple[Callable[[], float], Callable[[], float]]:
+    """Normalize a clock argument into ``(monotonic, wall)`` callables.
+
+    Accepts a :class:`repro.sim.clock.Clock` (both callables come from it,
+    so a virtual-time deployment journals virtual wall time) or a legacy
+    bare monotonic callable (tests' fake clocks), which pairs with real
+    :func:`time.time` exactly as before.
+    """
+    now = getattr(clock, "now", None)
+    wall = getattr(clock, "wall", None)
+    if callable(now) and callable(wall):
+        return now, wall
+    return clock, time.time
+
+
 class RetryTokenBucket:
     """A shared token bucket wrapped around :class:`RetryPolicy` call sites.
 
@@ -57,9 +72,9 @@ class RetryTokenBucket:
         self.capacity = int(capacity)
         self.refill_per_s = float(refill_per_s)
         self._ledger = ledger
-        self._clock = clock
+        self._clock, _ = clock_pair(clock)
         self._tokens = float(capacity)
-        self._last_refill = clock()
+        self._last_refill = self._clock()
         self._lock = threading.Lock()
         self.granted = 0
         self.denied = 0
@@ -125,8 +140,8 @@ class Budget:
         self.deadline_s = None if deadline_s is None else float(deadline_s)
         self.retry_tokens = retry_tokens
         self._ledger = ledger
-        self._clock = clock
-        self._started = clock()
+        self._clock, self._wall = clock_pair(clock)
+        self._started = self._clock()
         self._deadline = None if deadline_s is None else self._started + float(deadline_s)
         self._cancelled = threading.Event()
         self.cancel_reason: str | None = None
@@ -232,10 +247,14 @@ class Budget:
     def to_settings(self) -> dict:
         """Wall-clock form for the coordinator journal, so a standby that
         adopts the session after takeover enforces the *remaining* budget,
-        not a fresh one."""
+        not a fresh one.  Both halves of the conversion come from the same
+        injected clock pair — remaining time from the monotonic reading,
+        the journaled instant from its paired wall reading — so a
+        virtual-time takeover adopts the correct remainder instead of
+        mixing virtual-monotonic arithmetic with real epoch time."""
         return {
             "deadline_s": self.deadline_s,
-            "deadline_unix": None if self.deadline_s is None else time.time()
+            "deadline_unix": None if self.deadline_s is None else self._wall()
             + (self._deadline - self._clock()),
         }
 
@@ -246,26 +265,30 @@ class Budget:
         session_id: str = "",
         retry_tokens: RetryTokenBucket | None = None,
         ledger=None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> "Budget | None":
         """Rebuild an adopted session's budget from journaled settings.
 
         Returns None when the journal carries no deadline (feature off).
         An already-expired deadline comes back with a tiny positive
         remainder so the adopting coordinator raises DeadlineExceeded at
-        the next wait instead of at construction time.
+        the next wait instead of at construction time.  ``clock`` must be
+        the same clock (pair) the journaling side used.
         """
         if settings.get("deadline_s") is None:
             return None
+        _, wall = clock_pair(clock)
         deadline_unix = settings.get("deadline_unix")
         if deadline_unix is None:
             remaining = float(settings["deadline_s"])
         else:
-            remaining = max(0.001, float(deadline_unix) - time.time())
+            remaining = max(0.001, float(deadline_unix) - wall())
         budget = cls(
             deadline_s=remaining,
             session_id=session_id,
             retry_tokens=retry_tokens,
             ledger=ledger,
+            clock=clock,
         )
         budget.deadline_s = float(settings["deadline_s"])  # report the original
         return budget

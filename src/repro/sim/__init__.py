@@ -1,0 +1,65 @@
+"""Deterministic simulation for the serving plane (DESIGN §13).
+
+Two layers:
+
+* :mod:`repro.sim.clock` — the :class:`Clock` abstraction.  Every timing
+  site in the serving plane (budget deadlines, retry backoff, injector
+  stalls, admission queue waits, socket send/recv timeouts, liveness
+  sweeps) takes an injected clock instead of calling :mod:`time` directly.
+  :class:`WallClock` (the default) delegates to real time — byte-identical
+  behavior to the pre-sim code.  :class:`VirtualClock` advances time only
+  at *quiescence* (every registered thread blocked in a clock wait), so a
+  multi-second chaos run completes in milliseconds and timer firing order
+  is a pure function of the requested deadlines.
+
+* :mod:`repro.sim.chaos` — :class:`ChaosExplorer`: seeded random sampling
+  of fault schedules (kill/stall/drop/expire sites x virtual-time stall
+  offsets), post-run invariant checking (no wedged threads, typed-only
+  outcomes, ledger conservation, completed-session weight identity vs
+  solo), and ddmin shrinking of a failing schedule down to a minimal
+  reproducing sequence emitted as replayable JSON.
+"""
+
+from repro.sim.clock import (
+    WALL,
+    Clock,
+    VirtualClock,
+    VirtualTimeExhausted,
+    WallClock,
+)
+
+#: Chaos-layer names resolved lazily (PEP 562): the clock layer is imported
+#: by low-level modules (budget, recovery), and eagerly importing the
+#: explorer here — which reaches back into the transfer stack — would cycle.
+_CHAOS_NAMES = (
+    "ChaosExplorer",
+    "ChaosRunResult",
+    "ChaosScenario",
+    "ExploreReport",
+    "FaultAction",
+    "FaultSchedule",
+    "InvariantViolation",
+)
+
+
+def __getattr__(name):
+    if name in _CHAOS_NAMES:
+        from repro.sim import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "WALL",
+    "ChaosExplorer",
+    "ChaosRunResult",
+    "ChaosScenario",
+    "Clock",
+    "ExploreReport",
+    "FaultAction",
+    "FaultSchedule",
+    "InvariantViolation",
+    "VirtualClock",
+    "VirtualTimeExhausted",
+    "WallClock",
+]

@@ -147,12 +147,36 @@ class Executor:
         return DistRelation(schema=plan.schema, partitions=partitions)
 
     def _map_partitions(self, partitions, fn) -> list:
-        """Run ``fn(worker_id, partition)`` once per slot, concurrently."""
+        """Run ``fn(worker_id, partition)`` once per slot, concurrently.
+
+        Worker tasks register with the injected clock (virtual under the
+        chaos harness) so blocking sends inside them — governed throttles,
+        socket flushes — count toward quiescence; the gather steps out of
+        the managed set while it blocks in ``Future.result()``.
+        """
+        clock = self._ctx.services.get("clock")
+        if clock is None:
+            futures = [
+                self._pool.submit(fn, worker_id, partition)
+                for worker_id, partition in enumerate(partitions)
+            ]
+            return [f.result() for f in futures]
+
+        def task(worker_id: int, partition):
+            with clock.managed(f"sql-worker-{worker_id}", expected=True):
+                return fn(worker_id, partition)
+
+        parts = list(partitions)
+        # Never expect more concurrent tasks than the pool can run: excess
+        # expectations would hold virtual time still for threads that cannot
+        # start until running ones (possibly parked in clock waits) finish.
+        clock.expect_threads(min(len(parts), self._ctx.num_workers))
         futures = [
-            self._pool.submit(fn, worker_id, partition)
-            for worker_id, partition in enumerate(partitions)
+            self._pool.submit(task, worker_id, partition)
+            for worker_id, partition in enumerate(parts)
         ]
-        return [f.result() for f in futures]
+        with clock.unmanaged():
+            return [f.result() for f in futures]
 
     def _empty_partitions(self) -> list[list[tuple]]:
         return [[] for _ in range(self._ctx.num_workers)]

@@ -41,12 +41,12 @@ room for a higher-priority arrival.
 """
 
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.common.errors import AdmissionError
 from repro.runtime.budget import Budget
+from repro.sim.clock import WALL
 
 DEFAULT_QUEUE_DEPTH = 64
 
@@ -89,6 +89,7 @@ class SessionAdmission:
         timeout_s: float = 30.0,
         ledger=None,
         tenant_priorities: dict[str, int] | None = None,
+        clock=None,  # repro.sim.clock.Clock | None — queue-wait time source
     ):
         if max_concurrent_sessions < 1:
             raise AdmissionError(
@@ -103,6 +104,7 @@ class SessionAdmission:
         # lowest-priority waiter to make room for a strictly-higher-priority
         # arrival, so background tenants shed first under overload.
         self.tenant_priorities = dict(tenant_priorities or {})
+        self._clock = clock or WALL
         self._ledger = ledger
         self._running: dict[str, str] = {}  # session_id -> tenant
         self._queue: list[_Ticket] = []
@@ -190,7 +192,7 @@ class SessionAdmission:
             effective = budget.clamp(effective)
             dispose = budget.on_cancel(ticket.ready.set)
         try:
-            signalled = ticket.ready.wait(timeout=effective)
+            signalled = self._clock.wait_until(ticket.ready, effective)
         finally:
             if dispose is not None:
                 dispose()
@@ -310,11 +312,14 @@ class WorkerPoolScheduler:
     splits) from starving a narrow one.
     """
 
-    def __init__(self, total_slots: int, timeout_s: float = 120.0, ledger=None):
+    def __init__(
+        self, total_slots: int, timeout_s: float = 120.0, ledger=None, clock=None
+    ):
         if total_slots < 1:
             raise AdmissionError(f"total_slots must be >= 1, got {total_slots}")
         self.total_slots = int(total_slots)
         self.timeout_s = timeout_s
+        self._clock = clock or WALL
         self._ledger = ledger
         self._free = int(total_slots)
         self._held: dict[str, int] = {}  # session -> slots held
@@ -367,7 +372,7 @@ class WorkerPoolScheduler:
             # Wake this waiter on cancel so it raises SessionCancelled
             # immediately instead of sitting out the slot timeout.
             dispose = budget.on_cancel(self._wake_all)
-        deadline = time.monotonic() + effective
+        deadline = self._clock.now() + effective
         try:
             with self._cond:
                 waited = False
@@ -383,8 +388,10 @@ class WorkerPoolScheduler:
                             self._waiting[session_id] = (
                                 self._waiting.get(session_id, 0) + 1
                             )
-                        remaining = deadline - time.monotonic()
-                        if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                        remaining = deadline - self._clock.now()
+                        if remaining <= 0 or not self._clock.wait_on(
+                            self._cond, remaining
+                        ):
                             if budget is not None:
                                 budget.check("worker slot wait")
                             raise AdmissionError(
@@ -444,10 +451,12 @@ class SpillGovernor:
         default_budget: int | None = None,
         timeout_s: float = 10.0,
         ledger=None,
+        clock=None,
     ):
         self.tenant_budgets = dict(tenant_budgets or {})
         self.default_budget = default_budget
         self.timeout_s = timeout_s
+        self._clock = clock or WALL
         self._ledger = ledger
         self._outstanding: dict[str, int] = {}
         self._cond = threading.Condition()
@@ -502,7 +511,7 @@ class SpillGovernor:
             if clamped is not None:
                 bound = clamped
             dispose = budget.on_cancel(self._wake_all)
-        deadline = time.monotonic() + bound
+        deadline = self._clock.now() + bound
         try:
             with self._cond:
                 if self._outstanding.get(tenant, 0) <= cap:
@@ -513,8 +522,10 @@ class SpillGovernor:
                 while self._outstanding.get(tenant, 0) > cap:
                     if budget is not None and (budget.cancelled or budget.expired):
                         return
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    remaining = deadline - self._clock.now()
+                    if remaining <= 0 or not self._clock.wait_on(
+                        self._cond, remaining
+                    ):
                         self.forced_through += 1
                         return
         finally:

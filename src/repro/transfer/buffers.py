@@ -13,11 +13,11 @@ import os
 import pickle
 import struct
 import threading
-import time
 from collections import deque
 from collections.abc import Sequence
 
 from repro.common.errors import ChannelTimeoutError, TransferError
+from repro.sim.clock import WALL
 
 _LENGTH = struct.Struct(">I")
 
@@ -33,10 +33,12 @@ class SpillableBuffer:
         governor=None,
         tenant: str = "default",
         budget=None,
+        clock=None,  # repro.sim.clock.Clock | None — read-wait timing
     ):
         if capacity_bytes < 1:
             raise ValueError("capacity_bytes must be >= 1")
         self._capacity = capacity_bytes
+        self._clock = clock or WALL
         # Optional per-session Budget: get() waits are clamped to its
         # remaining time and a cancel wakes blocked readers immediately.
         self._budget = budget
@@ -130,7 +132,7 @@ class SpillableBuffer:
         ``DeadlineExceeded``/``SessionCancelled`` instead of the retryable
         flat-timeout error.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self._clock.now() + timeout
         with self._lock:
             while True:
                 if self._memory:
@@ -148,7 +150,7 @@ class SpillableBuffer:
                 # The deadline spans wait() wakeups: repeated notifies that
                 # deliver nothing (another reader won the race) must not
                 # extend the deadlock guard indefinitely.
-                remaining = None if deadline is None else deadline - time.monotonic()
+                remaining = None if deadline is None else deadline - self._clock.now()
                 if remaining is not None and remaining <= 0:
                     raise ChannelTimeoutError(
                         f"buffer read timed out after {timeout}s (producer stalled?)"
@@ -156,10 +158,12 @@ class SpillableBuffer:
                 if self._budget is not None:
                     # Clamped wait: on expiry the loop re-enters and the
                     # budget check (or the flat deadline above) raises.
-                    if not self._readable.wait(timeout=self._budget.clamp(remaining)):
+                    if not self._clock.wait_on(
+                        self._readable, self._budget.clamp(remaining)
+                    ):
                         self._budget.check("buffer read")
                     continue
-                if not self._readable.wait(timeout=remaining):
+                if not self._clock.wait_on(self._readable, remaining):
                     raise ChannelTimeoutError(
                         f"buffer read timed out after {timeout}s (producer stalled?)"
                     )

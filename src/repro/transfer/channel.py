@@ -51,6 +51,7 @@ class StreamChannel:
         governor=None,
         tenant: str = "default",
         budget=None,
+        clock=None,  # repro.sim.clock.Clock | None — buffer-wait timing
     ):
         self.channel_id = channel_id
         self.local = local
@@ -72,6 +73,7 @@ class StreamChannel:
             governor=governor,
             tenant=tenant,
             budget=budget,
+            clock=clock,
         )
         self.rows_sent = 0
         self.bytes_sent = 0

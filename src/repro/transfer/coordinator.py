@@ -22,6 +22,7 @@ from repro.common.errors import (
     TransferError,
 )
 from repro.runtime.budget import Budget
+from repro.sim.clock import WALL
 from repro.transfer.channel import ChannelId, StreamChannel
 
 DEFAULT_BUFFER_BYTES = 4096  # the paper's send/receive buffer setting
@@ -117,11 +118,13 @@ class Coordinator:
         spill_governor=None,  # SpillGovernor | None — per-tenant spill budgets
         retry_budget=None,  # RetryTokenBucket | None — shared retry cap
         default_deadline_s: float | None = None,  # deadline for new sessions
+        clock=None,  # repro.sim.clock.Clock | None — coordinator time source
     ):
         if transport not in ("memory", "socket"):
             raise TransferError(f"unknown transport {transport!r}")
         if batch_rows < 1:
             raise TransferError(f"batch_rows must be >= 1, got {batch_rows}")
+        self.clock = clock or WALL
         self.cluster = cluster
         self.launcher = launcher
         self.default_k = default_k
@@ -135,7 +138,7 @@ class Coordinator:
         if recovery is None and fault_injector is not None:
             from repro.faults.recovery import RecoveryManager
 
-            recovery = RecoveryManager(injector=fault_injector)
+            recovery = RecoveryManager(injector=fault_injector, clock=self.clock)
         #: §6 recovery driver; when set, streaming senders take the resilient
         #: protocol (sequenced blocks, heartbeats, retries, partial restart).
         self.recovery = recovery
@@ -254,11 +257,13 @@ class Coordinator:
                 session_id=session_id,
                 retry_tokens=self.retry_budget,
                 ledger=self.cluster.ledger,
+                clock=self.clock,
             )
             session.budget = restored or Budget(
                 session_id=session_id,
                 retry_tokens=self.retry_budget,
                 ledger=self.cluster.ledger,
+                clock=self.clock,
             )
             session.budget.on_cancel(session.all_registered.set)
             session.budget.on_cancel(session.splits_ready.set)
@@ -391,6 +396,7 @@ class Coordinator:
             session_id=session_id,
             retry_tokens=self.retry_budget,
             ledger=self.cluster.ledger,
+            clock=self.clock,
         )
         admitted = False
         if self.admission is not None:
@@ -632,10 +638,7 @@ class Coordinator:
             else:
                 self._apply_result(session, result, error)
 
-        thread = threading.Thread(
-            target=run, name=f"ml-job-{session.session_id}", daemon=True
-        )
-        thread.start()
+        self.clock.spawn(run, name=f"ml-job-{session.session_id}")
 
     # ------------------------------------------------ step 3: split planning
 
@@ -652,9 +655,9 @@ class Coordinator:
         """
         budget = session.budget
         if budget is None:
-            return event.wait(timeout=self.timeout_s)
+            return self.clock.wait_until(event, self.timeout_s)
         budget.check(what)
-        fired = event.wait(timeout=budget.clamp(self.timeout_s))
+        fired = self.clock.wait_until(event, budget.clamp(self.timeout_s))
         budget.check(what)
         return fired
 
@@ -710,6 +713,7 @@ class Coordinator:
                             tenant=session.tenant,
                             receive_timeout_s=self.timeout_s,
                             budget=session.budget,
+                            clock=self.clock,
                         )
                     elif self.transport == "socket":
                         from repro.transfer.socket_channel import SocketStreamChannel
@@ -724,6 +728,7 @@ class Coordinator:
                             governor=self.spill_governor,
                             tenant=session.tenant,
                             budget=session.budget,
+                            clock=self.clock,
                         )
                     else:
                         session.channels[cid] = StreamChannel(
@@ -735,6 +740,7 @@ class Coordinator:
                             governor=self.spill_governor,
                             tenant=session.tenant,
                             budget=session.budget,
+                            clock=self.clock,
                         )
                     group.append(cid)
                     channel_ids.append(cid)
@@ -758,6 +764,7 @@ class Coordinator:
                 buffer_bytes=session.buffer_bytes,
                 receive_timeout_s=self.timeout_s,
                 send_timeout_s=self.timeout_s,
+                clock=self.clock,
             )
             self._mux_transports[sql_worker_id] = transport
         return transport
@@ -865,7 +872,7 @@ class Coordinator:
         effective = timeout if timeout is not None else self.timeout_s * 4
         if budget is not None and budget.deadline_s is not None:
             effective = budget.clamp(effective)
-        if not session.result_ready.wait(timeout=effective):
+        if not self.clock.wait_until(session.result_ready, effective):
             if budget is not None:
                 budget.check("result wait")
             raise TransferError(f"ML job of session {session_id!r} never finished")
@@ -961,9 +968,7 @@ class Coordinator:
         if self._monitor is None:
             from repro.faults.recovery import LivenessMonitor
 
-            kwargs = {}
-            if clock is not None:
-                kwargs["clock"] = clock
+            kwargs = {"clock": clock if clock is not None else self.clock}
             if sleep is not None:
                 kwargs["sleep"] = sleep
             self._monitor = LivenessMonitor(

@@ -40,7 +40,6 @@ non-HA byte ledgers stay bit-identical.
 
 import json
 import threading
-import time
 
 from repro.common.errors import (
     CoordinatorUnavailableError,
@@ -48,6 +47,7 @@ from repro.common.errors import (
     TransferError,
 )
 from repro.faults.recovery import RecoveryManager, RetryPolicy
+from repro.sim.clock import WALL
 from repro.transfer.coordinator import (
     DEFAULT_BATCH_ROWS,
     DEFAULT_BUFFER_BYTES,
@@ -112,16 +112,18 @@ class CoordinatorHAGroup:
         spill_governor=None,  # SpillGovernor | None — shared across replicas
         retry_budget=None,  # RetryTokenBucket | None — shared across replicas
         default_deadline_s=None,  # float | None — default session deadline
+        clock=None,  # repro.sim.clock.Clock | None — group-wide time source
     ):
         if standbys < 1:
             raise TransferError("a HA group needs at least one standby")
+        self.clock = clock or WALL
         self.cluster = cluster
         self.zk = zk or ZooKeeperLite()
         self.zk.ensure_path("/coordinators")
         if not self.zk.exists(EPOCH_PATH):
             self.zk.create(EPOCH_PATH, b"0")
         if recovery is None and fault_injector is not None:
-            recovery = RecoveryManager(injector=fault_injector)
+            recovery = RecoveryManager(injector=fault_injector, clock=self.clock)
         #: ONE RecoveryManager for the whole group: heartbeat history and
         #: restart budgets survive takeovers (in production this state would
         #: ride the journal; sharing the manager models the same guarantee).
@@ -173,6 +175,7 @@ class CoordinatorHAGroup:
                 spill_governor=spill_governor,
                 retry_budget=retry_budget,
                 default_deadline_s=default_deadline_s,
+                clock=self.clock,
             )
             replica.ha_group = self
             # The shared mux pairs are data plane, like the channel registry:
@@ -227,7 +230,7 @@ class CoordinatorHAGroup:
         if budget is not None:
             budget.check("leader wait")
             bound = budget.clamp(bound)
-        deadline = time.monotonic() + bound
+        deadline = self.clock.now() + bound
         dispose = (
             budget.on_cancel(self._notify_leader_change)
             if budget is not None
@@ -241,13 +244,15 @@ class CoordinatorHAGroup:
                         return leader
                     if budget is not None:
                         budget.check("leader wait")
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self.clock.now()
                     if remaining <= 0:
                         raise CoordinatorUnavailableError(
                             "no coordinator holds the leader lease "
                             f"(replicas: {[c.coordinator_id for c in self.coordinators]})"
                         )
-                    self._leader_change.wait(timeout=min(remaining, 0.05))
+                    self.clock.wait_on(
+                        self._leader_change, min(remaining, 0.05)
+                    )
         finally:
             if dispose is not None:
                 dispose()
@@ -347,9 +352,9 @@ class CoordinatorHAGroup:
         """
         with self._lock:
             self._results[session_id] = (result, error)
-        deadline = time.monotonic() + self.timeout_s
+        deadline = self.clock.now() + self.timeout_s
         while True:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - self.clock.now()
             if remaining <= 0:
                 return  # leaderless; adoption will replay the result
             try:
@@ -401,6 +406,23 @@ class FailoverCoordinator:
             max_attempts=8, base_delay_s=0.002, max_delay_s=0.05
         )
 
+    def _backoff(self, delay: float) -> None:
+        """Failover backoff that wakes early on a leader change.
+
+        On the wall clock, waiting on the group's leader-change condition
+        means a completed election cuts the backoff short.  Under a
+        virtual clock the wait is a plain sleep: ``wait_on`` cannot
+        distinguish a notify from a tick, and the retry loop re-resolves
+        the leader either way.
+        """
+        clock = self._group.clock
+        if clock.is_virtual:
+            clock.sleep(delay)
+            return
+        cond = self._group._leader_change
+        with cond:
+            clock.wait_on(cond, delay)
+
     # --------------------------------------------- configuration passthrough
 
     @property
@@ -410,6 +432,10 @@ class FailoverCoordinator:
     @property
     def recovery(self):
         return self._group.recovery
+
+    @property
+    def clock(self):
+        return self._group.clock
 
     @property
     def admission(self):
@@ -475,7 +501,7 @@ class FailoverCoordinator:
         retry_budget = getattr(group, "retry_budget", None)
         merged = dict(kwargs)
         attempt = 0
-        started = time.monotonic()
+        started = group.clock.now()
         # Elapsed cap across *all* retry reasons: under sustained chaos the
         # per-reason attempt counters alone can stack into minutes; a client
         # call never outlives a few handshake timeouts' worth of wall clock.
@@ -506,7 +532,7 @@ class FailoverCoordinator:
                 # over; converge idempotently on the new one.
                 if retry_kwargs:
                     merged = {**kwargs, **retry_kwargs}
-                time.sleep(self._retry.delay_s(attempt - 1, key=method))
+                self._backoff(self._retry.delay_s(attempt - 1, key=method))
                 continue
             if injector is not None and injector.check_handshake_drop(point):
                 # The server applied the mutation but the response was lost:
@@ -516,7 +542,7 @@ class FailoverCoordinator:
                 attempt += 1
                 if (
                     attempt >= self._retry.max_attempts
-                    or time.monotonic() - started >= elapsed_cap
+                    or group.clock.now() - started >= elapsed_cap
                 ):
                     raise RetriesExhaustedError(
                         f"{method}: response dropped on every one of "

@@ -16,12 +16,12 @@ import itertools
 import socket
 import struct
 import threading
-import time
 from collections import deque
 from collections.abc import Sequence
 
 from repro.cluster.cost import CostLedger
 from repro.common.errors import ChannelTimeoutError, SessionCancelled, TransferError
+from repro.sim.clock import WALL
 from repro.transfer.buffers import (
     block_logical_bytes,
     decode_block,
@@ -54,10 +54,12 @@ class SocketStreamChannel:
         governor=None,
         tenant: str = "default",
         budget=None,
+        clock=None,  # repro.sim.clock.Clock | None — receive/flush timing
     ):
         self.channel_id = channel_id
         self.local = local
         self._ledger = ledger
+        self._clock = clock or WALL
         # Multi-tenant backpressure isolation (see StreamChannel): the sender
         # throttles against its tenant's spill budget; spilled bytes are
         # charged on overflow and credited back as the overflow flushes.
@@ -207,6 +209,12 @@ class SocketStreamChannel:
                 self._credit_governor(sent)
             if not blocking:
                 return
+            if self._clock.is_virtual:
+                # Virtual time: never block the real socket — poll it in
+                # clock slices so the reader thread gets scheduled between
+                # attempts and the timeout burns virtual, not wall, time.
+                self._drain_overflow_virtual()
+                return
             # Blocking flush: wait for the kernel buffer to drain, with a
             # timeout so a dead reader surfaces as an error, not a hang.
             self._send_sock.settimeout(self._send_timeout_s)
@@ -221,6 +229,25 @@ class SocketStreamChannel:
                 ) from None
             finally:
                 self._send_sock.setblocking(False)
+
+    def _drain_overflow_virtual(self) -> None:
+        deadline = self._clock.now() + self._send_timeout_s
+        while self._overflow:
+            head = self._overflow[0]
+            sent = self._try_send(head)
+            if sent == len(head):
+                self._overflow.popleft()
+                self._credit_governor(sent)
+                continue
+            if sent:
+                self._overflow[0] = head[sent:]
+                self._credit_governor(sent)
+            if self._clock.now() >= deadline:
+                raise ChannelTimeoutError(
+                    f"channel {self.channel_id} flush timed out after "
+                    f"{self._send_timeout_s}s (reader gone?)"
+                )
+            self._clock.sleep(0.001)
 
     # ------------------------------------------------------------- ML side
 
@@ -309,34 +336,49 @@ class SocketStreamChannel:
 
     def _arm_receive(self, timeout: float | None) -> float | None:
         """Prepare one receive call: seed path sets the socket timeout and
-        returns None; budget path returns the absolute wall deadline
-        (min of flat timeout and budget remaining) for sliced reads."""
-        if self._budget is None:
+        returns None; budget (or virtual-clock) path returns the absolute
+        clock deadline (min of flat timeout and budget remaining) for
+        sliced reads."""
+        if self._budget is None and not self._clock.is_virtual:
             if timeout is not None:
                 self._recv_sock.settimeout(timeout)
             return None
         base = timeout if timeout is not None else self._receive_timeout_s
-        bound = self._budget.clamp(base)
-        return None if bound is None else time.monotonic() + bound
+        bound = base if self._budget is None else self._budget.clamp(base)
+        return None if bound is None else self._clock.now() + bound
+
+    def _recv_slice(self, slice_s: float) -> bytes | None:
+        """One bounded receive attempt; None when the slice elapsed idle."""
+        if self._clock.is_virtual:
+            self._recv_sock.setblocking(False)
+            try:
+                return self._recv_sock.recv(65536)
+            except BlockingIOError:
+                self._clock.sleep(max(slice_s, 0.001))
+                return None
+        self._recv_sock.settimeout(max(slice_s, 0.001))
+        try:
+            return self._recv_sock.recv(65536)
+        except socket.timeout:
+            return None
 
     def _read_exact(self, n: int, deadline: float | None = None) -> bytes | None:
         while len(self._recv_buffer) < n:
-            if self._budget is not None:
+            if self._budget is not None or self._clock.is_virtual:
                 # Sliced reads (<=100ms) so a cancel or expiry is observed
                 # promptly even while the socket is idle.
-                self._budget.check(f"channel {self.channel_id} receive")
+                if self._budget is not None:
+                    self._budget.check(f"channel {self.channel_id} receive")
                 slice_s = 0.1
                 if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self._clock.now()
                     if remaining <= 0:
                         raise ChannelTimeoutError(
                             f"channel {self.channel_id} receive timed out"
                         )
                     slice_s = min(slice_s, remaining)
-                self._recv_sock.settimeout(max(slice_s, 0.001))
-                try:
-                    chunk = self._recv_sock.recv(65536)
-                except socket.timeout:
+                chunk = self._recv_slice(slice_s)
+                if chunk is None:
                     continue
             else:
                 try:
@@ -400,7 +442,9 @@ class MuxSocketTransport:
         buffer_bytes: int = 4096,
         receive_timeout_s: float = 30.0,
         send_timeout_s: float = 30.0,
+        clock=None,  # repro.sim.clock.Clock | None — flush/receive timing
     ):
+        self._clock = clock or WALL
         send_sock, recv_sock = socket.socketpair()
         send_sock.setblocking(False)
         try:
@@ -423,6 +467,11 @@ class MuxSocketTransport:
         self._tag_governor: dict[int, tuple] = {}
         self._closed_tags: set[int] = set()
         self._transport_closed = False
+        #: Notified whenever the wire may have drained (the receive pump
+        #: freed kernel buffer space) or a flush should give up (tag
+        #: released/cancelled, transport closed, session cancelled):
+        #: ``close_tag`` waits here instead of busy-polling.
+        self._drain_cond = threading.Condition()
         # receive side
         self._socket_lock = threading.Lock()
         self._recv_cond = threading.Condition()
@@ -553,6 +602,7 @@ class MuxSocketTransport:
         with self._recv_cond:
             self._cancelled.add(tag)
             self._recv_cond.notify_all()
+        self._notify_drain()
 
     def close_tag(self, tag: int, budget=None) -> None:
         """Flush the tag's queue and write its EOF frame (bounded wait).
@@ -567,6 +617,11 @@ class MuxSocketTransport:
         With a cancelled/expired ``budget`` the wait is skipped entirely:
         the session's reader is gone by definition, so blocking on it would
         wedge teardown — ``release_tag`` reclaims the queue instead.
+
+        The between-pump wait parks on ``_drain_cond`` (notified by the
+        receive pump freeing kernel buffer space, by tag release/cancel,
+        and — via ``budget.on_cancel`` — by session cancellation), so a
+        stalled flush costs no CPU and a cancel wakes it immediately.
         """
         eof = _MUX_FRAME.pack(0, tag)
         with self._send_lock:
@@ -575,23 +630,36 @@ class MuxSocketTransport:
             self._closed_tags.add(tag)
             self._overflow.setdefault(tag, deque()).append(eof)
             self._charge(tag, len(eof))
-        deadline = time.monotonic() + self._send_timeout_s
-        while True:
-            with self._send_lock:
-                if self._transport_closed:
-                    return
-                self._pump_locked()
-                queue = self._overflow.get(tag)
-                if not queue and self._wire_tag != tag:
-                    return
-            if budget is not None and (budget.cancelled or budget.expired):
-                return  # reader cancelled; don't wedge teardown on the flush
-            if time.monotonic() >= deadline:
-                raise ChannelTimeoutError(
-                    f"mux tag {tag} flush timed out after "
-                    f"{self._send_timeout_s}s (reader gone?)"
-                )
-            time.sleep(0.002)
+        deadline = self._clock.now() + self._send_timeout_s
+        dispose = (
+            budget.on_cancel(self._notify_drain) if budget is not None else None
+        )
+        try:
+            while True:
+                with self._send_lock:
+                    if self._transport_closed:
+                        return
+                    self._pump_locked()
+                    queue = self._overflow.get(tag)
+                    if not queue and self._wire_tag != tag:
+                        return
+                if budget is not None and (budget.cancelled or budget.expired):
+                    return  # reader cancelled; don't wedge teardown on flush
+                remaining = deadline - self._clock.now()
+                if remaining <= 0:
+                    raise ChannelTimeoutError(
+                        f"mux tag {tag} flush timed out after "
+                        f"{self._send_timeout_s}s (reader gone?)"
+                    )
+                with self._drain_cond:
+                    self._clock.wait_on(self._drain_cond, min(remaining, 0.05))
+        finally:
+            if dispose is not None:
+                dispose()
+
+    def _notify_drain(self) -> None:
+        with self._drain_cond:
+            self._drain_cond.notify_all()
 
     def release_tag(self, tag: int) -> None:
         """Drop the tag's state on both sides (session teardown: unread
@@ -607,6 +675,7 @@ class MuxSocketTransport:
             self._frames.pop(tag, None)
             self._eof.add(tag)
             self._recv_cond.notify_all()
+        self._notify_drain()
 
     def close(self) -> None:
         """Tear down the shared pair (coordinator shutdown)."""
@@ -617,6 +686,7 @@ class MuxSocketTransport:
                     sock.close()
                 except OSError:
                     pass
+        self._notify_drain()
 
     # --------------------------------------------------------- receive side
 
@@ -628,7 +698,7 @@ class MuxSocketTransport:
         deliver frames to every tag's queue.
         """
         effective = self.receive_timeout_s if timeout is None else timeout
-        deadline = time.monotonic() + effective
+        deadline = self._clock.now() + effective
         while True:
             with self._recv_cond:
                 if tag in self._cancelled:
@@ -640,7 +710,7 @@ class MuxSocketTransport:
                     return queue.popleft()
                 if tag in self._eof or self._stream_eof:
                     return None
-            remaining = deadline - time.monotonic()
+            remaining = deadline - self._clock.now()
             if remaining <= 0:
                 raise ChannelTimeoutError(
                     f"mux tag {tag} receive timed out after {effective}s"
@@ -658,12 +728,23 @@ class MuxSocketTransport:
                         and tag not in self._eof
                         and not self._stream_eof
                     ):
-                        self._recv_cond.wait(slice_s)
+                        self._clock.wait_on(self._recv_cond, slice_s)
 
     def _pump_receive(self, max_wait: float) -> None:
         try:
-            self._recv_sock.settimeout(max_wait)
-            chunk = self._recv_sock.recv(65536)
+            if self._clock.is_virtual:
+                # Virtual time: a real blocking recv would stall the whole
+                # simulation; poll non-blocking and yield a clock tick when
+                # the wire is idle.
+                self._recv_sock.setblocking(False)
+                try:
+                    chunk = self._recv_sock.recv(65536)
+                except BlockingIOError:
+                    self._clock.sleep(max_wait)
+                    return
+            else:
+                self._recv_sock.settimeout(max_wait)
+                chunk = self._recv_sock.recv(65536)
         except socket.timeout:
             return
         except OSError:
@@ -690,6 +771,8 @@ class MuxSocketTransport:
                 elif frame_tag not in self._released:
                     self._frames.setdefault(frame_tag, deque()).append(payload)
             self._recv_cond.notify_all()
+        # Bytes left the kernel buffer: blocked close_tag flushes can retry.
+        self._notify_drain()
 
 
 class MuxSocketChannel:
@@ -712,10 +795,12 @@ class MuxSocketChannel:
         tenant: str = "default",
         receive_timeout_s: float | None = None,
         budget=None,
+        clock=None,  # repro.sim.clock.Clock | None — receive-slice timing
     ):
         self.channel_id = channel_id
         self.local = local
         self._ledger = ledger
+        self._clock = clock or WALL
         self._transport = transport
         self._governor = governor
         self._tenant = tenant
@@ -804,12 +889,12 @@ class MuxSocketChannel:
         if effective is None:
             effective = self._transport.receive_timeout_s
         bound = self._budget.clamp(effective)
-        deadline = None if bound is None else time.monotonic() + bound
+        deadline = None if bound is None else self._clock.now() + bound
         while True:
             self._budget.check(f"mux tag {self._tag} receive")
             slice_s = 0.1
             if deadline is not None:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self._clock.now()
                 if remaining <= 0:
                     raise ChannelTimeoutError(
                         f"mux tag {self._tag} receive timed out after {bound}s"

@@ -50,11 +50,13 @@ class StreamRecordReader(RecordReader):
         timeout_s: float,
         injector=None,
         frames: bool = False,
+        session_id: str = "",
     ):
         self._channel = channel
         self._timeout_s = timeout_s
         self._injector = injector  # FaultInjector | None (§6 ML-side chaos)
         self._frames = frames
+        self._session_id = session_id  # kill-site scope (per-session one-shot)
         self.bytes_read = 0
         self.rows_read = 0
 
@@ -84,7 +86,9 @@ class StreamRecordReader(RecordReader):
             self.rows_read += len(block)
             if self._injector is not None:
                 self._injector.check_ml_kill(
-                    self._channel.channel_id.index, self.rows_read
+                    self._channel.channel_id.index,
+                    self.rows_read,
+                    scope=self._session_id,
                 )
             if isinstance(block, list):
                 yield from block
@@ -133,4 +137,10 @@ class SQLStreamInputFormat(InputFormat):
             frames = coordinator.session(split.session_id).columnar
         except TransferError:
             frames = False
-        return StreamRecordReader(channel, timeout_s, injector=injector, frames=frames)
+        return StreamRecordReader(
+            channel,
+            timeout_s,
+            injector=injector,
+            frames=frames,
+            session_id=split.session_id,
+        )

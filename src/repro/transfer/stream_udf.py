@@ -265,7 +265,9 @@ class StreamTransferUDF(TableUDF):
                         # leader (the mid-stream failover point) while the
                         # data plane below never touches the coordinator.
                         coordinator.record_heartbeat(session_id, ctx.worker_id)
-                        injector.check_kill(ctx.worker_id, rows_streamed)
+                        injector.check_kill(
+                            ctx.worker_id, rows_streamed, scope=session_id
+                        )
                         recovery.send_with_retry(
                             lambda c=channel, b=block, s=seq, r=epoch > 0: (
                                 c.send_block(b, s, retry=r)

@@ -1,0 +1,203 @@
+"""Chaos explorer: schedule serde, run determinism, invariants, shrinking.
+
+The determinism property (DESIGN §13) is the load-bearing test here: two
+runs of the same ``(seed, schedule)`` pair on fresh deployments must
+produce byte-identical fingerprints — outcomes, full byte ledger, and the
+injected-fault multiset.  Everything else (replayable JSON, trustworthy
+ddmin probes, CI's minimized artifacts) leans on it.
+"""
+
+import pytest
+
+from repro.sim import (
+    ChaosExplorer,
+    ChaosScenario,
+    FaultAction,
+    FaultSchedule,
+    InvariantViolation,
+)
+
+pytestmark = pytest.mark.timeout(300)
+
+
+# --------------------------------------------------------------------------
+# Schedules and their FaultConfig compilation
+# --------------------------------------------------------------------------
+
+
+class TestScheduleSerde:
+    def test_json_round_trip_is_lossless(self):
+        schedule = FaultSchedule(
+            seed=7,
+            actions=(
+                FaultAction("kill_sql", site="0", at=1),
+                FaultAction("send_stall", rate=0.2, seconds=10.0),
+            ),
+        )
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_unknown_action_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultAction("frobnicate")
+
+    def test_to_config_compiles_kills_and_unbudgeted_rates(self):
+        schedule = FaultSchedule(
+            seed=7,
+            actions=(
+                FaultAction("kill_sql", site="0", at=1),
+                FaultAction("kill_ml", site="2", at=10),
+                FaultAction("send_stall", rate=0.2, seconds=10.0),
+                FaultAction("send_drop", rate=0.05),
+            ),
+        )
+        config = schedule.to_config()
+        assert config.seed == 7
+        assert config.kill_at == {0: 1}
+        assert config.kill_ml_at == {2: 10}
+        assert config.send_stall_rate == 0.2
+        assert config.stall_seconds == 10.0
+        assert config.send_drop_rate == 0.05
+        # No global event budget: a shared counter is consumed in
+        # thread-arrival order, which would make the injected set (and the
+        # fingerprint) interleaving-dependent.
+        assert config.max_events is None
+        # Same hazard for point kills: schedules scope one-shots
+        # per-session so the victim set is interleaving-independent.
+        assert config.scoped_kills is True
+
+    def test_sampler_is_a_pure_function_of_seed_and_index(self):
+        first = ChaosExplorer(base_seed=5).sample_schedule(3)
+        again = ChaosExplorer(base_seed=5).sample_schedule(3)
+        assert first == again
+        assert 1 <= len(first.actions) <= 3
+        assert ChaosExplorer(base_seed=6).sample_schedule(3) != first
+
+
+# --------------------------------------------------------------------------
+# Determinism property (satellite): same (seed, schedule) -> same bytes
+# --------------------------------------------------------------------------
+
+FAULTY_SCHEDULES = (
+    FaultSchedule(
+        seed=101,
+        actions=(
+            FaultAction("kill_sql", site="0", at=1),
+            FaultAction("send_stall", rate=0.2, seconds=10.0),
+        ),
+    ),
+    FaultSchedule(
+        seed=202,
+        actions=(
+            FaultAction("kill_ml", site="1", at=10),
+            FaultAction("send_drop", rate=0.2),
+        ),
+    ),
+    FaultSchedule(
+        seed=303,
+        actions=(
+            FaultAction("kill_coordinator", site="matchmaking", at=0),
+            FaultAction("lease_expire", site="mid_stream", at=1),
+        ),
+    ),
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "schedule", FAULTY_SCHEDULES, ids=lambda s: f"seed{s.seed}"
+    )
+    def test_identical_schedule_identical_fingerprint(self, schedule):
+        explorer = ChaosExplorer()
+        runs = [explorer.run(schedule) for _ in range(2)]
+        assert runs[0].fingerprint() == runs[1].fingerprint()
+        # These faults are all survivable: kills fail over, stalls and
+        # drops retry — the standing invariants hold on every run.
+        for result in runs:
+            assert result.violations == []
+
+    def test_fault_free_schedule_upholds_every_invariant(self):
+        explorer = ChaosExplorer()
+        result = explorer.run(FaultSchedule(seed=0))
+        assert result.violations == []
+        result.raise_for_violations()  # no-op when clean
+        assert len(result.outcomes) == explorer.scenario.num_sessions
+        assert all(o["error_type"] is None for o in result.outcomes)
+        assert result.events == []
+        # A second fault-free run reproduces the baseline bit for bit.
+        assert explorer.run(FaultSchedule(seed=0)).fingerprint() == result.fingerprint()
+
+    def test_faulty_run_recovers_inside_virtual_time(self):
+        explorer = ChaosExplorer()
+        result = explorer.run(FAULTY_SCHEDULES[0])
+        # The 10-second stalls and retry backoffs elapsed virtually.
+        assert result.virtual_seconds >= 10.0
+        assert result.wall_seconds < result.virtual_seconds
+        assert result.events  # the schedule actually injected something
+        assert result.stats["wedged"] == []
+
+
+# --------------------------------------------------------------------------
+# Shrinking: ddmin to a minimal replayable cause
+# --------------------------------------------------------------------------
+
+
+class TestShrinking:
+    #: Four survivable decoys around one action that (under the strict
+    #: all-sessions-complete bar) is a failure all by itself.
+    PLANTED = FaultSchedule(
+        seed=55,
+        actions=(
+            FaultAction("send_drop", rate=0.05),
+            FaultAction("lease_expire", site="create_session", at=0),
+            FaultAction("kill_ml", site="3", at=1),
+            FaultAction("send_stall", rate=0.05, seconds=0.5),
+            FaultAction("handshake_drop", site="split_plan"),
+        ),
+    )
+
+    def test_ddmin_isolates_the_single_failing_action(self):
+        explorer = ChaosExplorer(require_all_complete=True)
+        minimized, result = explorer.shrink(self.PLANTED)
+        assert result.failed
+        assert [a.describe() for a in minimized.actions] == ["kill_ml[3]@1rows"]
+        with pytest.raises(InvariantViolation, match="kill_ml"):
+            result.raise_for_violations()
+
+    def test_minimized_schedule_replays_identically_from_json(self):
+        explorer = ChaosExplorer(require_all_complete=True)
+        minimized, result = explorer.shrink(self.PLANTED)
+        replay = explorer.replay(minimized.to_json())
+        assert replay.failed
+        assert replay.fingerprint() == result.fingerprint()
+
+    def test_passing_schedule_shrinks_to_itself(self):
+        explorer = ChaosExplorer()  # default bar: typed failures are fine
+        schedule = FaultSchedule(
+            seed=9, actions=(FaultAction("send_drop", rate=0.05),)
+        )
+        minimized, result = explorer.shrink(schedule)
+        assert not result.failed
+        assert minimized == schedule
+
+
+# --------------------------------------------------------------------------
+# Bounded exploration
+# --------------------------------------------------------------------------
+
+
+class TestExplore:
+    def test_bounded_search_runs_and_reports(self):
+        explorer = ChaosExplorer(base_seed=11)
+        report = explorer.explore(rounds=2, wall_budget_s=60.0)
+        assert report.rounds_run == 2
+        summary = report.summary()
+        assert summary["rounds_requested"] == 2
+        assert summary["total_faults_injected"] >= 1
+        assert summary["virtual_seconds_total"] > 0.0
+        # The serving plane survives these sampled schedules: every
+        # failure mode they hit is one the stack recovers from.
+        assert report.failures == []
+
+    def test_scenario_knobs_flow_into_session_ids(self):
+        scenario = ChaosScenario(num_sessions=2)
+        assert scenario.session_ids() == ["chaos_0", "chaos_1"]
