@@ -1,0 +1,135 @@
+"""Storage-chaos smoke: self-healing storage under sampled + pinned faults.
+
+Acceptance bars for the self-healing storage plane (Ablation M):
+
+- The pinned acceptance schedule — replica corruption + one datanode kill
+  + an ENOSPC window — runs against the DFS-backed training scenario on
+  three seeds: every session trains (weight-identical to solo, checked by
+  the explorer's invariants), replication is restored at quiescence, all
+  failures are typed, no thread wedges.
+- A bounded exploration samples schedules that now include the storage
+  action kinds (``dfs_corrupt``, ``dfs_read_error``, ``dfs_kill_datanode``,
+  ``dfs_enospc``); every sampled schedule upholds the standing invariants,
+  and any failure is shrunk to a minimal replayable schedule.
+- Determinism spot check: one acceptance run replays byte-identically,
+  including through its JSON round trip.
+- ``BENCH_STORAGE_JSON`` (when set) receives the results artifact;
+  ``STORAGE_MIN_SCHEDULE_JSON`` receives minimized failing schedule(s),
+  written only when there are failures.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sim import ChaosExplorer, FaultAction, FaultSchedule
+from repro.sim.chaos import ChaosScenario
+
+ACCEPTANCE_SEEDS = (7, 21, 99)
+
+
+def storage_scenario() -> ChaosScenario:
+    return ChaosScenario(num_workers=4, dfs_table=True, block_size=256)
+
+
+def acceptance_schedule(seed: int) -> FaultSchedule:
+    return FaultSchedule(
+        seed=seed,
+        actions=(
+            FaultAction("dfs_corrupt", rate=0.05),
+            FaultAction("dfs_kill_datanode", site="1", at=0),
+            FaultAction("dfs_enospc", rate=0.1),
+        ),
+    )
+
+
+@pytest.mark.timeout(300)
+def test_storage_chaos_smoke(benchmark):
+    rounds = int(os.environ.get("STORAGE_CHAOS_ROUNDS", "6"))
+    wall_budget_s = float(os.environ.get("STORAGE_CHAOS_WALL_S", "60"))
+    base_seed = int(os.environ.get("STORAGE_CHAOS_SEED", "17"))
+
+    def run():
+        explorer = ChaosExplorer(scenario=storage_scenario(), base_seed=base_seed)
+        acceptance = [
+            explorer.run(acceptance_schedule(seed)) for seed in ACCEPTANCE_SEEDS
+        ]
+        report = explorer.explore(rounds=rounds, wall_budget_s=wall_budget_s)
+        fingerprints = {
+            explorer.run(acceptance_schedule(ACCEPTANCE_SEEDS[0])).fingerprint()
+            for _ in range(2)
+        }
+        replay_fp = explorer.replay(
+            acceptance_schedule(ACCEPTANCE_SEEDS[0]).to_json()
+        ).fingerprint()
+        return acceptance, report, fingerprints, replay_fp
+
+    acceptance, report, fingerprints, replay_fp = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # The acceptance bar: survived, healthy, typed-only, every model trained.
+    for seed, result in zip(ACCEPTANCE_SEEDS, acceptance):
+        assert not result.failed, f"seed {seed}: {result.violations}"
+        failed_sessions = [
+            o["session_id"] for o in result.outcomes if o["error_type"] is not None
+        ]
+        assert not failed_sessions, f"seed {seed}: sessions failed {failed_sessions}"
+        storage = result.stats["storage"]
+        assert storage["fsck"]["healthy"], f"seed {seed}: {storage['fsck']}"
+        kinds = {kind for kind, _site in result.events}
+        assert kinds & {"replica_corrupt", "datanode_down", "enospc"}, (
+            f"seed {seed}: schedule never bit ({kinds})"
+        )
+
+    # The sampled sweep: everything survived (or was shrunk for triage).
+    summary = report.summary()
+    assert summary["rounds_run"] >= 1, "the wall budget starved the search"
+    unshrunk = [s.describe() for s, _ in report.failures]
+    assert not unshrunk, f"sampled schedules violated invariants: {unshrunk}"
+
+    # Determinism: identical (seed, schedule) replays identically, and the
+    # JSON round trip (the minimized-artifact path) matches too.
+    assert len(fingerprints) == 1
+    assert replay_fp in fingerprints
+
+    out_path = os.environ.get("BENCH_STORAGE_JSON")
+    if out_path:
+        doc = {
+            "acceptance": [
+                {
+                    "seed": seed,
+                    "schedule": r.schedule.describe(),
+                    "events": len(r.events),
+                    "storage": r.stats["storage"],
+                    "violations": r.violations,
+                }
+                for seed, r in zip(ACCEPTANCE_SEEDS, acceptance)
+            ],
+            "search": summary,
+            "determinism": {
+                "runs": 2,
+                "distinct_fingerprints": len(fingerprints),
+                "json_replay_matches": replay_fp in fingerprints,
+            },
+        }
+        with open(out_path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+
+    schedule_path = os.environ.get("STORAGE_MIN_SCHEDULE_JSON")
+    if schedule_path and report.failures:
+        entries = [json.loads(s.to_json()) for s, _ in report.failures]
+        with open(schedule_path, "w") as fh:
+            json.dump(entries, fh, indent=2, sort_keys=True)
+
+    print()
+    repaired = sum(r.stats["storage"]["repaired_blocks"] for r in acceptance)
+    corrupt = sum(r.stats["storage"]["corrupt_replicas"] for r in acceptance)
+    print(
+        f"storage chaos: {len(ACCEPTANCE_SEEDS)} acceptance seeds survived, "
+        f"{corrupt} corrupt replicas found, {repaired} blocks repaired; "
+        f"search {summary['rounds_run']}/{summary['rounds_requested']} rounds, "
+        f"{summary['total_faults_injected']} faults, "
+        f"{len(report.failures)} invariant violations"
+    )

@@ -103,6 +103,10 @@ def make_deployment(
     retry_budget_tokens: int | None = None,  # deployment-wide retry allowance
     retry_budget_refill_per_s: float = 0.0,  # token refill rate (0 = fixed pool)
     clock=None,  # repro.sim.clock.Clock | None — deployment-wide time source
+    dfs_capacity_bytes: int | None = None,  # per-DataNode disk capacity
+    dfs_scanner: bool = False,  # start the periodic storage scanner
+    dfs_heartbeat_ttl_s: float = 10.0,  # datanode liveness TTL
+    dfs_scanner_interval_s: float = 1.0,  # seconds between scanner cycles
 ) -> Deployment:
     """Build the paper's testbed topology, fully wired.
 
@@ -185,12 +189,41 @@ def make_deployment(
     The chaos harness (:mod:`repro.sim.chaos`) passes a
     :class:`~repro.sim.clock.VirtualClock` so multi-second fault scenarios
     run deterministically in milliseconds (DESIGN §13).
+
+    ``dfs_capacity_bytes`` / ``dfs_scanner`` / ``dfs_heartbeat_ttl_s`` /
+    ``dfs_scanner_interval_s`` arm the self-healing storage plane (DESIGN
+    §14): finite per-DataNode disks whose overflow raises the typed
+    :class:`~repro.common.errors.StorageFullError` (redirected by the write
+    pipeline, laddered by spill buffers and checkpoint commits), and a
+    background :class:`~repro.hdfs.scanner.StorageScanner` that pumps
+    clock-injected heartbeats, scrubs replica checksums, and re-replicates
+    under-replicated blocks.  All off by default — virtual-clock runs
+    should leave ``dfs_scanner=False`` and call
+    ``deployment.dfs.run_repair_cycle()`` at quiescence instead (a
+    free-running loop would spin virtual time once the workload ends).
     """
     from repro.sim.clock import WALL
 
     clock = clock or WALL
     cluster = make_paper_cluster(num_workers)
-    dfs = DistributedFileSystem(cluster, block_size=block_size, replication=replication)
+    # The DFS needs the injector at construction (DataNodes bind their
+    # fault sites once); accept it from either the explicit argument or a
+    # caller-built RecoveryManager.
+    storage_injector = fault_injector or (
+        getattr(recovery, "injector", None) if recovery is not None else None
+    )
+    dfs = DistributedFileSystem(
+        cluster,
+        block_size=block_size,
+        replication=replication,
+        fault_injector=storage_injector,
+        clock=clock,
+        capacity_bytes=dfs_capacity_bytes,
+        heartbeat_ttl_s=dfs_heartbeat_ttl_s,
+        scanner_interval_s=dfs_scanner_interval_s,
+    )
+    if dfs_scanner:
+        dfs.start_scanner()
     engine = BigSQL(cluster, dfs, columnar=columnar)
     if clock is not WALL:
         # Table-UDF workers and executor tasks look the clock up through

@@ -32,7 +32,11 @@ import struct
 import threading
 import zlib
 
-from repro.common.errors import CheckpointCorruptError, CheckpointError
+from repro.common.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    StorageFullError,
+)
 
 _MAGIC = b"RCKP"
 _FORMAT_VERSION = 1
@@ -93,6 +97,7 @@ class CheckpointStore:
         self.corrupt_detected = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        self.enospc_prunes = 0  # old versions deleted to make room
 
     # ------------------------------------------------------------- namespace
 
@@ -142,6 +147,15 @@ class CheckpointStore:
         so the committed namespace never sees a partial file.  Injected
         ``checkpoint.corrupt`` faults flip payload bytes after the checksum
         is computed, so the damage is always detectable at load time.
+
+        ENOSPC ladder: when the DFS refuses the tmp write with
+        :class:`StorageFullError` (capacity or an injected window, after
+        the write pipeline's own replica redirection), the store prunes
+        this job's older committed versions — the newest stays, resumes
+        must keep working — and retries once.  Only when the cluster is
+        full even after pruning does the failure escalate, as a typed
+        :class:`CheckpointError` (which the best-effort
+        :class:`TrainCheckpointer` counts instead of crashing training).
         """
         with self._lock:
             existing = self.versions(job_id)
@@ -159,7 +173,22 @@ class CheckpointStore:
             if self.dfs.exists(tmp):  # stale tmp from an earlier failed save
                 self.dfs.delete(tmp)
             try:
-                self.dfs.write_bytes(tmp, blob, client_ip=self.client_ip)
+                try:
+                    self.dfs.write_bytes(tmp, blob, client_ip=self.client_ip)
+                except StorageFullError as exc:
+                    pruned = self._prune_for_space(job_id, keep=1)
+                    if pruned == 0:
+                        raise CheckpointError(
+                            f"checkpoint {job_id} v{version}: storage full and "
+                            "nothing left to prune"
+                        ) from exc
+                    try:
+                        self.dfs.write_bytes(tmp, blob, client_ip=self.client_ip)
+                    except StorageFullError as retry_exc:
+                        raise CheckpointError(
+                            f"checkpoint {job_id} v{version}: storage full even "
+                            f"after pruning {pruned} old version(s)"
+                        ) from retry_exc
                 if self.injector is not None:
                     self.injector.check_checkpoint_write(
                         f"checkpoint/{job_id}/{version}"
@@ -173,6 +202,22 @@ class CheckpointStore:
             if self.ledger is not None:
                 self.ledger.add("checkpoint.write", len(blob))
             return version
+
+    def _prune_for_space(self, job_id: str, keep: int = 1) -> int:
+        """Delete this job's oldest committed versions (keeping the newest
+        ``keep``) to free replica space; returns how many were pruned.
+        Caller holds the lock."""
+        versions = self.versions(job_id)
+        victims = versions[:-keep] if keep else versions
+        pruned = 0
+        for version in victims:
+            self.dfs.delete(self._path(job_id, version))
+            pruned += 1
+        if pruned:
+            self.enospc_prunes += pruned
+            if self.ledger is not None:
+                self.ledger.add("checkpoint.enospc_prune", pruned)
+        return pruned
 
     def load(self, job_id: str, version: int) -> dict:
         """Load and validate one specific checkpoint version."""

@@ -52,6 +52,48 @@ class BlockError(HdfsError):
     """A block is missing, corrupt, or under-replicated beyond repair."""
 
 
+class BlockCorruptError(BlockError):
+    """One replica's bytes failed their CRC32 checksum on read.
+
+    *Recoverable by failover*: the reader tries the remaining replicas and
+    reports the bad one to the NameNode, whose repair scanner restores it
+    from a healthy copy.  Only when every replica is corrupt or unreachable
+    does the read escalate to a plain :class:`BlockError`."""
+
+    def __init__(self, message: str, block_id: str | None = None, host: str | None = None):
+        self.block_id = block_id
+        self.host = host
+        super().__init__(message)
+
+
+class DataNodeDownError(HdfsError):
+    """An operation hit a dead or stopped DataNode.
+
+    *Recoverable by failover* on the read path (surviving replicas serve
+    the block) and by replica redirection on the write path; the NameNode
+    additionally learns of the death through the report or a missed
+    heartbeat and re-replicates everything the node held."""
+
+    def __init__(self, message: str, host: str | None = None):
+        self.host = host
+        super().__init__(message)
+
+
+class StorageFullError(HdfsError):
+    """A DataNode (or an injected ENOSPC window) refused a replica write
+    for lack of capacity.
+
+    *Recoverable by redirection*: the writer asks the NameNode for a
+    replacement target; only when no live DataNode can take the replica
+    does the error escalate to the caller, whose ladder is caller-specific
+    — spill buffers fall back to accounted in-memory overflow, checkpoint
+    commits prune old versions and retry, everything else fails typed."""
+
+    def __init__(self, message: str, host: str | None = None):
+        self.host = host
+        super().__init__(message)
+
+
 class TransferError(ReproError):
     """The parallel streaming transfer failed (coordinator, channel, buffer)."""
 
@@ -74,6 +116,14 @@ class ChannelTimeoutError(TransferError):
     """A channel/socket/broker operation timed out — *recoverable*: the peer
     may be slow or briefly unreachable, so callers should retry with backoff
     before escalating."""
+
+
+class ChannelAbortedError(TransferError):
+    """The producer failed fatally mid-stream, so everything received on
+    this channel is a truncated prefix — *fatal* for the reader: treating
+    the abort as clean EOF would let a half-delivered dataset train (and
+    charge ``ml.ingest``) silently.  Raised by every receive after the
+    abort, in place of the clean-``close()`` EOF ``None``."""
 
 
 class RetriesExhaustedError(TransferError):

@@ -5,7 +5,7 @@ during the parallel streaming transfer, lost/stalled channels, and broker
 replay after a consumer dies before committing — but a reproduction can only
 *test* them if failures arrive on demand and identically run after run.  The
 :class:`FaultInjector` is that chaos source: every decision draws from a
-per-site :func:`repro.common.rng.derive_seed` stream, so outcomes are
+per-site :func:`repro.common.rng.derive_seed_stable` stream, so outcomes are
 independent of thread interleaving (each SQL worker, channel, and broker
 partition owns its own RNG), and two runs with the same seed inject the
 exact same faults at the exact same points.
@@ -33,7 +33,19 @@ Injection sites (all no-ops when the matching rate/point is unset):
   ``check_handshake_drop(point)`` — the coordinator-HA sites: crash the
   leader, expire its ZooKeeper lease, or lose one handshake response at a
   named failover point (recovered by leader election + idempotent
-  re-handshake; see :mod:`repro.transfer.ha`).
+  re-handshake; see :mod:`repro.transfer.ha`);
+* ``corrupt_replica(payload, site)`` — the ``dfs.replica_corrupt`` site:
+  damages a freshly written block replica *after* its checksum is
+  recorded, so every verified read detects it (recovered by reader
+  failover + scanner repair from a healthy copy);
+* ``check_dfs_read(site)`` — the ``dfs.read_error`` site: one replica
+  read fails transiently (recovered by reader failover);
+* ``check_datanode_down(index, ops)`` — the ``dfs.datanode_down`` site:
+  one-shot death of one DataNode after it has served a given number of
+  block operations (recovered by failover + re-replication);
+* ``check_dfs_enospc(site)`` — the ``dfs.enospc`` site: one replica write
+  hits a full disk (recovered by write redirection, spill fallback, or
+  the checkpoint prune-and-retry ladder).
 
 Every injected event is recorded in :attr:`FaultInjector.events` so tests
 and the chaos benchmark can assert exactly what happened.
@@ -46,12 +58,14 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.common.errors import (
+    BlockError,
     ChannelTimeoutError,
     CheckpointError,
+    StorageFullError,
     TrainingInterrupted,
     WorkerFailedError,
 )
-from repro.common.rng import derive_seed, make_rng
+from repro.common.rng import derive_seed_stable, make_rng
 
 #: The §6 pipeline's retry-attempt naming (``<session>_a<N>``); stripped
 #: when scoping one-shot kills so every attempt of one logical session
@@ -114,6 +128,19 @@ class FaultConfig:
     handshake_drop_at: str = ""
     #: probability any handshake response is dropped (budgeted)
     handshake_drop_rate: float = 0.0
+    #: probability a freshly written block replica is stored damaged
+    #: (bytes flipped after the checksum was recorded, so reads detect it)
+    dfs_replica_corrupt_rate: float = 0.0
+    #: probability one replica read fails transiently (reader fails over)
+    dfs_read_error_rate: float = 0.0
+    #: the ``dfs.datanode_down`` site: index of the DataNode to kill
+    #: one-shot (-1 = off) ...
+    dfs_kill_datanode: int = -1
+    #: ... after it has served this many block operations (0 = dead from
+    #: its first operation on)
+    dfs_kill_datanode_after: int = 0
+    #: probability one replica write hits an injected full disk
+    dfs_enospc_rate: float = 0.0
     #: scope point-kill one-shots per logical session instead of globally.
     #: Off (the seed behavior), ``kill_at`` / ``kill_ml_at`` fire exactly
     #: once per deployment — whichever stream crosses the row threshold
@@ -145,6 +172,10 @@ class FaultConfig:
             or self.lease_expire_at
             or self.handshake_drop_at
             or self.handshake_drop_rate
+            or self.dfs_replica_corrupt_rate
+            or self.dfs_read_error_rate
+            or self.dfs_kill_datanode >= 0
+            or self.dfs_enospc_rate
         )
 
 
@@ -180,6 +211,7 @@ class FaultInjector:
         self._coordinator_killed = False  # the one-shot coordinator.kill fired
         self._lease_expired = False  # the one-shot coordinator.lease_expire fired
         self._handshake_dropped = False  # the one-shot handshake.drop fired
+        self._datanode_killed = False  # the one-shot dfs.datanode_down fired
         self._point_hits = Counter()  # (site, point) -> handshakes seen
         self._kills = 0
         self._events_used = 0
@@ -202,7 +234,7 @@ class FaultInjector:
         with self._lock:
             rng = self._rngs.get(site)
             if rng is None:
-                rng = make_rng(derive_seed(self.config.seed, site))
+                rng = make_rng(derive_seed_stable(self.config.seed, site))
                 self._rngs[site] = rng
             return rng
 
@@ -423,6 +455,62 @@ class FaultInjector:
                 self._record("checkpoint_corrupt", site)
                 return payload[:-1] + bytes([payload[-1] ^ 0xFF])
         return payload
+
+    # -------------------------------------------------------- storage sites
+
+    def corrupt_replica(self, payload: bytes, site: str) -> bytes:
+        """The ``dfs.replica_corrupt`` site: return a damaged copy of a
+        block replica being stored.  The DataNode calls this *after*
+        recording the checksum, so the rot is always detectable — a flipped
+        middle byte models the classic silent single-bit disk error."""
+        if not self.enabled or not self.config.dfs_replica_corrupt_rate:
+            return payload
+        if self._rng(f"dfscorrupt/{site}").random() < self.config.dfs_replica_corrupt_rate:
+            if self._take_event_budget() and payload:
+                self._record("replica_corrupt", site)
+                mid = len(payload) // 2
+                return payload[:mid] + bytes([payload[mid] ^ 0xFF]) + payload[mid + 1 :]
+        return payload
+
+    def check_dfs_read(self, site: str) -> None:
+        """The ``dfs.read_error`` site: fail one replica read transiently
+        (raises :class:`BlockError`; the reader fails over to the next
+        replica).  ``site`` includes the reading client, so each client
+        owns its own RNG stream and concurrent readers stay deterministic."""
+        if not self.enabled:
+            return
+        rate = self.config.dfs_read_error_rate
+        if rate and self._rng(f"dfsread/{site}").random() < rate:
+            if self._take_event_budget():
+                self._record("dfs_read_error", site)
+                raise BlockError(f"injected replica read error at {site}")
+
+    def check_datanode_down(self, index: int, ops: int) -> bool:
+        """The ``dfs.datanode_down`` site: True when DataNode ``index``
+        should go down, one-shot, once it has served
+        ``dfs_kill_datanode_after`` block operations."""
+        if not self.enabled or self.config.dfs_kill_datanode != index:
+            return False
+        if ops < self.config.dfs_kill_datanode_after:
+            return False
+        with self._lock:
+            if self._datanode_killed:
+                return False
+            self._datanode_killed = True
+        self._record("datanode_down", f"datanode-{index}")
+        return True
+
+    def check_dfs_enospc(self, site: str) -> None:
+        """The ``dfs.enospc`` site: one replica write hits a full disk
+        (raises :class:`StorageFullError`; the writer redirects the replica
+        or escalates through the caller's ladder)."""
+        if not self.enabled:
+            return
+        rate = self.config.dfs_enospc_rate
+        if rate and self._rng(f"dfsenospc/{site}").random() < rate:
+            if self._take_event_budget():
+                self._record("enospc", site)
+                raise StorageFullError(f"injected ENOSPC at {site}")
 
     # --------------------------------------------------------- broker sites
 

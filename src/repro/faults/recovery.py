@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.common.errors import ChannelTimeoutError, RetriesExhaustedError
-from repro.common.rng import derive_seed, make_rng
+from repro.common.rng import derive_seed_stable, make_rng
 from repro.faults.injector import FaultInjector
 from repro.sim.clock import WALL, Clock
 
@@ -63,7 +63,7 @@ class RetryPolicy:
     def delay_s(self, attempt: int, key: str = "") -> float:
         delay = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
         if self.jitter:
-            rng = make_rng(derive_seed(self.seed, "retry", key, attempt))
+            rng = make_rng(derive_seed_stable(self.seed, "retry", key, attempt))
             delay *= 1.0 + self.jitter * float(rng.random())
         return delay
 

@@ -14,18 +14,33 @@ The implementation follows the HDFS architecture in miniature:
   local to the client when possible),
 * reads prefer a local replica, and every byte moved is recorded in the
   cluster's :class:`~repro.cluster.cost.CostLedger`.
+
+The storage plane is *self-healing* (DESIGN §14): every replica carries a
+CRC32 checksum verified on read, readers fail over across replicas and
+report rot / dead nodes to the NameNode, and a
+:class:`~repro.hdfs.scanner.StorageScanner` scrubs replicas, sweeps
+heartbeats, and re-replicates under-replicated blocks back to factor.
+All of it is off by default — fault-free byte ledgers stay bit-identical
+to the seed.
 """
 
 from repro.hdfs.block import Block, BlockLocation
-from repro.hdfs.datanode import DataNode
-from repro.hdfs.filesystem import DistributedFileSystem, FileStatus
+from repro.hdfs.datanode import DataNode, block_crc
+from repro.hdfs.filesystem import DfsReader, DfsWriter, DistributedFileSystem, FileStatus
 from repro.hdfs.namenode import NameNode
+from repro.hdfs.scanner import FsckReport, ScanReport, StorageScanner
 
 __all__ = [
     "Block",
     "BlockLocation",
     "DataNode",
+    "DfsReader",
+    "DfsWriter",
     "DistributedFileSystem",
     "FileStatus",
+    "FsckReport",
     "NameNode",
+    "ScanReport",
+    "StorageScanner",
+    "block_crc",
 ]

@@ -1,46 +1,228 @@
-"""DataNode: block replica storage on one worker node."""
+"""DataNode: checksummed block replica storage on one worker node."""
 
 import threading
+import zlib
 
 from repro.cluster.cost import CostLedger
 from repro.cluster.node import Node
-from repro.common.errors import BlockError
+from repro.common.errors import (
+    BlockCorruptError,
+    BlockError,
+    DataNodeDownError,
+    StorageFullError,
+)
+
+
+def block_crc(data: bytes) -> int:
+    """The per-replica checksum: CRC32 over the block bytes."""
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 class DataNode:
     """Stores block replicas for one cluster node.
 
+    Every replica carries the CRC32 computed at write time; every read
+    verifies it, so silent bit rot surfaces as a typed
+    :class:`~repro.common.errors.BlockCorruptError` instead of corrupt
+    bytes flowing downstream.  ``capacity_bytes`` models a finite disk:
+    writes past it raise :class:`~repro.common.errors.StorageFullError`.
+    A stopped node (:meth:`stop`) refuses every block operation with
+    :class:`~repro.common.errors.DataNodeDownError` until :meth:`restart`.
+
     Byte accounting: a local write records ``dfs.write.local``; when the
     writer's client sits on a different node the replication pipeline also
     records ``dfs.write.replica_net`` (handled by the filesystem client,
-    which knows the client's node).  Reads record ``dfs.read``.
+    which knows the client's node).  Reads record ``dfs.read``.  Repair
+    and scrub traffic goes through the side doors (:meth:`replica_bytes`,
+    :meth:`restore_block`, :meth:`verify_block`) whose callers charge the
+    dedicated ``dfs.repair.*`` / ``dfs.scan.*`` categories instead.
     """
 
-    def __init__(self, node: Node, ledger: CostLedger):
+    def __init__(
+        self,
+        node: Node,
+        ledger: CostLedger,
+        capacity_bytes: int | None = None,
+        injector=None,  # FaultInjector | None — dfs.replica_corrupt site
+        dn_index: int = 0,
+    ):
         self.node = node
         self.ledger = ledger
+        self.capacity_bytes = capacity_bytes
+        self.injector = injector
+        self.dn_index = dn_index
         self._blocks: dict[str, bytes] = {}
+        self._crcs: dict[str, int] = {}
+        self._used = 0
+        self._alive = True
+        self._ops = 0  # block reads+writes, the datanode_down trigger axis
         self._lock = threading.Lock()
 
-    def write_block(self, block_id: str, data: bytes) -> None:
-        """Store one replica of ``block_id``."""
+    # -------------------------------------------------------------- liveness
+
+    @property
+    def alive(self) -> bool:
         with self._lock:
-            if block_id in self._blocks:
-                raise BlockError(f"block {block_id} already stored on {self.node.hostname}")
+            return self._alive
+
+    def stop(self) -> None:
+        """Take the node down: every block operation now raises
+        :class:`DataNodeDownError` and heartbeats stop flowing."""
+        with self._lock:
+            self._alive = False
+
+    def restart(self) -> None:
+        """Bring the node back with its stored replicas intact."""
+        with self._lock:
+            self._alive = True
+
+    def _check_up(self) -> None:
+        """Caller holds the lock.  Counts the op and applies the injected
+        ``dfs.datanode_down`` one-shot before refusing dead-node traffic."""
+        if self._alive and self.injector is not None:
+            if self.injector.check_datanode_down(self.dn_index, self._ops):
+                self._alive = False
+        self._ops += 1
+        if not self._alive:
+            raise DataNodeDownError(
+                f"datanode {self.node.hostname} is down", host=self.node.ip
+            )
+
+    # ----------------------------------------------------------------- I/O
+
+    def write_block(self, block_id: str, data: bytes) -> None:
+        """Store one replica of ``block_id``.
+
+        Idempotent for identical bytes: re-writing the same content is a
+        no-op (the re-replication pipeline and retried checkpoint commits
+        both re-send blocks a node may already hold), while a different
+        payload under the same id is a hard :class:`BlockError`.
+        """
+        with self._lock:
+            self._check_up()
+            existing = self._blocks.get(block_id)
+            if existing is not None:
+                # Idempotency is judged against the *recorded* checksum, not
+                # the stored bytes — a replica that rotted (or was stored
+                # corrupted by injection) still accepts the same logical
+                # re-write as a no-op; the scrub pass repairs the rot.
+                if block_crc(data) == self._crcs[block_id]:
+                    return  # idempotent re-write of identical content
+                raise BlockError(
+                    f"block {block_id} already stored on {self.node.hostname} "
+                    "with different contents"
+                )
+            if (
+                self.capacity_bytes is not None
+                and self._used + len(data) > self.capacity_bytes
+            ):
+                raise StorageFullError(
+                    f"datanode {self.node.hostname} full: "
+                    f"{self._used}+{len(data)} > {self.capacity_bytes} bytes",
+                    host=self.node.ip,
+                )
+            crc = block_crc(data)
+            if self.injector is not None:
+                # dfs.replica_corrupt: damage the stored bytes *after* the
+                # checksum is computed, so every read detects it.
+                data = self.injector.corrupt_replica(
+                    data, f"replica/{self.node.ip}/{block_id}"
+                )
             self._blocks[block_id] = data
+            self._crcs[block_id] = crc
+            self._used += len(data)
         self.ledger.add("dfs.write.local", len(data))
 
     def read_block(self, block_id: str) -> bytes:
-        """Return the replica bytes (raises if not stored here)."""
+        """Return the replica bytes, checksum-verified (raises
+        :class:`BlockCorruptError` on damage, :class:`BlockError` if the
+        replica is not stored here)."""
         with self._lock:
-            try:
-                data = self._blocks[block_id]
-            except KeyError:
+            self._check_up()
+            data = self._blocks.get(block_id)
+            if data is None:
                 raise BlockError(
                     f"block {block_id} not stored on {self.node.hostname}"
-                ) from None
+                )
+            if block_crc(data) != self._crcs[block_id]:
+                raise BlockCorruptError(
+                    f"block {block_id} failed checksum on {self.node.hostname}",
+                    block_id=block_id,
+                    host=self.node.ip,
+                )
         self.ledger.add("dfs.read", len(data))
         return data
+
+    # ------------------------------------------------------ repair side door
+
+    def replica_bytes(self, block_id: str) -> bytes:
+        """Checksum-verified replica bytes for the repair pipeline — no
+        ``dfs.read`` charge (callers account ``dfs.repair.*`` instead)."""
+        with self._lock:
+            self._check_up()
+            data = self._blocks.get(block_id)
+            if data is None:
+                raise BlockError(
+                    f"block {block_id} not stored on {self.node.hostname}"
+                )
+            if block_crc(data) != self._crcs[block_id]:
+                raise BlockCorruptError(
+                    f"block {block_id} failed checksum on {self.node.hostname}",
+                    block_id=block_id,
+                    host=self.node.ip,
+                )
+            return data
+
+    def restore_block(self, block_id: str, data: bytes) -> None:
+        """Write a repaired replica — capacity-checked and idempotent like
+        :meth:`write_block`, but never fault-injected (the repair pipeline
+        verified these bytes against the checksum) and not charged to
+        ``dfs.write.local`` (callers account ``dfs.repair.bytes``)."""
+        with self._lock:
+            self._check_up()
+            existing = self._blocks.get(block_id)
+            if existing is not None:
+                if existing == data and block_crc(data) == self._crcs[block_id]:
+                    return
+                # A corrupt or divergent local copy is replaced outright.
+                self._used -= len(existing)
+                del self._blocks[block_id]
+                del self._crcs[block_id]
+            if (
+                self.capacity_bytes is not None
+                and self._used + len(data) > self.capacity_bytes
+            ):
+                raise StorageFullError(
+                    f"datanode {self.node.hostname} full: "
+                    f"{self._used}+{len(data)} > {self.capacity_bytes} bytes",
+                    host=self.node.ip,
+                )
+            self._blocks[block_id] = data
+            self._crcs[block_id] = block_crc(data)
+            self._used += len(data)
+
+    def verify_block(self, block_id: str) -> bool:
+        """True when the stored replica matches its checksum (the scrub
+        pass; no ledger charge — callers account ``dfs.scan.bytes``)."""
+        with self._lock:
+            data = self._blocks.get(block_id)
+            if data is None:
+                return False
+            return block_crc(data) == self._crcs[block_id]
+
+    def corrupt_replica(self, block_id: str) -> None:
+        """Chaos/test helper: flip one stored byte without touching the
+        recorded checksum, so the next verified read detects bit rot."""
+        with self._lock:
+            data = self._blocks.get(block_id)
+            if not data:
+                return
+            mid = len(data) // 2
+            self._blocks[block_id] = (
+                data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1 :]
+            )
+
+    # ------------------------------------------------------------- inventory
 
     def has_block(self, block_id: str) -> bool:
         """True when this DataNode holds a replica of ``block_id``."""
@@ -50,12 +232,20 @@ class DataNode:
     def delete_block(self, block_id: str) -> None:
         """Drop the replica; deleting an absent block is a no-op."""
         with self._lock:
-            self._blocks.pop(block_id, None)
+            data = self._blocks.pop(block_id, None)
+            self._crcs.pop(block_id, None)
+            if data is not None:
+                self._used -= len(data)
+
+    def block_ids(self) -> list[str]:
+        """Ids of every replica stored here (scrub-scan inventory)."""
+        with self._lock:
+            return sorted(self._blocks)
 
     def used_bytes(self) -> int:
         """Total bytes of replicas stored here."""
         with self._lock:
-            return sum(len(d) for d in self._blocks.values())
+            return self._used
 
     def block_count(self) -> int:
         """Number of replicas stored here."""

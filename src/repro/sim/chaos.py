@@ -30,7 +30,7 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 
-from repro.common.rng import derive_seed, make_rng
+from repro.common.rng import derive_seed_stable, make_rng
 from repro.faults.injector import FaultConfig, FaultInjector
 from repro.sim.clock import VirtualClock
 
@@ -56,6 +56,10 @@ ACTION_KINDS = (
     "handshake_drop",  # site=failover point
     "send_drop",  # rate (per-site seeded stream)
     "send_stall",  # rate + seconds (virtual)
+    "dfs_corrupt",  # rate — replica bit rot at write time (read-detectable)
+    "dfs_read_error",  # rate — transient replica read failures
+    "dfs_kill_datanode",  # site=datanode index, at=block ops before death
+    "dfs_enospc",  # rate — full-disk windows at replica/spill write sites
 )
 
 
@@ -106,6 +110,8 @@ class FaultAction:
             return f"{self.kind}@{self.site}+{self.at}"
         if self.kind == "send_stall":
             return f"send_stall(p={self.rate:g},{self.seconds:g}s)"
+        if self.kind == "dfs_kill_datanode":
+            return f"dfs_kill_datanode[{self.site}]@{self.at}ops"
         return f"{self.kind}(p={self.rate:g})"
 
 
@@ -150,6 +156,21 @@ class FaultSchedule:
                     fields.get("send_stall_rate", 0.0), a.rate
                 )
                 fields["stall_seconds"] = max(fields.get("stall_seconds", 0.0), a.seconds)
+            elif a.kind == "dfs_corrupt":
+                fields["dfs_replica_corrupt_rate"] = max(
+                    fields.get("dfs_replica_corrupt_rate", 0.0), a.rate
+                )
+            elif a.kind == "dfs_read_error":
+                fields["dfs_read_error_rate"] = max(
+                    fields.get("dfs_read_error_rate", 0.0), a.rate
+                )
+            elif a.kind == "dfs_kill_datanode":
+                fields.setdefault("dfs_kill_datanode", int(a.site))
+                fields.setdefault("dfs_kill_datanode_after", a.at)
+            elif a.kind == "dfs_enospc":
+                fields["dfs_enospc_rate"] = max(
+                    fields.get("dfs_enospc_rate", 0.0), a.rate
+                )
         return FaultConfig(
             seed=self.seed,
             kill_at=kill_at,
@@ -200,6 +221,14 @@ class ChaosScenario:
     deadline_s: float | None = 120.0  # virtual seconds, generous
     iterations: int = 3
     base_seed: int = 1000  # session i trains with seed base_seed + i
+    #: Storage-chaos mode: the training table lives on the DFS as external
+    #: CSV part files (so ``dfs_*`` faults actually bite the workload), the
+    #: sampler draws storage actions too, and the harness runs quiescence
+    #: repair + fsck with their standing invariants after every run.
+    dfs_table: bool = False
+    block_size: int = 4 * 1024 * 1024
+    replication: int = 3
+    dfs_capacity_bytes: int | None = None
 
     def session_ids(self) -> list[str]:
         return [f"chaos_{i}" for i in range(self.num_sessions)]
@@ -214,7 +243,30 @@ class ChaosScenario:
             max_concurrent_sessions=self.max_concurrent_sessions,
             fault_injector=injector,
             clock=clock,
+            block_size=self.block_size,
+            replication=self.replication,
+            dfs_capacity_bytes=self.dfs_capacity_bytes,
         )
+
+    def make_table(self, deployment) -> None:
+        """Create the shared ``points`` table this scenario trains on."""
+        from repro.workloads.loadgen import make_points_table, make_points_table_dfs
+
+        if self.dfs_table:
+            make_points_table_dfs(deployment.engine, deployment.dfs)
+        else:
+            make_points_table(deployment.engine)
+
+
+#: Contention telemetry excluded from fingerprints and the fault-free
+#: ledger-identity invariant: these counters record how often some thread
+#: happened to block — a function of OS scheduling (core count, machine
+#: load), not of ``(scenario, schedule)``.  They stay in ``result.ledger``
+#: for observability; they just are not part of the determinism contract,
+#: exactly like wall latencies.
+CONTENTION_COUNTERS = frozenset(
+    {"scheduler.waits", "admission.queued", "governor.throttled"}
+)
 
 
 @dataclass
@@ -236,12 +288,15 @@ class ChaosRunResult:
 
     def fingerprint(self) -> str:
         """Canonical digest of everything a deterministic replay must
-        reproduce: outcomes (identity, error type, exact weights), the full
+        reproduce: outcomes (identity, error type, exact weights), the
         byte ledger, and the injected-fault multiset.  Wall-side noise
-        (latencies, wall_seconds, poll counts) is deliberately excluded."""
+        (latencies, wall_seconds, poll counts) and the
+        :data:`CONTENTION_COUNTERS` are deliberately excluded."""
         doc = {
             "outcomes": self.outcomes,
-            "ledger": self.ledger,
+            "ledger": {
+                k: v for k, v in self.ledger.items() if k not in CONTENTION_COUNTERS
+            },
             "events": self.events,
         }
         blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
@@ -288,7 +343,7 @@ class ChaosExplorer:
         self,
         scenario: ChaosScenario | None = None,
         base_seed: int = 0,
-        run_wall_cap_s: float = 30.0,
+        run_wall_cap_s: float = 120.0,
         max_virtual_s: float = 3600.0,
         require_all_complete: bool = False,
     ):
@@ -309,7 +364,7 @@ class ChaosExplorer:
 
     def sample_schedule(self, index: int) -> FaultSchedule:
         """Deterministic schedule #``index`` of this explorer's stream."""
-        rng = make_rng(derive_seed(self.base_seed, f"schedule/{index}"))
+        rng = make_rng(derive_seed_stable(self.base_seed, f"schedule/{index}"))
         sc = self.scenario
 
         def draw(low: int, high: int) -> int:
@@ -319,6 +374,19 @@ class ChaosExplorer:
             return options[draw(0, len(options))]
 
         k = sc.num_workers * sc.workers_per_node  # ML reader count bound
+        # Storage actions only exist in dfs_table scenarios — appended after
+        # the base tuple so existing scenarios keep sampling (and therefore
+        # fingerprinting) exactly the schedules they always did.
+        storage_generators = (
+            lambda: FaultAction("dfs_corrupt", rate=pick((0.05, 0.2))),
+            lambda: FaultAction("dfs_read_error", rate=pick((0.05, 0.2))),
+            # at=0: dead from its first block op — the only op-count trigger
+            # that is interleaving-independent under concurrent sessions.
+            lambda: FaultAction(
+                "dfs_kill_datanode", site=str(draw(0, sc.num_workers)), at=0
+            ),
+            lambda: FaultAction("dfs_enospc", rate=pick((0.05, 0.2))),
+        )
         generators = (
             lambda: FaultAction(
                 "kill_sql", site=str(draw(0, sc.num_workers)), at=pick((1, 20, 60))
@@ -341,9 +409,11 @@ class ChaosExplorer:
                 seconds=pick((0.5, 2.0, 10.0)),  # the virtual-time axis
             ),
         )
+        if sc.dfs_table:
+            generators = generators + storage_generators
         actions = tuple(pick(generators)() for _ in range(draw(1, 4)))
         return FaultSchedule(
-            seed=derive_seed(self.base_seed, f"faults/{index}"), actions=actions
+            seed=derive_seed_stable(self.base_seed, f"faults/{index}"), actions=actions
         )
 
     # ------------------------------------------------------------ execution
@@ -351,13 +421,13 @@ class ChaosExplorer:
     def run(self, schedule: FaultSchedule, check: bool = True) -> ChaosRunResult:
         """Execute one schedule under a fresh VirtualClock deployment."""
         from repro.bench.overload import wedged_threads
-        from repro.workloads.loadgen import make_points_table, run_one_session
+        from repro.workloads.loadgen import run_one_session
 
         start_wall = time.perf_counter()
         clock = VirtualClock(max_virtual_s=self.max_virtual_s)
         injector = FaultInjector(schedule.to_config(), clock=clock)
         deployment = self.scenario.build(injector, clock)
-        make_points_table(deployment.engine)
+        self.scenario.make_table(deployment)
 
         sc = self.scenario
         outcomes: list = [None] * sc.num_sessions
@@ -391,9 +461,34 @@ class ChaosExplorer:
                 wedged.append(t.name)
         if not wedged:
             # Serving-plane stragglers (ml-job threads finishing their last
-            # statements) get a short real-time grace to unwind.
-            wedged = wedged_threads(grace_s=2.0, prefixes=("ml-job-", "chaos-client"))
+            # statements) get a real-time grace to unwind.  Generous on
+            # purpose: a cleanly exiting thread is observed the moment it
+            # dies, so the grace is only ever fully burned by a genuine
+            # wedge — while a short grace misfires on loaded single-core
+            # CI boxes where a healthy thread can take seconds to get
+            # scheduled for its last few statements.
+            wedged = wedged_threads(grace_s=15.0, prefixes=("ml-job-", "chaos-client"))
         clock.stats.wedged = sorted(set(wedged) | set(clock.blocked_outside_clock()))
+
+        # Storage quiescence (dfs_table scenarios): pump heartbeats, scrub
+        # checksums, and re-replicate until stable, then fsck the namespace.
+        # Runs after the workload so repair traffic is a deterministic pure
+        # function of the schedule; skipped when wedged (live client threads
+        # would race the scanner and nothing downstream is trustworthy).
+        storage: dict | None = None
+        if self.scenario.dfs_table and not clock.stats.wedged:
+            repair = deployment.dfs.repair_until_stable()
+            fsck = deployment.dfs.fsck()
+            storage = {
+                "blocks_scanned": repair.blocks_scanned,
+                "corrupt_replicas": repair.corrupt_replicas,
+                "repaired_blocks": repair.repaired_blocks,
+                "unrecoverable_blocks": sorted(repair.unrecoverable_blocks),
+                "under_replicated_after": repair.under_replicated_after,
+                "fsck": fsck.summary(),
+                "bad_replica_reports": deployment.dfs.namenode.bad_replica_reports,
+                "dead_datanode_reports": deployment.dfs.namenode.dead_datanode_reports,
+            }
 
         result = ChaosRunResult(
             schedule=schedule,
@@ -420,6 +515,7 @@ class ChaosExplorer:
                 "sleeps": clock.stats.sleeps,
                 "max_concurrent_sleepers": clock.stats.max_concurrent_sleepers,
                 "wedged": clock.stats.wedged,
+                "storage": storage,
             },
         )
         if check:
@@ -479,13 +575,17 @@ class ChaosExplorer:
                     f"{result.ledger['stream.retry']}"
                 )
             baseline = self._fault_free_ledger()
-            if baseline is not None and result.ledger != baseline:
+            if baseline is not None:
                 diff = {
                     key: (baseline.get(key), result.ledger.get(key))
                     for key in set(baseline) | set(result.ledger)
-                    if baseline.get(key) != result.ledger.get(key)
+                    if key not in CONTENTION_COUNTERS
+                    and baseline.get(key) != result.ledger.get(key)
                 }
-                violations.append(f"fault-free ledger diverged from baseline: {diff}")
+                if diff:
+                    violations.append(
+                        f"fault-free ledger diverged from baseline: {diff}"
+                    )
 
         # 4. Completed-session weight identity: interleaving and injected
         #    faults may slow or fail a session, but a session that *completes*
@@ -499,7 +599,36 @@ class ChaosExplorer:
                     f"{got} != solo {expected}"
                 )
 
-        # 5. Opt-in strict bar (shrinking demos): every session completes.
+        # 5. Storage health at quiescence (dfs_table scenarios): after the
+        #    repair scanner runs until stable, every block with at least one
+        #    healthy replica is back at its replication target, and a block
+        #    can only be *lost* (no healthy replica anywhere) when storage
+        #    faults were actually injected — losing data without a fault is
+        #    a repair-pipeline defect, not chaos.
+        storage = result.stats.get("storage")
+        if storage is not None:
+            fsck = storage["fsck"]
+            if fsck["under_replicated"]:
+                violations.append(
+                    "replication not restored at quiescence: "
+                    f"{fsck['under_replicated']}"
+                )
+            storage_events = {
+                "replica_corrupt",
+                "datanode_down",
+                "enospc",
+                "dfs_read_error",
+            }
+            had_storage_faults = any(
+                kind in storage_events for kind, _site in result.events
+            )
+            if fsck["missing_blocks"] and not had_storage_faults:
+                violations.append(
+                    "blocks lost with no storage fault injected: "
+                    f"{fsck['missing_blocks']}"
+                )
+
+        # 6. Opt-in strict bar (shrinking demos): every session completes.
         if self.require_all_complete:
             for o in result.outcomes:
                 if o["error_type"] is not None:
@@ -511,12 +640,12 @@ class ChaosExplorer:
     def _solo_baseline(self) -> tuple[dict[int, tuple], int]:
         """Fault-free sequential baseline: per-seed weights + ingest bytes."""
         if self._solo is None:
-            from repro.workloads.loadgen import make_points_table, run_one_session
+            from repro.workloads.loadgen import run_one_session
 
             clock = VirtualClock(max_virtual_s=self.max_virtual_s)
             injector = FaultInjector(FaultConfig(), clock=clock)  # inert
             deployment = self.scenario.build(injector, clock)
-            make_points_table(deployment.engine)
+            self.scenario.make_table(deployment)
             sc = self.scenario
             solo: dict[int, tuple] = {}
 

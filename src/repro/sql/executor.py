@@ -106,12 +106,22 @@ class Executor:
         self._ctx = ctx
 
     def execute(self, plan: LogicalPlan) -> DistRelation:
-        with ThreadPoolExecutor(max_workers=self._ctx.num_workers) as pool:
-            self._pool = pool
-            try:
-                return self._execute(plan)
-            finally:
-                self._pool = None
+        pool = ThreadPoolExecutor(max_workers=self._ctx.num_workers)
+        self._pool = pool
+        try:
+            return self._execute(plan)
+        finally:
+            self._pool = None
+            clock = self._ctx.services.get("clock")
+            if clock is None:
+                pool.shutdown(wait=True)
+            else:
+                # When a gathered future raises (an injected send fault),
+                # sibling workers may still sit in clock-mediated retry
+                # backoffs; joining them from inside the managed set would
+                # gate the very time advancement they need to finish.
+                with clock.unmanaged():
+                    pool.shutdown(wait=True)
 
     # -------------------------------------------------------------- dispatch
 

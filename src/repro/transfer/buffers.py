@@ -16,7 +16,12 @@ import threading
 from collections import deque
 from collections.abc import Sequence
 
-from repro.common.errors import ChannelTimeoutError, TransferError
+from repro.common.errors import (
+    ChannelAbortedError,
+    ChannelTimeoutError,
+    StorageFullError,
+    TransferError,
+)
 from repro.sim.clock import WALL
 
 _LENGTH = struct.Struct(">I")
@@ -34,6 +39,7 @@ class SpillableBuffer:
         tenant: str = "default",
         budget=None,
         clock=None,  # repro.sim.clock.Clock | None — read-wait timing
+        injector=None,  # FaultInjector | None — dfs.enospc spill window
     ):
         if capacity_bytes < 1:
             raise ValueError("capacity_bytes must be >= 1")
@@ -58,9 +64,13 @@ class SpillableBuffer:
         self._spill_file = None
         self._spill_read_offset = 0
         self._spill_pending = 0  # items in the spill region not yet consumed
+        self._file_pending = 0  # subset of pending that sits in the spill file
+        self._spill_failed = False  # disk refused a spill — degrade to memory
+        self._injector = injector
         self._overflow: deque[bytes] = deque()  # in-memory spill stand-in
         self._ledger = ledger
         self._closed = False
+        self._abort_reason: str | None = None
         self._lock = threading.Lock()
         self._readable = threading.Condition(self._lock)
         self.spilled_bytes = 0
@@ -88,6 +98,18 @@ class SpillableBuffer:
             self._closed = True
             self._readable.notify_all()
 
+    def abort(self, reason: str = "producer failed") -> None:
+        """Poison the stream: every blocked or future :meth:`get` raises
+        :class:`ChannelAbortedError` instead of draining to EOF.  Pending
+        items are a truncated prefix of a stream whose producer died, so
+        they must never be delivered as if the stream completed.  Sticky —
+        a later :meth:`close` does not clear it.  Idempotent."""
+        with self._lock:
+            if self._abort_reason is None:
+                self._abort_reason = reason
+            self._closed = True
+            self._readable.notify_all()
+
     def discard(self) -> None:
         """Drop everything and release the spill file (session teardown).
 
@@ -105,6 +127,7 @@ class SpillableBuffer:
                 self._governed = 0
             self._overflow.clear()
             self._spill_pending = 0
+            self._file_pending = 0
             if self._spill_file is not None:
                 path = self._spill_file.name
                 self._spill_file.close()
@@ -135,6 +158,10 @@ class SpillableBuffer:
         deadline = None if timeout is None else self._clock.now() + timeout
         with self._lock:
             while True:
+                if self._abort_reason is not None:
+                    raise ChannelAbortedError(
+                        f"stream aborted: {self._abort_reason}"
+                    )
                 if self._memory:
                     item = self._memory.popleft()
                     self._memory_bytes -= len(item)
@@ -184,15 +211,35 @@ class SpillableBuffer:
         if self._governor is not None:
             self._governor.charge(self._tenant, len(item))
             self._governed += len(item)
-        if self._spill_path is None:
-            self._overflow.append(item)
+        if self._spill_path is not None and not self._spill_failed:
+            try:
+                if self._injector is not None:
+                    # dfs.enospc: an injected full-disk window at the spill
+                    # site (real spill disks fail with OSError below).
+                    self._injector.check_dfs_enospc(
+                        f"spill/{self._tenant}/{self._spill_path}"
+                    )
+                if self._spill_file is None:
+                    os.makedirs(
+                        os.path.dirname(self._spill_path) or ".", exist_ok=True
+                    )
+                    self._spill_file = open(self._spill_path, "w+b")
+                self._spill_file.seek(0, os.SEEK_END)
+                self._spill_file.write(_LENGTH.pack(len(item)))
+                self._spill_file.write(item)
+                self._file_pending += 1
+            except (OSError, StorageFullError):
+                # ENOSPC ladder: the spill disk refused the item — degrade to
+                # the accounted in-memory overflow region instead of crashing
+                # the producer.  Permanently, so FIFO order across the
+                # file/overflow boundary stays intact (file items drain
+                # strictly before overflow items).
+                self._spill_failed = True
+                if self._ledger is not None:
+                    self._ledger.add("stream.spill_enospc", 1)
+                self._overflow.append(item)
         else:
-            if self._spill_file is None:
-                os.makedirs(os.path.dirname(self._spill_path) or ".", exist_ok=True)
-                self._spill_file = open(self._spill_path, "w+b")
-            self._spill_file.seek(0, os.SEEK_END)
-            self._spill_file.write(_LENGTH.pack(len(item)))
-            self._spill_file.write(item)
+            self._overflow.append(item)
         self._spill_pending += 1
 
     def _refill_from_spill(self) -> None:
@@ -205,7 +252,7 @@ class SpillableBuffer:
             if self._governor is not None:
                 self._governor.credit(self._tenant, len(item))
                 self._governed = max(self._governed - len(item), 0)
-        if self._spill_pending == 0 and self._spill_file is not None:
+        if self._file_pending == 0 and self._spill_file is not None:
             path = self._spill_file.name
             self._spill_file.close()
             self._spill_file = None
@@ -216,15 +263,18 @@ class SpillableBuffer:
                 pass
 
     def _read_one_spilled(self) -> bytes:
-        if self._spill_path is None:
-            return self._overflow.popleft()
-        assert self._spill_file is not None
-        self._spill_file.seek(self._spill_read_offset)
-        header = self._spill_file.read(_LENGTH.size)
-        (length,) = _LENGTH.unpack(header)
-        item = self._spill_file.read(length)
-        self._spill_read_offset = self._spill_file.tell()
-        return item
+        # FIFO across regions: everything that reached the spill file was
+        # appended before the first overflow item (degradation is one-way),
+        # so the file drains first.
+        if self._spill_file is not None and self._file_pending:
+            self._spill_file.seek(self._spill_read_offset)
+            header = self._spill_file.read(_LENGTH.size)
+            (length,) = _LENGTH.unpack(header)
+            item = self._spill_file.read(length)
+            self._spill_read_offset = self._spill_file.tell()
+            self._file_pending -= 1
+            return item
+        return self._overflow.popleft()
 
 
 def encode_row(row: tuple) -> bytes:

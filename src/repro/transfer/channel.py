@@ -52,6 +52,7 @@ class StreamChannel:
         tenant: str = "default",
         budget=None,
         clock=None,  # repro.sim.clock.Clock | None — buffer-wait timing
+        injector=None,  # FaultInjector | None — dfs.enospc at the spill site
     ):
         self.channel_id = channel_id
         self.local = local
@@ -74,6 +75,7 @@ class StreamChannel:
             tenant=tenant,
             budget=budget,
             clock=clock,
+            injector=injector,
         )
         self.rows_sent = 0
         self.bytes_sent = 0
@@ -162,6 +164,12 @@ class StreamChannel:
     def close(self) -> None:
         """End of stream from the sender."""
         self._buffer.close()
+
+    def abort(self, reason: str = "producer failed") -> None:
+        """Fatal end of stream: the producer died mid-send, so receivers
+        must get a typed :class:`ChannelAbortedError`, never the clean EOF
+        that would pass off the delivered prefix as a complete dataset."""
+        self._buffer.abort(reason)
 
     def release(self) -> None:
         """Free transfer resources at session teardown: pending rows are

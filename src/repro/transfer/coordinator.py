@@ -139,6 +139,12 @@ class Coordinator:
             from repro.faults.recovery import RecoveryManager
 
             recovery = RecoveryManager(injector=fault_injector, clock=self.clock)
+        #: FaultInjector | None — also threaded into spill buffers so an
+        #: armed ``dfs.enospc`` window covers the spill write site; callers
+        #: that hand over only a RecoveryManager still arm it.
+        self.fault_injector = fault_injector or (
+            getattr(recovery, "injector", None) if recovery is not None else None
+        )
         #: §6 recovery driver; when set, streaming senders take the resilient
         #: protocol (sequenced blocks, heartbeats, retries, partial restart).
         self.recovery = recovery
@@ -455,14 +461,19 @@ class Coordinator:
                 args=session.args,
                 settings=settings,
             )
-            self._journal_admission()
+            self._journal_admission("admit", session_id, tenant)
         return session
 
-    def _journal_admission(self) -> None:
-        """Journal the admission gate's running/queued state so a takeover
-        (which shares the gate object group-wide) can audit and re-seed it."""
+    def _journal_admission(self, event: str, session_id: str, tenant: str) -> None:
+        """Journal one admission transition so a takeover (which shares the
+        gate object group-wide) can audit it.  Per-transition, not a
+        running-set snapshot: the byte total must not depend on how many
+        sessions happen to overlap (interleaving noise would leak into the
+        ``zk.journal`` counter and break chaos fingerprint replay)."""
         if self.state_store is not None and self.admission is not None:
-            self.state_store.record_admission(self.admission.queue_state())
+            self.state_store.record_admission(
+                {"event": event, "session": session_id, "tenant": tenant}
+            )
 
     def session(self, session_id: str) -> StreamSession:
         self._ensure_serving()
@@ -507,7 +518,7 @@ class Coordinator:
         # a promoted waiter never races the dying session for spill files.
         if self.admission is not None:
             self.admission.release(session_id)
-            self._journal_admission()
+            self._journal_admission("release", session_id, session.tenant)
 
     def cancel_session(self, session_id: str, reason: str = "client cancel") -> bool:
         """Cooperatively cancel one session and tear it down.
@@ -741,6 +752,7 @@ class Coordinator:
                             tenant=session.tenant,
                             budget=session.budget,
                             clock=self.clock,
+                            injector=self.fault_injector,
                         )
                     group.append(cid)
                     channel_ids.append(cid)
@@ -894,7 +906,10 @@ class Coordinator:
         """§6 hook: record a *fatal* failure and return the restart plan.
 
         This is the no-recovery tier: the session is marked failed and the
-        failed worker's channels close so stuck readers see EOF, not a hang.
+        failed worker's channels abort so stuck readers wake with a typed
+        ``ChannelAbortedError`` — not a hang, and not a clean EOF that
+        would let a truncated stream ingest (and charge ``ml.ingest``) as
+        if it had completed.
         When a :class:`~repro.faults.recovery.RecoveryManager` is installed
         the sender calls :meth:`plan_partial_restart` instead and only falls
         back here once the restart budget is exhausted.
@@ -907,11 +922,13 @@ class Coordinator:
                 session.channels[cid]
                 for cid in session.groups.get(sql_worker_id, [])
             ]
-        # Close *outside* the lock: close() can block on a buffer/socket a
-        # backpressured sender holds, and that sender may be about to call
-        # back into the coordinator — closing under self._lock deadlocks.
+        # Abort *outside* the lock: like close(), abort() can block on a
+        # buffer/socket a backpressured sender holds, and that sender may be
+        # about to call back into the coordinator — doing it under
+        # self._lock deadlocks.
+        reason = session.failure_reason
         for channel in doomed:
-            channel.close()
+            channel.abort(reason)
         return session.restart_plan(sql_worker_id)
 
     def plan_partial_restart(

@@ -151,7 +151,14 @@ class StreamTransferUDF(TableUDF):
                 for target, batch in enumerate(pending):
                     if batch:  # EOF flush of the partial batch
                         channels[target].send_many(batch)
-        finally:
+        except BaseException as exc:
+            # A producer that dies mid-send (budget expiry, injected fault)
+            # must poison its channels: clean EOF here would let readers
+            # ingest the delivered prefix as if the stream had completed.
+            for channel in channels:
+                channel.abort(f"{type(exc).__name__}: {exc}")
+            raise
+        else:
             for channel in channels:
                 channel.close()
 
@@ -206,7 +213,13 @@ class StreamTransferUDF(TableUDF):
                 if len(part):
                     channel.send_col_batch(part)
                     rows_sent += len(part)
-        finally:
+        except BaseException as exc:
+            # Same truncation guard as the row path: a dead producer's
+            # channels abort, they never present a prefix as clean EOF.
+            for channel in channels:
+                channel.abort(f"{type(exc).__name__}: {exc}")
+            raise
+        else:
             for channel in channels:
                 channel.close()
         return [
@@ -284,11 +297,19 @@ class StreamTransferUDF(TableUDF):
                     )
                     epoch += 1
         except RetriesExhaustedError as exc:
-            # Budgets spent: fail the session so stuck readers see EOF and
-            # the failure escalates to the pipeline tier.
+            # Budgets spent: fail the session — which aborts this group's
+            # channels, so stuck readers wake with a typed error — and
+            # escalate the failure to the pipeline tier.
             coordinator.notify_channel_failure(session_id, ctx.worker_id, str(exc))
             raise
-        finally:
+        except BaseException as exc:
+            # Typed budget errors (and anything else) also kill the stream
+            # mid-send: poison the channels so the delivered prefix can
+            # never pass for a complete dataset.
+            for channel in channels:
+                channel.abort(f"{type(exc).__name__}: {exc}")
+            raise
+        else:
             for channel in channels:
                 channel.close()
 

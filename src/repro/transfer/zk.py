@@ -318,14 +318,20 @@ class CoordinatorStateStore:
         self._write(f"{self.ROOT}/{session_id}/status", status.encode())
 
     def record_admission(self, state: dict) -> None:
-        """Journal the admission gate's running/queued snapshot (multi-tenant
-        deployments; one znode, overwritten on every admit/release) so a
-        takeover can audit tenant occupancy and a cold standby can re-seed
-        its gate from the journal alone."""
-        self._write(self.ADMISSION_PATH, json.dumps(state).encode())
+        """Journal one admission transition (multi-tenant deployments; one
+        znode, overwritten on every admit/release).
+
+        The payload is the *transition* — event, session, tenant — not a
+        snapshot of the whole running set: a snapshot's size depends on how
+        many sessions happen to overlap, which is thread-interleaving noise,
+        and the ``zk.journal`` byte total must stay a pure function of the
+        workload so chaos fingerprints replay bit-identically.  A takeover
+        audits tenant occupancy from the per-session journal entries (which
+        carry tenant and status) rather than from this znode."""
+        self._write(self.ADMISSION_PATH, json.dumps(state, sort_keys=True).encode())
 
     def admission_view(self) -> dict:
-        """The last journaled admission snapshot ({} when never written)."""
+        """The last journaled admission transition ({} when never written)."""
         if not self.zk.exists(self.ADMISSION_PATH):
             return {}
         data, _v = self.zk.get(self.ADMISSION_PATH)

@@ -110,6 +110,46 @@ def make_points_table(engine, num_points: int = DEFAULT_POINTS) -> None:
     )
 
 
+def make_points_table_dfs(
+    engine,
+    dfs,
+    num_points: int = DEFAULT_POINTS,
+    base_dir: str = "/loadgen/points",
+) -> None:
+    """DFS-backed variant of :func:`make_points_table`: the same labeled
+    rows written as replicated CSV part files (one per worker, written
+    node-local) and registered as an *external* table.
+
+    The storage-chaos scenarios use this so every training row actually
+    crosses the DFS read path — replica corruption, datanode loss, and
+    ENOSPC then bite the workload instead of an untouched in-memory table.
+    """
+    num_parts = max(1, len(engine.cluster.workers))
+    worker_ips = [n.ip for n in engine.cluster.workers]
+    dfs.mkdirs(base_dir)
+    for part in range(num_parts):
+        lines = [
+            f"{i},{float(i % 7)},{float(i % 5)},{1.0 if i % 2 else -1.0}"
+            for i in range(part, num_points, num_parts)
+        ]
+        if lines:
+            dfs.write_text(
+                f"{base_dir}/part-{part:05d}",
+                "\n".join(lines) + "\n",
+                client_ip=worker_ips[part % len(worker_ips)],
+            )
+    engine.register_external_table(
+        "points",
+        Schema.of(
+            ("id", DataType.BIGINT),
+            ("f1", DataType.DOUBLE),
+            ("f2", DataType.DOUBLE),
+            ("label", DataType.DOUBLE),
+        ),
+        base_dir,
+    )
+
+
 def run_one_session(
     deployment,
     session_id: str,

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster.cost import CostLedger
-from repro.common.errors import TransferError
+from repro.common.errors import ChannelAbortedError, TransferError
 from repro.transfer.buffers import SpillableBuffer, decode_row, encode_row
 from repro.transfer.channel import ChannelId, StreamChannel
 
@@ -108,6 +108,39 @@ class TestSpillableBuffer:
             t.join()
         assert received == items
 
+    def test_abort_poisons_pending_items(self):
+        # A dead producer's enqueued prefix must never be delivered as a
+        # complete stream: abort wins over pending data and over close.
+        buffer = SpillableBuffer(capacity_bytes=1000)
+        buffer.put(b"half-delivered")
+        buffer.abort("producer failed")
+        buffer.close()  # sticky: a later clean close does not undo it
+        with pytest.raises(ChannelAbortedError, match="producer failed"):
+            buffer.get(timeout=0.1)
+
+    def test_abort_wakes_blocked_reader(self):
+        buffer = SpillableBuffer(capacity_bytes=1000)
+        caught: list[BaseException] = []
+
+        def reader():
+            try:
+                buffer.get(timeout=5.0)
+            except ChannelAbortedError as exc:
+                caught.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        buffer.abort("mid-stream death")
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert len(caught) == 1
+
+    def test_put_after_abort_raises(self):
+        buffer = SpillableBuffer(capacity_bytes=1000)
+        buffer.abort()
+        with pytest.raises(TransferError):
+            buffer.put(b"late")
+
     @settings(max_examples=30, deadline=None)
     @given(
         items=st.lists(st.binary(min_size=1, max_size=20), max_size=60),
@@ -143,6 +176,13 @@ class TestStreamChannel:
         assert channel.rows_sent == 2
         assert channel.rows_received == 2
         assert channel.bytes_sent == channel.bytes_received > 0
+
+    def test_abort_raises_typed_error_for_receivers(self):
+        channel = StreamChannel(ChannelId(0, 0), buffer_bytes=4096)
+        channel.send_row((1, "a", 2.5))
+        channel.abort("worker 0 died")
+        with pytest.raises(ChannelAbortedError, match="worker 0 died"):
+            channel.receive_block(timeout=0.1)
 
     def test_ledger_accounting_remote(self):
         ledger = CostLedger()

@@ -7,7 +7,7 @@ import time
 import pytest
 
 from repro.cluster.cluster import make_paper_cluster
-from repro.common.errors import TransferError
+from repro.common.errors import ChannelAbortedError, TransferError
 from repro.iofmt.inputformat import JobConf
 from repro.transfer.channel import ChannelId
 from repro.transfer.coordinator import Coordinator
@@ -212,15 +212,18 @@ class TestFaultHooks:
         assert session.failed
         assert "socket reset" in session.failure_reason
 
-    def test_failure_closes_group_channels(self, coordinator):
+    def test_failure_aborts_group_channels(self, coordinator):
         coordinator.create_session("s", command="noop")
         register_all(coordinator, "s", n=4)
         coordinator.plan_input_splits("s", None)
-        coordinator.notify_channel_failure("s", 0)
+        coordinator.notify_channel_failure("s", 0, "socket reset")
         session = coordinator.session("s")
         for cid in session.groups[0]:
-            # Closed channels yield EOF immediately instead of hanging.
-            assert session.channels[cid].receive(timeout=0.1) is None
+            # Aborted channels raise the typed error immediately instead of
+            # hanging — and never yield EOF, which would pass the delivered
+            # prefix off as a complete stream.
+            with pytest.raises(ChannelAbortedError, match="socket reset"):
+                session.channels[cid].receive(timeout=0.1)
 
 
 class TestSQLStreamInputFormat:
@@ -329,11 +332,11 @@ class TestSessionTeardown:
 
 
 class TestFailureNotificationLocking:
-    def test_channel_close_runs_outside_the_session_lock(self, coordinator):
+    def test_channel_abort_runs_outside_the_session_lock(self, coordinator):
         """Regression: ``notify_channel_failure`` used to close channels
-        while holding ``coordinator._lock``.  A close that blocks on a
-        backpressured sender then deadlocks every other coordinator call.
-        Here each close proves the lock is free by making a coordinator
+        while holding ``coordinator._lock``.  An abort/close that blocks on
+        a backpressured sender then deadlocks every other coordinator call.
+        Here each abort proves the lock is free by making a coordinator
         call from another thread and waiting for it."""
         coordinator.create_session("s", command="noop")
         register_all(coordinator, "s", n=2)
@@ -341,22 +344,22 @@ class TestFailureNotificationLocking:
         session = coordinator.session("s")
         unblocked = threading.Event()
 
-        def probing_close(original_close):
-            def close():
+        def probing_abort(original_abort):
+            def abort(reason="producer failed"):
                 probe = threading.Thread(
                     target=lambda: (coordinator.session("s"), unblocked.set())
                 )
                 probe.start()
                 assert unblocked.wait(timeout=2.0), (
-                    "coordinator lock held during channel close"
+                    "coordinator lock held during channel abort"
                 )
-                original_close()
+                original_abort(reason)
 
-            return close
+            return abort
 
         for cid in session.groups[0]:
             channel = session.channels[cid]
-            channel.close = probing_close(channel.close)
+            channel.abort = probing_abort(channel.abort)
         coordinator.notify_channel_failure("s", 0, "probe")
 
 
